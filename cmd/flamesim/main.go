@@ -1,0 +1,176 @@
+// Command flamesim runs one benchmark under one resilience scheme on the
+// cycle-level GPU simulator and prints execution statistics, optionally
+// with a fault injection.
+//
+// Usage:
+//
+//	flamesim -bench Histogram -scheme flame
+//	flamesim -bench SGEMM -scheme flame -arch GV100 -inject -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+func main() {
+	benchName := flag.String("bench", "Triad", "benchmark name")
+	schemeFlag := flag.String("scheme", "flame", "resilience scheme (see flamecc -h)")
+	archName := flag.String("arch", "GTX480", "GPU architecture: GTX480, TITANX, GV100, RTX2060")
+	schedName := flag.String("sched", "", "override warp scheduler: GTO, LRR, OLD, 2-Level")
+	wcdl := flag.Int("wcdl", 20, "sensor WCDL (cycles)")
+	extend := flag.Bool("extend", true, "enable region extension")
+	inject := flag.Bool("inject", false, "inject one soft error and recover")
+	seed := flag.Int64("seed", 1, "injection seed")
+	arm := flag.Int64("arm", 100, "injection arm cycle")
+	baseline := flag.Bool("baseline", true, "also run the baseline for comparison")
+	trace := flag.String("trace", "", "trace window \"FROM:TO\" (cycles) to stderr")
+	flag.Parse()
+
+	scheme := parseScheme(*schemeFlag)
+	arch, err := gpu.ConfigByName(*archName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *schedName != "" {
+		switch strings.ToUpper(*schedName) {
+		case "GTO":
+			arch.Scheduler = gpu.GTO
+		case "LRR":
+			arch.Scheduler = gpu.LRR
+		case "OLD":
+			arch.Scheduler = gpu.OLD
+		case "2-LEVEL", "TWOLEVEL", "2LEVEL":
+			arch.Scheduler = gpu.TwoLevel
+		default:
+			fail("unknown scheduler %q", *schedName)
+		}
+	}
+
+	b, err := bench.ByName(*benchName)
+	if err != nil {
+		fail("%v", err)
+	}
+	spec := b.Spec()
+	opt := core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend}
+
+	var baseCycles int64
+	if *baseline {
+		res, err := core.Run(arch, spec, core.Options{Scheme: core.Baseline})
+		if err != nil {
+			fail("baseline: %v", err)
+		}
+		baseCycles = res.Stats.Cycles
+		fmt.Printf("baseline: %s\n", res.Stats.String())
+	}
+
+	comp, err := core.Compile(spec.Prog, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+	var inj *flame.Injector
+	if *inject {
+		if !scheme.Detects() {
+			fail("scheme %s has no detection; cannot inject", scheme)
+		}
+		delay := *wcdl
+		if !scheme.UsesSensors() {
+			delay = 0
+		}
+		inj = flame.NewInjector(*arm, delay, *seed)
+	}
+	var res *core.Result
+	if *trace != "" {
+		var from, to int64
+		if _, err := fmt.Sscanf(*trace, "%d:%d", &from, &to); err != nil {
+			fail("bad -trace window %q (want FROM:TO)", *trace)
+		}
+		tr := gpu.NewTracer(os.Stderr)
+		tr.FromCycle, tr.ToCycle = from, to
+		res, err = runTraced(arch, spec, comp, inj, tr)
+	} else {
+		res, err = core.RunCompiled(arch, spec, comp, inj)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%s on %s (%s): %s\n", scheme, arch.Name, arch.Scheduler, res.Stats.String())
+	if scheme != core.Baseline {
+		fmt.Printf("flame hw: enq=%d pops=%d maxRBQ=%d recoveries=%d\n",
+			res.Flame.Enqueues, res.Flame.Pops, res.Flame.MaxRBQ, res.Flame.Recoveries)
+	}
+	if baseCycles > 0 {
+		fmt.Printf("normalized execution time: %.4f (%+.2f%%)\n",
+			float64(res.Stats.Cycles)/float64(baseCycles),
+			(float64(res.Stats.Cycles)/float64(baseCycles)-1)*100)
+	}
+	if inj != nil {
+		if inj.Injected {
+			fmt.Printf("injection: %s\n", inj.Description)
+			fmt.Printf("detected after %d cycles; recovered, output validated\n",
+				inj.DetectedAt-inj.InjectedAt)
+		} else {
+			fmt.Println("injection: no eligible instruction was corrupted")
+		}
+	}
+}
+
+// runTraced mirrors core.RunCompiled with a tracer chained in.
+func runTraced(arch gpu.Config, spec *core.KernelSpec, comp *core.Compiled, inj *flame.Injector, tr *gpu.Tracer) (*core.Result, error) {
+	dev, err := gpu.NewDevice(arch, spec.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Setup != nil {
+		spec.Setup(dev.Mem.Words())
+	}
+	ctl := comp.Controller()
+	var hooks *gpu.Hooks
+	if ctl != nil {
+		ctl.Inj = inj
+		hooks = ctl.Hooks()
+	}
+	hooks = gpu.CombineHooks(hooks, tr.Hooks())
+	launch := &gpu.Launch{Prog: comp.Prog, Grid: spec.Grid, Block: spec.Block, Params: spec.Params}
+	st, err := dev.Run(launch, hooks)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Validate != nil {
+		if verr := spec.Validate(dev.Mem.Words()); verr != nil {
+			return nil, verr
+		}
+	}
+	res := &core.Result{Compiled: comp, Stats: *st, Injection: inj}
+	if ctl != nil {
+		res.Flame = ctl.Stats
+	}
+	return res, nil
+}
+
+func parseScheme(s string) core.Scheme {
+	m := map[string]core.Scheme{
+		"baseline": core.Baseline, "renaming": core.Renaming,
+		"checkpointing": core.Checkpointing, "flame": core.SensorRenaming,
+		"sensor-renaming": core.SensorRenaming, "sensor-checkpointing": core.SensorCheckpointing,
+		"dup-renaming": core.DupRenaming, "dup-checkpointing": core.DupCheckpointing,
+		"hybrid-renaming": core.HybridRenaming, "hybrid-checkpointing": core.HybridCheckpointing,
+	}
+	sc, ok := m[strings.ToLower(s)]
+	if !ok {
+		fail("unknown scheme %q", s)
+	}
+	return sc
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flamesim: "+format+"\n", args...)
+	os.Exit(1)
+}

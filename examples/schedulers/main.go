@@ -1,0 +1,43 @@
+// Scheduler sensitivity: run the same kernel under all four warp
+// scheduler models (GTO, LRR, OLD, 2-Level) with and without Flame —
+// the WCDL hiding works regardless of the scheduling policy, which is
+// the paper's Figure 18 claim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flame"
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/gpu"
+)
+
+func main() {
+	b, err := bench.ByName("SGEMM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := b.Spec()
+
+	fmt.Printf("%s under the four warp schedulers (GTX480, WCDL=20):\n\n", b.Name)
+	fmt.Println("  scheduler  baseline   flame      overhead")
+	for _, sched := range []gpu.SchedulerKind{gpu.GTO, gpu.LRR, gpu.OLD, gpu.TwoLevel} {
+		cfg := flame.GTX480()
+		cfg.Scheduler = sched
+		base, err := core.Run(cfg, spec, core.Options{Scheme: core.Baseline})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(cfg, spec, core.FlameOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov := core.Overhead(res, base)
+		fmt.Printf("  %-9s  %8d   %8d   %+.2f%%\n",
+			sched, base.Stats.Cycles, res.Stats.Cycles, (ov-1)*100)
+	}
+	fmt.Println("\neach configuration is normalized to its own baseline;")
+	fmt.Println("Flame piggybacks on whichever latency-hiding policy the SM uses.")
+}

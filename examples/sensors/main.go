@@ -1,0 +1,52 @@
+// Sensor provisioning: explore the acoustic-sensor design space — how
+// many sensors per SM buy how much detection latency, and what that
+// latency costs at runtime on a real kernel. Reproduces the trade-off
+// behind the paper's choice of 200 sensors / 20 cycles on GTX480.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flame"
+	"flame/internal/bench"
+	"flame/internal/core"
+)
+
+func main() {
+	cfg := flame.GTX480()
+
+	fmt.Println("sensors/SM -> WCDL (GTX480, 17.5 mm^2 SM logic, 700 MHz):")
+	for _, s := range []int{50, 100, 150, 200, 250, 300} {
+		fmt.Printf("  %4d sensors -> %2d cycles\n", s, flame.WCDLFor(cfg, s))
+	}
+
+	b, err := bench.ByName("LUD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := b.Spec()
+	base, err := core.Run(cfg, spec, core.Options{Scheme: core.Baseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nruntime cost on %s (worst-case benchmark):\n", b.Name)
+	fmt.Println("  WCDL  sensors  overhead")
+	for _, wcdl := range []int{10, 20, 30, 40, 50} {
+		sensors, err := flame.SensorsFor(cfg, wcdl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(cfg, spec, core.Options{
+			Scheme: core.SensorRenaming, WCDL: wcdl, ExtendRegions: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov := core.Overhead(res, base)
+		fmt.Printf("  %4d  %7d  %+.2f%%\n", wcdl, sensors, (ov-1)*100)
+	}
+	fmt.Println("\nmore sensors = shorter WCDL = less verification delay to hide,")
+	fmt.Println("but past ~200/SM the returns diminish — the paper's default.")
+}

@@ -1,0 +1,3 @@
+module flame
+
+go 1.22

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flame/internal/isa"
+)
+
+// AliasResult classifies the relation between two memory references.
+type AliasResult uint8
+
+// Alias classifications.
+const (
+	NoAlias   AliasResult = iota // provably distinct locations
+	MayAlias                     // cannot be disambiguated
+	MustAlias                    // provably the same location
+)
+
+// String returns a short name for the alias result.
+func (a AliasResult) String() string {
+	switch a {
+	case NoAlias:
+		return "no"
+	case MayAlias:
+		return "may"
+	case MustAlias:
+		return "must"
+	}
+	return "?"
+}
+
+// SymAddr is the symbolic form of a memory reference's address:
+// optional kernel-parameter root + canonical variable term + constant.
+// It implements the base+offset disambiguation the paper's PTX-level
+// compiler uses: references rooted at different kernel parameters are
+// distinct arrays; references with the same variable term are compared by
+// constant offset; everything else may alias.
+type SymAddr struct {
+	Space     isa.Space
+	Unknown   bool   // analysis gave up; aliases everything in its space
+	ParamSlot int    // byte offset of the rooting ld.param, or -1
+	VarKey    string // canonical variable term ("" if none)
+	Const     int64  // accumulated constant offset
+}
+
+// Alias classifies the relation between two symbolic addresses.
+func Alias(a, b SymAddr) AliasResult {
+	if a.Space != b.Space {
+		return NoAlias
+	}
+	if a.Unknown || b.Unknown {
+		return MayAlias
+	}
+	if a.ParamSlot >= 0 && b.ParamSlot >= 0 && a.ParamSlot != b.ParamSlot {
+		// Distinct kernel-parameter arrays.
+		return NoAlias
+	}
+	if a.ParamSlot != b.ParamSlot {
+		// One rooted in a parameter, the other not: cannot compare.
+		return MayAlias
+	}
+	if a.VarKey == b.VarKey {
+		if a.Const == b.Const {
+			return MustAlias
+		}
+		return NoAlias
+	}
+	return MayAlias
+}
+
+// String renders the symbolic address for diagnostics.
+func (a SymAddr) String() string {
+	if a.Unknown {
+		return fmt.Sprintf("%s[?]", a.Space)
+	}
+	var parts []string
+	if a.ParamSlot >= 0 {
+		parts = append(parts, fmt.Sprintf("param%d", a.ParamSlot))
+	}
+	if a.VarKey != "" {
+		parts = append(parts, a.VarKey)
+	}
+	parts = append(parts, fmt.Sprintf("%d", a.Const))
+	return fmt.Sprintf("%s[%s]", a.Space, strings.Join(parts, "+"))
+}
+
+// AddrAnalysis computes symbolic addresses of memory instructions via
+// value numbering over def-use chains.
+type AddrAnalysis struct {
+	p    *isa.Program
+	rd   *ReachDefs
+	memo map[memoKey]term
+}
+
+type memoKey struct {
+	inst int
+	reg  isa.Reg
+}
+
+// term is a canonical symbolic value: a variable key, an optional
+// parameter root, a constant, and an unknown flag.
+type term struct {
+	unknown bool
+	param   int // -1 if none
+	varKey  string
+	c       int64
+}
+
+func unknownTerm() term { return term{unknown: true, param: -1} }
+
+// NewAddrAnalysis builds the address analysis for a program.
+func NewAddrAnalysis(p *isa.Program, rd *ReachDefs) *AddrAnalysis {
+	return &AddrAnalysis{p: p, rd: rd, memo: map[memoKey]term{}}
+}
+
+// AddrOf returns the symbolic address of the memory instruction at index
+// i (which must be an ld/st/atom).
+func (aa *AddrAnalysis) AddrOf(i int) SymAddr {
+	in := &aa.p.Insts[i]
+	var t term
+	switch in.Src[0].Kind {
+	case isa.OperImm:
+		t = term{param: -1, c: int64(in.Src[0].Imm)}
+	case isa.OperReg:
+		t = aa.value(i, in.Src[0].Reg, 0)
+	default:
+		t = unknownTerm()
+	}
+	t.c += int64(in.Off)
+	return SymAddr{
+		Space: in.Space, Unknown: t.unknown,
+		ParamSlot: t.param, VarKey: t.varKey, Const: t.c,
+	}
+}
+
+const maxWalkDepth = 64
+
+// value computes the canonical term of register r just before
+// instruction i.
+func (aa *AddrAnalysis) value(i int, r isa.Reg, depth int) term {
+	if depth > maxWalkDepth {
+		return unknownTerm()
+	}
+	key := memoKey{i, r}
+	if t, ok := aa.memo[key]; ok {
+		return t
+	}
+	// Seed with unknown to break def-chain cycles (loop-carried values).
+	aa.memo[key] = unknownTerm()
+	t := aa.valueUncached(i, r, depth)
+	aa.memo[key] = t
+	return t
+}
+
+func (aa *AddrAnalysis) valueUncached(i int, r isa.Reg, depth int) term {
+	d := aa.rd.UniqueDefReaching(i, r)
+	if d < 0 {
+		return unknownTerm()
+	}
+	in := &aa.p.Insts[d]
+	op := func(o isa.Operand) term {
+		switch o.Kind {
+		case isa.OperImm:
+			return term{param: -1, c: int64(o.Imm)}
+		case isa.OperReg:
+			return aa.value(d, o.Reg, depth+1)
+		case isa.OperSpecial:
+			return term{param: -1, varKey: o.Spec.String()}
+		default:
+			return unknownTerm()
+		}
+	}
+	opaque := func() term {
+		return term{param: -1, varKey: fmt.Sprintf("@%d", d)}
+	}
+	switch in.Op {
+	case isa.OpMov:
+		return op(in.Src[0])
+	case isa.OpAdd:
+		return addTerms(op(in.Src[0]), op(in.Src[1]))
+	case isa.OpSub:
+		b := op(in.Src[1])
+		if !b.unknown && b.varKey == "" && b.param < 0 {
+			a := op(in.Src[0])
+			a.c -= b.c
+			return a
+		}
+		return aa.pureOp(in, d, depth)
+	case isa.OpMad:
+		// d = a*b + c: treat a*b as a pure subterm, then add c.
+		ab := aa.subKey(in, d, depth, 2)
+		if ab.unknown {
+			return unknownTerm()
+		}
+		return addTerms(ab, op(in.Src[2]))
+	case isa.OpLd:
+		if in.Space == isa.SpaceParam && in.Src[0].Kind == isa.OperImm {
+			return term{param: int(int64(in.Src[0].Imm) + int64(in.Off))}
+		}
+		return opaque()
+	case isa.OpMul, isa.OpShl, isa.OpShr, isa.OpSra, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpMin, isa.OpMax, isa.OpAbs, isa.OpNot, isa.OpMulHi,
+		isa.OpDiv, isa.OpRem:
+		return aa.pureOp(in, d, depth)
+	default:
+		return opaque()
+	}
+}
+
+// pureOp canonicalizes a deterministic ALU op structurally so that two
+// instructions computing the same expression get the same variable key.
+func (aa *AddrAnalysis) pureOp(in *isa.Inst, d, depth int) term {
+	t := aa.subKey(in, d, depth, in.Op.NumSrcs())
+	return t
+}
+
+// subKey builds "op(arg0,arg1,..)" over the first n source operands.
+func (aa *AddrAnalysis) subKey(in *isa.Inst, d, depth, n int) term {
+	keys := make([]string, 0, 3)
+	name := in.Op.String()
+	if n > 2 {
+		// For mad we canonicalize only the multiplicative pair.
+		name = "mul"
+		n = 2
+	}
+	for k := 0; k < n; k++ {
+		var t term
+		switch in.Src[k].Kind {
+		case isa.OperImm:
+			t = term{param: -1, c: int64(in.Src[k].Imm)}
+		case isa.OperReg:
+			t = aa.value(d, in.Src[k].Reg, depth+1)
+		case isa.OperSpecial:
+			t = term{param: -1, varKey: in.Src[k].Spec.String()}
+		default:
+			return unknownTerm()
+		}
+		if t.unknown {
+			return unknownTerm()
+		}
+		keys = append(keys, termKey(t))
+	}
+	return term{param: -1, varKey: fmt.Sprintf("%s(%s)", name, strings.Join(keys, ","))}
+}
+
+// termKey renders a term as a sub-expression key, embedding its constant
+// (inside a non-additive context the constant is not separable).
+func termKey(t term) string {
+	var parts []string
+	if t.param >= 0 {
+		parts = append(parts, fmt.Sprintf("param%d", t.param))
+	}
+	if t.varKey != "" {
+		parts = append(parts, t.varKey)
+	}
+	if t.c != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", t.c))
+	}
+	return strings.Join(parts, "+")
+}
+
+// addTerms combines two terms additively, keeping constants separable.
+func addTerms(a, b term) term {
+	if a.unknown || b.unknown {
+		return unknownTerm()
+	}
+	if a.param >= 0 && b.param >= 0 {
+		return unknownTerm() // pointer + pointer: give up
+	}
+	p := a.param
+	if b.param >= 0 {
+		p = b.param
+	}
+	var keys []string
+	if a.varKey != "" {
+		keys = append(keys, a.varKey)
+	}
+	if b.varKey != "" {
+		keys = append(keys, b.varKey)
+	}
+	sort.Strings(keys)
+	return term{param: p, varKey: strings.Join(keys, "+"), c: a.c + b.c}
+}

@@ -1,0 +1,570 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+func build(t *testing.T, name, src string) (*isa.Program, *kernel.CFG) {
+	t.Helper()
+	p, err := isa.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, kernel.Build(p)
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	_, g := build(t, "sl", `
+    mov r0, 1
+    mov r1, 2
+    add r2, r0, r1
+    st.global [r3], r2
+    exit
+`)
+	lv := ComputeLiveness(g)
+	// r3 is live-in (never defined).
+	if !lv.LiveIn[0].Has(3) {
+		t.Error("r3 should be live-in")
+	}
+	if lv.LiveIn[0].Has(0) || lv.LiveIn[0].Has(2) {
+		t.Error("r0/r2 must not be live-in")
+	}
+	// After inst 2, r2 and r3 live; r0, r1 dead.
+	after := lv.LiveAfter(2)
+	if !after.Has(2) || !after.Has(3) || after.Has(0) || after.Has(1) {
+		t.Errorf("live after inst2 wrong")
+	}
+	before := lv.LiveBefore(2)
+	if !before.Has(0) || !before.Has(1) || before.Has(2) {
+		t.Errorf("live before inst2 wrong")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	p, g := build(t, "loop", `
+    mov r0, 0
+    mov r1, 8
+LOOP:
+    add r0, r0, 1
+    setp.lt p0, r0, r1
+@p0 bra LOOP
+    st.global [r2], r0
+    exit
+`)
+	_ = p
+	lv := ComputeLiveness(g)
+	body := g.BlockOf[2]
+	// r1 (bound) is live around the loop.
+	if !lv.LiveIn[body].Has(1) || !lv.LiveOut[body].Has(1) {
+		t.Error("loop bound r1 should be live through loop body")
+	}
+	if !lv.LiveIn[body].Has(0) {
+		t.Error("induction var r0 should be live-in to body")
+	}
+}
+
+func TestLivenessPredicatedDefDoesNotKill(t *testing.T) {
+	_, g := build(t, "pred", `
+    setp.lt p0, r5, r6
+@p0 mov r0, 1
+    st.global [r1], r0
+    exit
+`)
+	lv := ComputeLiveness(g)
+	// The predicated def of r0 may not execute, so r0 is live-in.
+	if !lv.LiveIn[0].Has(0) {
+		t.Error("r0 should be live-in past a predicated def")
+	}
+}
+
+func TestReachDefsDiamond(t *testing.T) {
+	p, g := build(t, "d", `
+    mov r0, %tid.x
+    setp.lt p0, r0, 16
+@!p0 bra ELSE
+    mov r1, 1
+    bra JOIN
+ELSE:
+    mov r1, 2
+JOIN:
+    add r2, r1, 1
+    exit
+`)
+	_ = p
+	rd := ComputeReachDefs(g)
+	// At the join use of r1 (inst 6), both defs (3 and 5) reach.
+	defs := rd.DefsReaching(6, 1)
+	if len(defs) != 2 {
+		t.Fatalf("defs of r1 at join = %v, want two", defs)
+	}
+	if rd.UniqueDefReaching(6, 1) != -1 {
+		t.Error("non-unique def must return -1")
+	}
+	// r0's def at 0 is unique everywhere.
+	if rd.UniqueDefReaching(6, 0) != 0 {
+		t.Error("r0 def should be unique")
+	}
+	// Def-use chain of inst 3 (mov r1,1) includes the join add.
+	uses := rd.UsesReachedBy(3, 1)
+	if len(uses) != 1 || uses[0] != 6 {
+		t.Fatalf("uses of def@3 = %v", uses)
+	}
+}
+
+func TestAliasParamRoots(t *testing.T) {
+	p, g := build(t, "alias", `
+    ld.param r1, [0]
+    ld.param r2, [4]
+    mov r3, %tid.x
+    shl r4, r3, 2
+    add r5, r1, r4
+    add r6, r2, r4
+    ld.global r7, [r5]
+    st.global [r6], r7
+    st.global [r5+4], r7
+    ld.global r8, [r5]
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	ldA := aa.AddrOf(6)  // param0 + tid*4
+	stB := aa.AddrOf(7)  // param1 + tid*4
+	stA4 := aa.AddrOf(8) // param0 + tid*4 + 4
+	ldA2 := aa.AddrOf(9) // param0 + tid*4 again
+	if got := Alias(ldA, stB); got != NoAlias {
+		t.Errorf("different params: %v, want no", got)
+	}
+	if got := Alias(ldA, stA4); got != NoAlias {
+		t.Errorf("same base different offset: %v, want no", got)
+	}
+	if got := Alias(ldA, ldA2); got != MustAlias {
+		t.Errorf("identical address: %v, want must", got)
+	}
+}
+
+func TestAliasSharedArrayVariantIndex(t *testing.T) {
+	p, g := build(t, "sh", `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    ld.param r9, [0]
+    ld.global r2, [r9]
+    mul r3, r2, 4
+    ld.shared r4, [r1]
+    st.shared [r3], r4
+    st.shared [r1+4], r4
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	ldTid := aa.AddrOf(5) // shared[tid*4]
+	stVar := aa.AddrOf(6) // shared[loaded*4] — data-dependent index
+	stOff := aa.AddrOf(7) // shared[tid*4+4]
+	if got := Alias(ldTid, stVar); got != MayAlias {
+		t.Errorf("variant index vs tid: %v, want may", got)
+	}
+	if got := Alias(ldTid, stOff); got != NoAlias {
+		t.Errorf("same var base diff offset: %v, want no", got)
+	}
+}
+
+func TestAliasSpacesDisjoint(t *testing.T) {
+	p, g := build(t, "sp", `
+    mov r0, %tid.x
+    ld.shared r1, [r0]
+    st.global [r0], r1
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	if got := Alias(aa.AddrOf(1), aa.AddrOf(2)); got != NoAlias {
+		t.Errorf("shared vs global: %v, want no", got)
+	}
+}
+
+func TestAliasUnknownOnMultipleDefs(t *testing.T) {
+	p, g := build(t, "md", `
+    mov r0, 0
+    ld.param r1, [0]
+LOOP:
+    add r2, r1, r0
+    ld.global r3, [r2]
+    st.global [r2], r3
+    add r0, r0, 4
+    setp.lt p0, r0, 64
+@p0 bra LOOP
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	// r0 has two reaching defs inside the loop -> address is unknown.
+	a := aa.AddrOf(3)
+	if !a.Unknown {
+		t.Errorf("loop-carried address should be unknown, got %v", a)
+	}
+	if got := Alias(aa.AddrOf(3), aa.AddrOf(4)); got != MayAlias {
+		t.Errorf("unknown addresses: %v, want may", got)
+	}
+}
+
+// figure2Src mirrors the paper's Figure 2: memory anti-dependences on
+// [r6]-like and [r2]-like addresses, plus the register anti-dependence on
+// r3 exposed by the first boundary.
+const figure2Src = `
+    ld.param r1, [0]
+    ld.param r6, [4]
+    ld.param r2, [8]
+    ld.global r3, [r1]      // (1) writes r3
+    ld.global r4, [r6]      // (2)
+    add r4, r4, 1
+    st.global [r6], r4      // (3) WAR with (2)
+    ld.global r5, [r2]      // (4)
+    add r7, r3, r5          // (5) reads r3
+    mov r3, 9               // (6) overwrites r3
+    st.global [r2], r3      // (7) WAR with (4)
+    exit
+`
+
+func TestScanFigure2NoBoundaries(t *testing.T) {
+	p, g := build(t, "fig2", figure2Src)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	vs := sc.Scan(make([]bool, p.Len()))
+	var mem, reg int
+	for _, v := range vs {
+		switch v.Kind {
+		case MemWAR:
+			mem++
+		case RegWAR:
+			reg++
+		}
+	}
+	if mem != 2 {
+		t.Errorf("mem violations = %d, want 2: %v", mem, vs)
+	}
+	// r3's WAR at (6) is WARAW-exempt without boundaries: (1) wrote it first.
+	if reg != 0 {
+		t.Errorf("reg violations = %d, want 0 (WARAW): %v", reg, vs)
+	}
+}
+
+func TestScanFigure2WithBoundaries(t *testing.T) {
+	p, g := build(t, "fig2b", figure2Src)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	b := make([]bool, p.Len())
+	b[6] = true  // before (3)
+	b[10] = true // before (7)
+	vs := sc.Scan(b)
+	var mem int
+	var regWAR *Violation
+	for i, v := range vs {
+		switch v.Kind {
+		case MemWAR:
+			mem++
+		case RegWAR:
+			regWAR = &vs[i]
+		}
+	}
+	if mem != 0 {
+		t.Errorf("mem violations with boundaries = %d, want 0: %v", mem, vs)
+	}
+	// Now the boundary separates (1) from (5)/(6): r3 becomes a region
+	// input overwritten at (6) — the paper's register anti-dependence.
+	if regWAR == nil || regWAR.At != 9 || regWAR.Reg != isa.Reg(3) {
+		t.Errorf("expected reg-war at inst 9 on r3, got %v", vs)
+	}
+}
+
+func TestScanWARAWMemoryExemption(t *testing.T) {
+	p, g := build(t, "waraw", `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    mov r2, 5
+    st.shared [r1], r2      // write first
+    ld.shared r3, [r1]      // read (covered by the store)
+    add r3, r3, 1
+    st.shared [r1], r3      // write again: WARAW, idempotent
+    exit
+`)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	vs := sc.Scan(make([]bool, p.Len()))
+	for _, v := range vs {
+		if v.Kind == MemWAR {
+			t.Errorf("WARAW store reported as violation: %v", v)
+		}
+	}
+}
+
+func TestScanLoopCarriedWAR(t *testing.T) {
+	p, g := build(t, "loopwar", `
+    mov r0, 0
+    ld.param r1, [0]
+LOOP:
+    add r2, r1, r0
+    ld.global r3, [r2]
+    add r3, r3, 1
+    st.global [r2], r3
+    add r0, r0, 4
+    setp.lt p0, r0, 64
+@p0 bra LOOP
+    exit
+`)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	vs := sc.Scan(make([]bool, p.Len()))
+	found := false
+	for _, v := range vs {
+		if v.Kind == MemWAR && v.At == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop-carried WAR not found: %v", vs)
+	}
+	// A boundary before the store resolves it.
+	b := make([]bool, p.Len())
+	b[5] = true
+	for _, v := range sc.Scan(b) {
+		if v.Kind == MemWAR {
+			t.Errorf("boundary did not cut WAR: %v", v)
+		}
+	}
+}
+
+func TestScanPredicateWAR(t *testing.T) {
+	p, g := build(t, "pwar", `
+    setp.lt p0, r0, r1
+@p0 add r2, r3, 1
+    --
+@p0 add r4, r3, 2
+    setp.gt p0, r0, r3
+    exit
+`)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	vs := sc.Scan(BoundarySlice(p))
+	// In the second region, p0 is a region input read by the guard at
+	// inst 2 and overwritten by the setp at inst 3.
+	foundPred := false
+	for _, v := range vs {
+		if v.Kind == PredWAR && v.At == 3 {
+			foundPred = true
+		}
+	}
+	if !foundPred {
+		t.Errorf("predicate WAR not found: %v", vs)
+	}
+	// Without the boundary, the first setp clobbers p0 (WARAW): no violation.
+	for _, v := range sc.Scan(make([]bool, p.Len())) {
+		if v.Kind == PredWAR {
+			t.Errorf("WARAW predicate reported as violation: %v", v)
+		}
+	}
+}
+
+func TestScanPredicatedWriteIsNotClobber(t *testing.T) {
+	p, g := build(t, "pw", `
+    setp.lt p0, r9, r8
+@p0 mov r0, 1
+    add r1, r0, 1
+    mov r0, 2
+    exit
+`)
+	sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+	vs := sc.Scan(make([]bool, p.Len()))
+	// The guarded def at 1 must not count as a clobber: the read at 2 may
+	// see the region-input r0, so the write at 3 is a violation.
+	found := false
+	for _, v := range vs {
+		if v.Kind == RegWAR && v.At == 3 && v.Reg == isa.Reg(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected reg-war at 3 on r0: %v", vs)
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 || !s.Has(64) || s.Has(63) {
+		t.Fatal("bitset basic ops")
+	}
+	u := NewBitSet(130)
+	u.Set(64)
+	s.AndNot(u)
+	if s.Has(64) || s.Count() != 2 {
+		t.Fatal("AndNot")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	c := s.CloneSet()
+	c.Set(5)
+	if s.Has(5) {
+		t.Fatal("CloneSet aliases")
+	}
+}
+
+// randomStraightLine builds a random straight-line program (no branches)
+// for property tests.
+func randomStraightLine(seed int64, n int) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	p := &isa.Program{Name: "prop"}
+	reg := func() isa.Operand { return isa.R(isa.Reg(r.Intn(12))) }
+	for i := 0; i < n; i++ {
+		in := isa.Inst{Guard: isa.NoGuard, Dst: isa.NoReg, PDst: isa.NoPred, Target: -1}
+		switch r.Intn(5) {
+		case 0:
+			in.Op = isa.OpAdd
+			in.Dst = isa.Reg(r.Intn(12))
+			in.Src[0], in.Src[1] = reg(), reg()
+		case 1:
+			in.Op = isa.OpMov
+			in.Dst = isa.Reg(r.Intn(12))
+			in.Src[0] = isa.Imm(int32(r.Intn(100)))
+		case 2:
+			in.Op = isa.OpLd
+			in.Space = isa.SpaceGlobal
+			in.Dst = isa.Reg(r.Intn(12))
+			in.Src[0] = reg()
+			in.Off = int32(r.Intn(8) * 4)
+		case 3:
+			in.Op = isa.OpSt
+			in.Space = isa.SpaceGlobal
+			in.Src[0], in.Src[1] = reg(), reg()
+			in.Off = int32(r.Intn(8) * 4)
+		default:
+			in.Op = isa.OpSetp
+			in.Cmp = isa.CmpLT
+			in.PDst = isa.PredReg(r.Intn(4))
+			in.Src[0], in.Src[1] = reg(), reg()
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	p.Insts = append(p.Insts, isa.Inst{Op: isa.OpExit, Guard: isa.NoGuard, Dst: isa.NoReg, PDst: isa.NoPred, Target: -1})
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Property: with a boundary before every instruction, every region is a
+// single instruction, so the only possible violations are instructions
+// that read their own destination (same-instruction anti-dependence).
+func TestScanBoundariesEverywhereOnlySelfWARs(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := randomStraightLine(seed, 40)
+		g := kernel.Build(p)
+		sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+		b := make([]bool, p.Len())
+		for i := range b {
+			b[i] = true
+		}
+		for _, v := range sc.Scan(b) {
+			if v.Kind != RegWAR {
+				t.Fatalf("seed %d: non-register violation with all boundaries: %v", seed, v)
+			}
+			in := &p.Insts[v.At]
+			self := false
+			var uses [4]isa.Reg
+			for _, u := range in.Uses(uses[:0]) {
+				if u == in.Defs() {
+					self = true
+				}
+			}
+			if !self {
+				t.Fatalf("seed %d: non-self WAR with all boundaries: %v (%s)", seed, v, in.String())
+			}
+		}
+	}
+}
+
+// Property: adding boundaries never creates new memory violations
+// (monotonicity of the cut operation).
+func TestScanBoundaryMonotonicity(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := randomStraightLine(seed, 30)
+		g := kernel.Build(p)
+		sc := NewScanner(p, g, NewAddrAnalysis(p, ComputeReachDefs(g)))
+		none := make([]bool, p.Len())
+		base := 0
+		for _, v := range sc.Scan(none) {
+			if v.Kind == MemWAR {
+				base++
+			}
+		}
+		r := rand.New(rand.NewSource(seed * 31))
+		some := make([]bool, p.Len())
+		for i := range some {
+			some[i] = r.Intn(3) == 0
+		}
+		withB := 0
+		for _, v := range sc.Scan(some) {
+			if v.Kind == MemWAR {
+				withB++
+			}
+		}
+		if withB > base {
+			t.Fatalf("seed %d: boundaries increased mem violations %d -> %d", seed, base, withB)
+		}
+	}
+}
+
+// BitSet algebraic laws via testing/quick.
+func TestBitSetLaws(t *testing.T) {
+	mk := func(bits []uint8) BitSet {
+		s := NewBitSet(256)
+		for _, b := range bits {
+			s.Set(int(b))
+		}
+		return s
+	}
+	// Union is commutative.
+	if err := quick.Check(func(a, b []uint8) bool {
+		x, y := mk(a), mk(b)
+		u1 := x.CloneSet()
+		u1.Union(y)
+		u2 := y.CloneSet()
+		u2.Union(x)
+		return u1.Equal(u2)
+	}, nil); err != nil {
+		t.Error("union commutativity:", err)
+	}
+	// Intersection distributes over union: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c).
+	if err := quick.Check(func(a, b, c []uint8) bool {
+		A, B, C := mk(a), mk(b), mk(c)
+		bc := B.CloneSet()
+		bc.Union(C)
+		lhs := A.CloneSet()
+		lhs.Intersect(bc)
+		ab := A.CloneSet()
+		ab.Intersect(B)
+		ac := A.CloneSet()
+		ac.Intersect(C)
+		rhs := ab.CloneSet()
+		rhs.Union(ac)
+		return lhs.Equal(rhs)
+	}, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+	// AndNot removes exactly the intersection.
+	if err := quick.Check(func(a, b []uint8) bool {
+		A, B := mk(a), mk(b)
+		diff := A.CloneSet()
+		diff.AndNot(B)
+		inter := A.CloneSet()
+		inter.Intersect(B)
+		back := diff.CloneSet()
+		back.Union(inter)
+		return back.Equal(A) && diff.Count()+inter.Count() == A.Count()
+	}, nil); err != nil {
+		t.Error("andnot partition:", err)
+	}
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// ViolationKind classifies an idempotence violation.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// MemWAR: a store may overwrite a location read earlier in the same
+	// region (the read was not preceded by a must-aliasing in-region store).
+	MemWAR ViolationKind = iota
+	// RegWAR: an instruction overwrites a general register that was read
+	// earlier in the region while still holding its region-input value.
+	RegWAR
+	// PredWAR: same as RegWAR for a predicate register.
+	PredWAR
+)
+
+// String returns a short name for the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case MemWAR:
+		return "mem-war"
+	case RegWAR:
+		return "reg-war"
+	case PredWAR:
+		return "pred-war"
+	}
+	return "?"
+}
+
+// Violation is one idempotence violation found by Scan.
+type Violation struct {
+	Kind ViolationKind
+	// At is the offending write instruction.
+	At int
+	// Reg is the overwritten register (RegWAR).
+	Reg isa.Reg
+	// Pred is the overwritten predicate register (PredWAR).
+	Pred isa.PredReg
+	// Load is the earlier load instruction whose location the store at At
+	// may overwrite (MemWAR); -1 otherwise.
+	Load int
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	switch v.Kind {
+	case MemWAR:
+		return fmt.Sprintf("mem-war: store@%d overwrites load@%d", v.At, v.Load)
+	case RegWAR:
+		return fmt.Sprintf("reg-war: inst@%d overwrites input %s", v.At, v.Reg)
+	default:
+		return fmt.Sprintf("pred-war: inst@%d overwrites input %s", v.At, v.Pred)
+	}
+}
+
+// scanState is the forward dataflow state of the anti-dependence scan.
+type scanState struct {
+	openLoads  BitSet // load insts executed since last boundary (some path)
+	storesDone BitSet // unpredicated stores executed since boundary (all paths)
+	cleanRead  BitSet // regs read while not definitely written since boundary
+	defWritten BitSet // regs definitely written since boundary (all paths)
+	predClean  uint8  // predicate regs read while clean
+	predDef    uint8  // predicate regs definitely written
+}
+
+func newScanState(ninsts, nregs int, optimistic bool) *scanState {
+	s := &scanState{
+		openLoads:  NewBitSet(ninsts),
+		storesDone: NewBitSet(ninsts),
+		cleanRead:  NewBitSet(nregs),
+		defWritten: NewBitSet(nregs),
+	}
+	if optimistic {
+		s.storesDone.Fill()
+		s.defWritten.Fill()
+		s.predDef = 0xFF
+	}
+	return s
+}
+
+func (s *scanState) reset() {
+	s.openLoads.Reset()
+	s.storesDone.Reset()
+	s.cleanRead.Reset()
+	s.defWritten.Reset()
+	s.predClean = 0
+	s.predDef = 0
+}
+
+// meet merges another state into s (at a CFG join). Reports change.
+func (s *scanState) meet(t *scanState) bool {
+	ch := s.openLoads.Union(t.openLoads)
+	ch = s.storesDone.Intersect(t.storesDone) || ch
+	ch = s.cleanRead.Union(t.cleanRead) || ch
+	ch = s.defWritten.Intersect(t.defWritten) || ch
+	if nc := s.predClean | t.predClean; nc != s.predClean {
+		s.predClean = nc
+		ch = true
+	}
+	if nd := s.predDef & t.predDef; nd != s.predDef {
+		s.predDef = nd
+		ch = true
+	}
+	return ch
+}
+
+func (s *scanState) clone() *scanState {
+	return &scanState{
+		openLoads:  s.openLoads.CloneSet(),
+		storesDone: s.storesDone.CloneSet(),
+		cleanRead:  s.cleanRead.CloneSet(),
+		defWritten: s.defWritten.CloneSet(),
+		predClean:  s.predClean,
+		predDef:    s.predDef,
+	}
+}
+
+func (s *scanState) equal(t *scanState) bool {
+	return s.openLoads.Equal(t.openLoads) &&
+		s.storesDone.Equal(t.storesDone) &&
+		s.cleanRead.Equal(t.cleanRead) &&
+		s.defWritten.Equal(t.defWritten) &&
+		s.predClean == t.predClean && s.predDef == t.predDef
+}
+
+// Scanner runs the anti-dependence scan over a program for a given
+// region-boundary marking.
+type Scanner struct {
+	p    *isa.Program
+	g    *kernel.CFG
+	aa   *AddrAnalysis
+	addr map[int]SymAddr // memoized symbolic addresses of memory insts
+}
+
+// NewScanner builds a scanner; the address analysis may be shared with
+// other passes.
+func NewScanner(p *isa.Program, g *kernel.CFG, aa *AddrAnalysis) *Scanner {
+	s := &Scanner{p: p, g: g, aa: aa, addr: map[int]SymAddr{}}
+	for i := range p.Insts {
+		if p.Insts[i].Op.IsMemory() {
+			s.addr[i] = aa.AddrOf(i)
+		}
+	}
+	return s
+}
+
+// Addr returns the memoized symbolic address of memory instruction i.
+func (sc *Scanner) Addr(i int) SymAddr { return sc.addr[i] }
+
+// Scan finds all idempotence violations of the program under the boundary
+// marking (boundary[i] true = region boundary immediately before
+// instruction i). The kernel entry is an implicit boundary.
+func (sc *Scanner) Scan(boundary []bool) []Violation {
+	p, g := sc.p, sc.g
+	ni, nr := len(p.Insts), p.NumRegs
+	if nr == 0 {
+		nr = 1
+	}
+
+	ins := make([]*scanState, len(g.Blocks))
+	outs := make([]*scanState, len(g.Blocks))
+	for i := range ins {
+		ins[i] = newScanState(ni, nr, true)
+		outs[i] = newScanState(ni, nr, true)
+	}
+	ins[g.Entry()].reset() // entry starts a fresh region
+
+	rpo := g.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range rpo {
+			b := g.Blocks[bid]
+			if bid != g.Entry() {
+				first := true
+				for _, pr := range b.Preds {
+					if first {
+						ins[bid].openLoads.Copy(outs[pr].openLoads)
+						ins[bid].storesDone.Copy(outs[pr].storesDone)
+						ins[bid].cleanRead.Copy(outs[pr].cleanRead)
+						ins[bid].defWritten.Copy(outs[pr].defWritten)
+						ins[bid].predClean = outs[pr].predClean
+						ins[bid].predDef = outs[pr].predDef
+						first = false
+					} else {
+						ins[bid].meet(outs[pr])
+					}
+				}
+			}
+			st := ins[bid].clone()
+			for i := b.Start; i < b.End; i++ {
+				sc.transfer(st, i, boundary, nil)
+			}
+			if !st.equal(outs[bid]) {
+				outs[bid] = st
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass with converged in-states.
+	var out []Violation
+	for _, bid := range rpo {
+		st := ins[bid].clone()
+		b := g.Blocks[bid]
+		for i := b.Start; i < b.End; i++ {
+			sc.transfer(st, i, boundary, &out)
+		}
+	}
+	return out
+}
+
+// transfer applies instruction i to the state; when report is non-nil,
+// violations are appended to it.
+func (sc *Scanner) transfer(st *scanState, i int, boundary []bool, report *[]Violation) {
+	in := &sc.p.Insts[i]
+	if boundary[i] {
+		st.reset()
+	}
+
+	// Predicate guard reads.
+	if g := in.Guard; g.Valid() {
+		if st.predDef&(1<<g.Pred) == 0 {
+			st.predClean |= 1 << g.Pred
+		}
+	}
+	if in.Op == isa.OpSelp && in.Src[2].Kind == isa.OperPred {
+		p := in.Src[2].Pred
+		if st.predDef&(1<<p) == 0 {
+			st.predClean |= 1 << p
+		}
+	}
+
+	// General register reads.
+	var uses [4]isa.Reg
+	for _, r := range in.Uses(uses[:0]) {
+		if !st.defWritten.Has(int(r)) {
+			st.cleanRead.Set(int(r))
+		}
+	}
+
+	// Memory effects.
+	switch in.Op {
+	case isa.OpLd:
+		if in.Space != isa.SpaceParam { // param space is read-only
+			addr := sc.addr[i]
+			if !sc.coveredByStore(st, addr) {
+				st.openLoads.Set(i)
+			}
+		}
+	case isa.OpSt, isa.OpAtom:
+		addr := sc.addr[i]
+		if report != nil {
+			st.openLoads.ForEach(func(l int) {
+				if Alias(sc.addr[l], addr) != NoAlias {
+					*report = append(*report, Violation{Kind: MemWAR, At: i, Load: l, Reg: isa.NoReg, Pred: isa.NoPred})
+				}
+			})
+		}
+		if in.Op == isa.OpSt && !in.Guard.Valid() {
+			st.storesDone.Set(i)
+		}
+		if in.Op == isa.OpAtom {
+			// The atomic's read is also an open read of its location.
+			st.openLoads.Set(i)
+		}
+	}
+
+	// Register write.
+	if d := in.Defs(); d != isa.NoReg {
+		if st.cleanRead.Has(int(d)) && !st.defWritten.Has(int(d)) {
+			if report != nil {
+				*report = append(*report, Violation{Kind: RegWAR, At: i, Reg: d, Pred: isa.NoPred, Load: -1})
+			}
+		}
+		if !in.Guard.Valid() {
+			st.defWritten.Set(int(d))
+		}
+	}
+
+	// Predicate write.
+	if pd := in.DefsPred(); pd != isa.NoPred {
+		bit := uint8(1) << pd
+		if st.predClean&bit != 0 && st.predDef&bit == 0 {
+			if report != nil {
+				*report = append(*report, Violation{Kind: PredWAR, At: i, Reg: isa.NoReg, Pred: pd, Load: -1})
+			}
+		}
+		if !in.Guard.Valid() {
+			st.predDef |= bit
+		}
+	}
+}
+
+// coveredByStore reports whether a load's location was definitely written
+// earlier in the region (WARAW exemption: the load does not read region
+// input).
+func (sc *Scanner) coveredByStore(st *scanState, addr SymAddr) bool {
+	covered := false
+	st.storesDone.ForEach(func(s int) {
+		if covered {
+			return
+		}
+		// storesDone is initialized optimistically to all-ones; only real
+		// store instructions count.
+		if s >= len(sc.p.Insts) {
+			return
+		}
+		if !sc.p.Insts[s].Op.IsStore() {
+			return
+		}
+		if Alias(sc.addr[s], addr) == MustAlias {
+			covered = true
+		}
+	})
+	return covered
+}
+
+// BoundarySlice extracts the boundary marking from a program's
+// instruction annotations.
+func BoundarySlice(p *isa.Program) []bool {
+	b := make([]bool, len(p.Insts))
+	for i := range p.Insts {
+		b[i] = p.Insts[i].Boundary
+	}
+	return b
+}

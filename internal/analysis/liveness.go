@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// Liveness holds per-block live register sets. Registers are general
+// registers only; predicate liveness is tracked separately in PredLiveness.
+type Liveness struct {
+	g *kernel.CFG
+	// LiveIn[b] / LiveOut[b] are registers live at block entry / exit.
+	LiveIn  []BitSet
+	LiveOut []BitSet
+	nregs   int
+}
+
+// ComputeLiveness runs backward liveness over the CFG.
+func ComputeLiveness(g *kernel.CFG) *Liveness {
+	p := g.Prog
+	n := len(g.Blocks)
+	lv := &Liveness{
+		g:       g,
+		LiveIn:  make([]BitSet, n),
+		LiveOut: make([]BitSet, n),
+		nregs:   p.NumRegs,
+	}
+	use := make([]BitSet, n) // upward-exposed uses
+	def := make([]BitSet, n) // unconditionally defined before any use
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = NewBitSet(p.NumRegs)
+		lv.LiveOut[i] = NewBitSet(p.NumRegs)
+		use[i] = NewBitSet(p.NumRegs)
+		def[i] = NewBitSet(p.NumRegs)
+	}
+	var uses []isa.Reg
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			in := &p.Insts[i]
+			uses = uses[:0]
+			uses = in.Uses(uses)
+			for _, r := range uses {
+				if !def[b.ID].Has(int(r)) {
+					use[b.ID].Set(int(r))
+				}
+			}
+			// A predicated def may not execute; it cannot kill liveness.
+			if d := in.Defs(); d != isa.NoReg && !in.Guard.Valid() {
+				def[b.ID].Set(int(d))
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			for _, s := range b.Succs {
+				if lv.LiveOut[i].Union(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			newIn := lv.LiveOut[i].CloneSet()
+			newIn.AndNot(def[i])
+			newIn.Union(use[i])
+			if !newIn.Equal(lv.LiveIn[i]) {
+				lv.LiveIn[i].Copy(newIn)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAfter returns the set of registers live immediately after
+// instruction i (before the following instruction executes).
+func (lv *Liveness) LiveAfter(i int) BitSet {
+	b := lv.g.Blocks[lv.g.BlockOf[i]]
+	live := lv.LiveOut[b.ID].CloneSet()
+	var uses []isa.Reg
+	for j := b.End - 1; j > i; j-- {
+		in := &lv.g.Prog.Insts[j]
+		if d := in.Defs(); d != isa.NoReg && !in.Guard.Valid() {
+			live.Clear(int(d))
+		}
+		uses = uses[:0]
+		uses = in.Uses(uses)
+		for _, r := range uses {
+			live.Set(int(r))
+		}
+	}
+	return live
+}
+
+// LiveBefore returns the set of registers live immediately before
+// instruction i.
+func (lv *Liveness) LiveBefore(i int) BitSet {
+	live := lv.LiveAfter(i)
+	in := &lv.g.Prog.Insts[i]
+	if d := in.Defs(); d != isa.NoReg && !in.Guard.Valid() {
+		live.Clear(int(d))
+	}
+	var uses []isa.Reg
+	uses = in.Uses(uses)
+	for _, r := range uses {
+		live.Set(int(r))
+	}
+	return live
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// ReachDefs holds reaching-definition information. Definition sites are
+// instruction indices; the sets are bitsets over instruction indices.
+type ReachDefs struct {
+	g *kernel.CFG
+	// In[b] is the set of definition instructions reaching block b's entry.
+	In []BitSet
+	// defsOf[r] is the set of instructions defining register r.
+	defsOf map[isa.Reg]BitSet
+}
+
+// ComputeReachDefs runs forward reaching definitions. Predicated
+// definitions generate but do not kill (they may not execute).
+func ComputeReachDefs(g *kernel.CFG) *ReachDefs {
+	p := g.Prog
+	ni := len(p.Insts)
+	nb := len(g.Blocks)
+	rd := &ReachDefs{g: g, In: make([]BitSet, nb), defsOf: map[isa.Reg]BitSet{}}
+	for i := range p.Insts {
+		if d := p.Insts[i].Defs(); d != isa.NoReg {
+			s, ok := rd.defsOf[d]
+			if !ok {
+				s = NewBitSet(ni)
+				rd.defsOf[d] = s
+			}
+			s.Set(i)
+		}
+	}
+	gen := make([]BitSet, nb)
+	out := make([]BitSet, nb)
+	kill := make([]BitSet, nb)
+	for b := 0; b < nb; b++ {
+		rd.In[b] = NewBitSet(ni)
+		gen[b] = NewBitSet(ni)
+		out[b] = NewBitSet(ni)
+		kill[b] = NewBitSet(ni)
+	}
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			in := &p.Insts[i]
+			d := in.Defs()
+			if d == isa.NoReg {
+				continue
+			}
+			if !in.Guard.Valid() {
+				// Unpredicated def kills all other defs of d.
+				kill[b.ID].Union(rd.defsOf[d])
+				gen[b.ID].AndNot(rd.defsOf[d])
+			}
+			gen[b.ID].Set(i)
+			kill[b.ID].Clear(i)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range g.RPO() {
+			b := g.Blocks[bid]
+			for _, pr := range b.Preds {
+				if rd.In[bid].Union(out[pr]) {
+					changed = true
+				}
+			}
+			newOut := rd.In[bid].CloneSet()
+			newOut.AndNot(kill[bid])
+			newOut.Union(gen[bid])
+			if !newOut.Equal(out[bid]) {
+				out[bid].Copy(newOut)
+				changed = true
+			}
+		}
+	}
+	return rd
+}
+
+// DefsReaching returns the definition instructions of register r that
+// reach the program point immediately before instruction i.
+func (rd *ReachDefs) DefsReaching(i int, r isa.Reg) []int {
+	b := rd.g.Blocks[rd.g.BlockOf[i]]
+	all := rd.defsOf[r]
+	if all == nil {
+		return nil
+	}
+	// Start from block-in, then walk the block applying gen/kill until i.
+	cur := rd.In[b.ID].CloneSet()
+	p := rd.g.Prog
+	for j := b.Start; j < i; j++ {
+		in := &p.Insts[j]
+		d := in.Defs()
+		if d == isa.NoReg {
+			continue
+		}
+		if !in.Guard.Valid() {
+			cur.AndNot(rd.defsOf[d])
+		}
+		cur.Set(j)
+	}
+	var out []int
+	cur.ForEach(func(j int) {
+		if all.Has(j) {
+			out = append(out, j)
+		}
+	})
+	return out
+}
+
+// UniqueDefReaching returns the single definition of r reaching
+// instruction i, or -1 if there is none or more than one.
+func (rd *ReachDefs) UniqueDefReaching(i int, r isa.Reg) int {
+	ds := rd.DefsReaching(i, r)
+	if len(ds) != 1 {
+		return -1
+	}
+	return ds[0]
+}
+
+// UsesReachedBy returns the instructions that use register r where the
+// definition at instruction def is among the reaching definitions
+// (the def-use chain of def).
+func (rd *ReachDefs) UsesReachedBy(def int, r isa.Reg) []int {
+	var out []int
+	var uses []isa.Reg
+	p := rd.g.Prog
+	for i := range p.Insts {
+		uses = uses[:0]
+		uses = p.Insts[i].Uses(uses)
+		found := false
+		for _, u := range uses {
+			if u == r {
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		for _, d := range rd.DefsReaching(i, r) {
+			if d == def {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}

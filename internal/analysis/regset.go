@@ -1,0 +1,107 @@
+// Package analysis implements the dataflow analyses the Flame compiler
+// passes depend on: liveness, reaching definitions with def-use chains, a
+// symbolic base+offset alias analysis for memory references, and the
+// anti-dependence scan that idempotent region formation and the
+// idempotence verifier share.
+package analysis
+
+import "math/bits"
+
+// BitSet is a dense bitset used for register and instruction sets.
+type BitSet []uint64
+
+// NewBitSet returns a bitset able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds element i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (i % 64) }
+
+// Clear removes element i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether element i is present.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// Union adds all elements of t; it reports whether s changed.
+func (s BitSet) Union(t BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] |= t[i]
+		changed = changed || s[i] != old
+	}
+	return changed
+}
+
+// Intersect keeps only elements also in t; it reports whether s changed.
+func (s BitSet) Intersect(t BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] &= t[i]
+		changed = changed || s[i] != old
+	}
+	return changed
+}
+
+// AndNot removes all elements of t.
+func (s BitSet) AndNot(t BitSet) {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+}
+
+// Copy overwrites s with t.
+func (s BitSet) Copy(t BitSet) { copy(s, t) }
+
+// Fill sets all words to all-ones (a superset of any valid set; used as
+// the optimistic top for intersection-combined dataflow).
+func (s BitSet) Fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// Reset clears every element.
+func (s BitSet) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Equal reports element-wise equality.
+func (s BitSet) Equal(t BitSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements present.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for each element in ascending order.
+func (s BitSet) ForEach(f func(int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// CloneSet returns an independent copy.
+func (s BitSet) CloneSet() BitSet {
+	t := make(BitSet, len(s))
+	copy(t, s)
+	return t
+}

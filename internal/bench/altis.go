@@ -1,0 +1,240 @@
+package bench
+
+// ALTIS: Stencil (3D 7-point) and TPACF (two-point angular correlation).
+
+// Stencil: weighted 3D 7-point stencil with boundary threads exiting
+// early (divergence) and z supplied by the grid's third dimension.
+var Stencil = register(&Benchmark{
+	Name:        "Stencil",
+	Suite:       "ALTIS",
+	Description: "3D 7-point weighted stencil, interior only",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    mov r4, %ctaid.z          // z
+    ld.param r5, [0]          // &in
+    ld.param r6, [4]          // &out
+    ld.param r7, [8]          // NX (=NY)
+    ld.param r8, [12]         // NZ
+    shl r9, r2, 3
+    add r9, r9, r0            // x
+    shl r10, r3, 3
+    add r10, r10, r1          // y
+    // boundary threads copy input through
+    mul r11, r7, r7           // plane
+    mul r12, r4, r11
+    mad r13, r10, r7, r9
+    add r14, r12, r13         // idx
+    shl r15, r14, 2
+    add r16, r5, r15
+    ld.global r17, [r16]      // center
+    sub r18, r7, 1
+    setp.eq p0, r9, 0
+    setp.eq p1, r9, r18
+    setp.eq p2, r10, 0
+    setp.eq p3, r10, r18
+@p0 bra COPY
+@p1 bra COPY
+@p2 bra COPY
+@p3 bra COPY
+    sub r19, r8, 1
+    setp.eq p4, r4, 0
+    setp.eq p5, r4, r19
+@p4 bra COPY
+@p5 bra COPY
+    add r20, r14, 1
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r23, [r22]      // x+1
+    sub r20, r14, 1
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r24, [r22]      // x-1
+    add r20, r14, r7
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r25, [r22]      // y+1
+    sub r20, r14, r7
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r26, [r22]      // y-1
+    add r20, r14, r11
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r27, [r22]      // z+1
+    sub r20, r14, r11
+    shl r21, r20, 2
+    add r22, r5, r21
+    ld.global r28, [r22]      // z-1
+    fadd r29, r23, r24
+    fadd r29, r29, r25
+    fadd r29, r29, r26
+    fadd r29, r29, r27
+    fadd r29, r29, r28
+    fmul r30, r29, 0.1f
+    fma r31, r17, 0.4f, r30
+    add r32, r6, r15
+    st.global [r32], r31
+    exit
+COPY:
+    add r33, r6, r15
+    st.global [r33], r17
+    exit
+`,
+	Grid:     d3(4, 4, 8),
+	Block:    d3(8, 8, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, stenNX * stenNX * stenNZ * 4, stenNX, stenNZ},
+	Setup: func(mem []uint32) {
+		r := lcg(113)
+		for i := 0; i < stenNX*stenNX*stenNZ; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		nx, nz := stenNX, stenNZ
+		r := lcg(113)
+		in := make([]float32, nx*nx*nz)
+		for i := range in {
+			in[i] = r.unitFloat()
+		}
+		at := func(x, y, z int) float32 { return in[z*nx*nx+y*nx+x] }
+		for z := 0; z < nz; z++ {
+			for y := 0; y < nx; y++ {
+				for x := 0; x < nx; x++ {
+					idx := nx*nx*nz + z*nx*nx + y*nx + x
+					want := at(x, y, z)
+					interior := x > 0 && x < nx-1 && y > 0 && y < nx-1 && z > 0 && z < nz-1
+					if interior {
+						s := fadd(at(x+1, y, z), at(x-1, y, z))
+						s = fadd(s, at(x, y+1, z))
+						s = fadd(s, at(x, y-1, z))
+						s = fadd(s, at(x, y, z+1))
+						s = fadd(s, at(x, y, z-1))
+						want = fmaf(at(x, y, z), 0.4, fmul(s, 0.1))
+					}
+					if err := expectF32(mem, idx, want, "stencil"); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const (
+	stenNX = 32
+	stenNZ = 8
+)
+
+// TPACF: two-point angular correlation — per-thread dot products against
+// a sample set, binned through shared-memory atomics and merged globally.
+var TPACF = register(&Benchmark{
+	Name:        "TPACF",
+	Suite:       "ALTIS",
+	Description: "angular correlation histogram via shared atomics",
+	Src: `
+.shared 32
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // point
+    ld.param r4, [0]          // &xyz (3 per point)
+    ld.param r5, [4]          // &sample xyz (3 x 16)
+    ld.param r6, [8]          // &hist (8 bins)
+    setp.lt p0, r0, 8
+@!p0 bra NOZERO
+    shl r7, r0, 2
+    mov r8, 0
+    st.shared [r7], r8
+NOZERO:
+    bar.sync
+    mul r9, r3, 12            // point*3 words*4B
+    add r10, r4, r9
+    ld.global r11, [r10]      // x
+    ld.global r12, [r10+4]    // y
+    ld.global r13, [r10+8]    // z
+    mov r14, 0                // j
+PAIR:
+    mul r15, r14, 12
+    add r16, r5, r15
+    ld.global r17, [r16]
+    ld.global r18, [r16+4]
+    ld.global r19, [r16+8]
+    fmul r20, r11, r17
+    fma r20, r12, r18, r20
+    fma r20, r13, r19, r20    // dot in [-3,3] scaled
+    fadd r21, r20, 3.0f
+    fmul r22, r21, 1.33f      // scale to ~[0,8)
+    ftoi r23, r22
+    min r24, r23, 7
+    max r24, r24, 0
+    shl r25, r24, 2
+    mov r26, 1
+    atom.shared.add r27, [r25], r26
+    add r14, r14, 1
+    setp.lt p1, r14, 16
+@p1 bra PAIR
+    bar.sync
+    setp.lt p2, r0, 8
+@!p2 bra DONE
+    shl r28, r0, 2
+    ld.shared r29, [r28]
+    add r30, r6, r28
+    atom.global.add r31, [r30], r29
+DONE:
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{224, 32, 0},
+	Setup: func(mem []uint32) {
+		r := lcg(127)
+		// hist at words 0..7; sample at word 8 (3x16 floats); points at 56.
+		for i := 0; i < 48; i++ {
+			mem[8+i] = f(fsub(r.unitFloat(), 1.5)) // sample coords in [-0.5, 0.5)
+		}
+		for i := 0; i < tpacfN*3; i++ {
+			mem[56+i] = f(fsub(r.unitFloat(), 1.5))
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(127)
+		sample := make([]float32, 48)
+		for i := range sample {
+			sample[i] = fsub(r.unitFloat(), 1.5)
+		}
+		pts := make([]float32, tpacfN*3)
+		for i := range pts {
+			pts[i] = fsub(r.unitFloat(), 1.5)
+		}
+		want := make([]uint32, 8)
+		for i := 0; i < tpacfN; i++ {
+			for j := 0; j < 16; j++ {
+				dot := fmaf(pts[i*3+2], sample[j*3+2],
+					fmaf(pts[i*3+1], sample[j*3+1], fmul(pts[i*3], sample[j*3])))
+				v := fmul(fadd(dot, 3), 1.33)
+				bin := int(int32(ftoi(v)))
+				if bin > 7 {
+					bin = 7
+				}
+				if bin < 0 {
+					bin = 0
+				}
+				want[bin]++
+			}
+		}
+		for b := 0; b < 8; b++ {
+			if err := expectU32(mem, b, want[b], "tpacf"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const tpacfN = 8 * 128

@@ -1,0 +1,14 @@
+package bench
+
+import "testing"
+
+func TestThirtyFourBenchmarks(t *testing.T) {
+	names := []string{}
+	for _, b := range All() {
+		names = append(names, b.Name)
+	}
+	t.Logf("%d benchmarks: %v", len(names), names)
+	if len(names) != 34 {
+		t.Fatalf("have %d benchmarks, want 34 (Table I)", len(names))
+	}
+}

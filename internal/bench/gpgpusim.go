@@ -1,0 +1,308 @@
+package bench
+
+// GPGPU-Sim benchmark suite: NN, LPS, AES.
+
+// NN: one fully-connected neural-network layer with a logistic
+// activation: out[j] = sigmoid(sum_k W[j][k] * x[k]).
+var NN = register(&Benchmark{
+	Name:        "NN",
+	Suite:       "GPGPU-Sim",
+	Description: "neural network fully-connected layer + activation",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0       // j
+    ld.param r4, [0]         // &W
+    ld.param r5, [4]         // &x
+    ld.param r6, [8]         // &out
+    ld.param r7, [12]        // K
+    mul r8, r3, r7           // j*K
+    fmul r9, r0, 0f          // acc = 0
+    mov r10, 0               // k
+LOOP:
+    add r11, r8, r10
+    shl r12, r11, 2
+    add r13, r4, r12
+    ld.global r14, [r13]     // W[j][k]
+    shl r15, r10, 2
+    add r16, r5, r15
+    ld.global r17, [r16]     // x[k]
+    fma r9, r14, r17, r9
+    add r10, r10, 1
+    setp.lt p0, r10, r7
+@p0 bra LOOP
+    fmul r18, r9, -1.4427f   // -acc*log2(e)
+    exp2 r19, r18
+    fadd r20, r19, 1.0f
+    rcp r21, r20             // sigmoid(acc)
+    shl r22, r3, 2
+    add r23, r6, r22
+    st.global [r23], r21
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 19,
+	Params:   []uint32{0, nnJ * nnK * 4, nnJ*nnK*4 + nnK*4, nnK},
+	Setup: func(mem []uint32) {
+		r := lcg(17)
+		for i := 0; i < nnJ*nnK+nnK; i++ {
+			mem[i] = f(fmul(r.unitFloat(), 0.03125))
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(17)
+		w := make([]float32, nnJ*nnK)
+		x := make([]float32, nnK)
+		for i := range w {
+			w[i] = fmul(r.unitFloat(), 0.03125)
+		}
+		for i := range x {
+			x[i] = fmul(r.unitFloat(), 0.03125)
+		}
+		for j := 0; j < nnJ; j++ {
+			acc := float32(0)
+			for k := 0; k < nnK; k++ {
+				acc = fmaf(w[j*nnK+k], x[k], acc)
+			}
+			out := frcp(fadd(fexp2(fmul(acc, -1.4427)), 1))
+			if err := expectF32(mem, nnJ*nnK+nnK+j, out, "out"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const (
+	nnJ = 8 * 128
+	nnK = 64
+)
+
+// LPS: a 3D Laplace relaxation sweep (6-point stencil) with clamped
+// borders, z iterated in a per-thread loop.
+var LPS = register(&Benchmark{
+	Name:        "LPS",
+	Suite:       "GPGPU-Sim",
+	Description: "3D Laplace solver jacobi sweep",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &in
+    ld.param r5, [4]        // &out
+    ld.param r6, [8]        // NX (= NY)
+    ld.param r7, [12]       // NZ
+    shl r8, r2, 3
+    add r8, r8, r0          // x
+    shl r9, r3, 3
+    add r9, r9, r1          // y
+    sub r10, r6, 1          // NX-1
+    mov r11, 0              // z
+    mul r30, r6, r6         // plane = NX*NX
+LOOPZ:
+    // clamped neighbour indices
+    add r12, r8, 1
+    min r12, r12, r10
+    sub r13, r8, 1
+    max r13, r13, 0
+    add r14, r9, 1
+    min r14, r14, r10
+    sub r15, r9, 1
+    max r15, r15, 0
+    add r16, r11, 1
+    sub r17, r7, 1
+    min r16, r16, r17
+    sub r18, r11, 1
+    max r18, r18, 0
+    mul r19, r11, r30       // z*plane
+    mad r20, r9, r6, r8
+    add r20, r20, r19       // idx
+    mad r21, r9, r6, r12
+    add r21, r21, r19
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r23, [r22]    // x+1
+    mad r21, r9, r6, r13
+    add r21, r21, r19
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r24, [r22]    // x-1
+    mad r21, r14, r6, r8
+    add r21, r21, r19
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r25, [r22]    // y+1
+    mad r21, r15, r6, r8
+    add r21, r21, r19
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r26, [r22]    // y-1
+    mul r27, r16, r30
+    mad r21, r9, r6, r8
+    add r21, r21, r27
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r28, [r22]    // z+1
+    mul r27, r18, r30
+    add r21, r20, 0
+    mad r21, r9, r6, r8
+    add r21, r21, r27
+    shl r22, r21, 2
+    add r22, r22, r4
+    ld.global r29, [r22]    // z-1
+    fadd r31, r23, r24
+    fadd r31, r31, r25
+    fadd r31, r31, r26
+    fadd r31, r31, r28
+    fadd r31, r31, r29
+    fmul r32, r31, 0.166667f
+    shl r33, r20, 2
+    add r34, r5, r33
+    st.global [r34], r32
+    add r11, r11, 1
+    setp.lt p0, r11, r7
+@p0 bra LOOPZ
+    exit
+`,
+	Grid:     d3(4, 4, 1),
+	Block:    d3(8, 8, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, lpsNX * lpsNX * lpsNZ * 4, lpsNX, lpsNZ},
+	Setup: func(mem []uint32) {
+		r := lcg(19)
+		for i := 0; i < lpsNX*lpsNX*lpsNZ; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		nx, nz := lpsNX, lpsNZ
+		r := lcg(19)
+		in := make([]float32, nx*nx*nz)
+		for i := range in {
+			in[i] = r.unitFloat()
+		}
+		clamp := func(v, hi int) int {
+			if v < 0 {
+				return 0
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		at := func(x, y, z int) float32 { return in[z*nx*nx+y*nx+x] }
+		for z := 0; z < nz; z++ {
+			for y := 0; y < nx; y++ {
+				for x := 0; x < nx; x++ {
+					s := fadd(at(clamp(x+1, nx-1), y, z), at(clamp(x-1, nx-1), y, z))
+					s = fadd(s, at(x, clamp(y+1, nx-1), z))
+					s = fadd(s, at(x, clamp(y-1, nx-1), z))
+					s = fadd(s, at(x, y, clamp(z+1, nz-1)))
+					s = fadd(s, at(x, y, clamp(z-1, nz-1)))
+					want := fmul(s, 0.166667)
+					if err := expectF32(mem, nx*nx*nz+z*nx*nx+y*nx+x, want, "lps"); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const (
+	lpsNX = 32
+	lpsNZ = 8
+)
+
+// AES: a table-lookup round — the s-box is staged into shared memory by
+// the block, then each thread substitutes and mixes 4 bytes of state.
+var AES = register(&Benchmark{
+	Name:               "AES",
+	Suite:              "GPGPU-Sim",
+	Description:        "s-box substitution round with shared lookup table",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // i
+    ld.param r4, [0]          // &sbox (256 words)
+    ld.param r5, [4]          // &state
+    ld.param r6, [8]          // &out
+    ld.param r7, [12]         // roundKey
+    shl r8, r0, 2
+    add r9, r4, r8
+    ld.global r10, [r9]       // sbox[tid] (blockDim=256)
+    st.shared [r8], r10
+    bar.sync
+    shl r11, r3, 2
+    add r12, r5, r11
+    ld.global r13, [r12]      // state word
+    xor r13, r13, r7          // AddRoundKey
+    and r14, r13, 255
+    shl r15, r14, 2
+    ld.shared r16, [r15]      // sbox[b0]
+    shr r17, r13, 8
+    and r18, r17, 255
+    shl r19, r18, 2
+    ld.shared r20, [r19]      // sbox[b1]
+    shr r21, r13, 16
+    and r22, r21, 255
+    shl r23, r22, 2
+    ld.shared r24, [r23]      // sbox[b2]
+    shr r25, r13, 24
+    shl r26, r25, 2
+    ld.shared r27, [r26]      // sbox[b3]
+    shl r28, r20, 8
+    shl r29, r24, 16
+    shl r30, r27, 24
+    or r31, r16, r28
+    or r31, r31, r29
+    or r31, r31, r30          // subbed word
+    shl r32, r31, 1
+    xor r33, r31, r32
+    and r33, r33, -1
+    xor r34, r33, r7          // mix-ish + key
+    add r35, r6, r11
+    st.global [r35], r34
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, 1024, 1024 + aesN*4, 0x5A5A1234},
+	Setup: func(mem []uint32) {
+		for i := 0; i < 256; i++ {
+			mem[i] = uint32(aesSbox(i))
+		}
+		r := lcg(23)
+		for i := 0; i < aesN; i++ {
+			mem[256+i] = r.next()
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(23)
+		for i := 0; i < aesN; i++ {
+			w := r.next() ^ 0x5A5A1234
+			sub := uint32(aesSbox(int(w&255))) |
+				uint32(aesSbox(int(w>>8&255)))<<8 |
+				uint32(aesSbox(int(w>>16&255)))<<16 |
+				uint32(aesSbox(int(w>>24)))<<24
+			want := (sub ^ (sub << 1)) ^ 0x5A5A1234
+			if err := expectU32(mem, 256+aesN+i, want, "aes"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const aesN = 16 * 256
+
+// aesSbox is a deterministic stand-in substitution box.
+func aesSbox(b int) byte { return byte((b*167 + 89) ^ (b >> 4)) }

@@ -1,0 +1,189 @@
+package bench
+
+// NPB: IS (integer sort counting phase) and CG (conjugate gradient SpMV).
+
+// IS: counting phase of integer sort — atomic increments into 256 global
+// buckets keyed by the low byte of each key.
+var IS = register(&Benchmark{
+	Name:        "IS",
+	Suite:       "NPB",
+	Description: "integer sort bucket counting with global atomics",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r4, [0]        // &keys
+    ld.param r5, [4]        // &counts
+    shl r6, r3, 2
+    add r7, r4, r6
+    ld.global r8, [r7]
+    and r9, r8, 255
+    shl r10, r9, 2
+    add r11, r5, r10
+    mov r12, 1
+    atom.global.add r13, [r11], r12
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, isN * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(29)
+		for i := 0; i < isN; i++ {
+			mem[i] = r.next()
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(29)
+		want := make([]uint32, 256)
+		for i := 0; i < isN; i++ {
+			want[r.next()&255]++
+		}
+		for b := 0; b < 256; b++ {
+			if err := expectU32(mem, isN+b, want[b], "count"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const isN = 16 * 256
+
+// CG: ELLPACK sparse matrix-vector product (8 nonzeros per row, gathered
+// column indices) followed by a block-level shared-memory reduction of
+// the local dot product — the barrier-tiled pattern that benefits from
+// region extension in the paper.
+var CG = register(&Benchmark{
+	Name:               "CG",
+	Suite:              "NPB",
+	Description:        "conjugate-gradient SpMV + block dot-product reduction",
+	ExtensionCandidate: true,
+	Src: `
+.shared 512
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // row
+    ld.param r4, [0]          // &val
+    ld.param r5, [4]          // &col
+    ld.param r6, [8]          // &p
+    ld.param r7, [12]         // &q
+    ld.param r8, [16]         // &dot (per block)
+    shl r9, r3, 3             // row*8
+    fmul r10, r0, 0f          // acc = 0
+    mov r11, 0                // k
+LOOP:
+    add r12, r9, r11
+    shl r13, r12, 2
+    add r14, r4, r13
+    ld.global r15, [r14]      // val
+    add r16, r5, r13
+    ld.global r17, [r16]      // col index
+    shl r18, r17, 2
+    add r19, r6, r18
+    ld.global r20, [r19]      // p[col]  (gather)
+    fma r10, r15, r20, r10
+    add r11, r11, 1
+    setp.lt p0, r11, 8
+@p0 bra LOOP
+    shl r21, r3, 2
+    add r22, r7, r21
+    st.global [r22], r10      // q[row] = acc
+    // block reduction of acc*p[row] into shared
+    add r23, r6, r21
+    ld.global r24, [r23]      // p[row]
+    fmul r25, r10, r24
+    shl r26, r0, 2
+    st.shared [r26], r25
+    bar.sync
+    mov r27, 64
+RED:
+    setp.lt p1, r0, r27
+@!p1 bra SKIP
+    add r28, r0, r27
+    shl r29, r28, 2
+    ld.shared r30, [r29]
+    ld.shared r31, [r26]
+    fadd r32, r30, r31
+    st.shared [r26], r32
+SKIP:
+    bar.sync
+    shr r27, r27, 1
+    setp.gt p2, r27, 0
+@p2 bra RED
+    setp.eq p3, r0, 0
+@!p3 bra DONE
+    ld.shared r33, [r26]
+    shl r34, r1, 2
+    add r35, r8, r34
+    st.global [r35], r33
+DONE:
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 18,
+	Params: []uint32{
+		0,                     // val
+		cgRows * 8 * 4,        // col
+		cgRows * 8 * 8,        // p
+		cgRows*8*8 + cgRows*4, // q
+		cgRows*8*8 + cgRows*8, // dot
+	},
+	Setup: func(mem []uint32) {
+		r := lcg(31)
+		for i := 0; i < cgRows*8; i++ {
+			mem[i] = f(fmul(r.unitFloat(), 0.125))
+			mem[cgRows*8+i] = (r.next() * 2654435761) % cgRows
+		}
+		for i := 0; i < cgRows; i++ {
+			mem[2*cgRows*8+i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(31)
+		val := make([]float32, cgRows*8)
+		col := make([]uint32, cgRows*8)
+		p := make([]float32, cgRows)
+		for i := range val {
+			val[i] = fmul(r.unitFloat(), 0.125)
+			col[i] = (r.next() * 2654435761) % cgRows
+		}
+		for i := range p {
+			p[i] = r.unitFloat()
+		}
+		q := make([]float32, cgRows)
+		for row := 0; row < cgRows; row++ {
+			acc := float32(0)
+			for k := 0; k < 8; k++ {
+				acc = fmaf(val[row*8+k], p[col[row*8+k]], acc)
+			}
+			q[row] = acc
+			if err := expectF32(mem, 2*cgRows*8+cgRows+row, acc, "q"); err != nil {
+				return err
+			}
+		}
+		// Block reductions (tree order, 128 threads per block).
+		for blk := 0; blk < cgRows/128; blk++ {
+			s := make([]float32, 128)
+			for t := 0; t < 128; t++ {
+				row := blk*128 + t
+				s[t] = fmul(q[row], p[row])
+			}
+			for h := 64; h > 0; h >>= 1 {
+				for t := 0; t < h; t++ {
+					s[t] = fadd(s[t+h], s[t])
+				}
+			}
+			if err := expectF32(mem, 2*cgRows*8+2*cgRows+blk, s[0], "dot"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const cgRows = 16 * 128

@@ -1,0 +1,252 @@
+package bench
+
+// Parboil: SGEMM and LBM.
+
+// SGEMM: tiled dense matrix multiply through shared memory, the classic
+// barrier-in-loop tile pattern (and a III-E extension candidate).
+var SGEMM = register(&Benchmark{
+	Name:               "SGEMM",
+	Suite:              "Parboil",
+	Description:        "single-precision tiled matrix multiply",
+	ExtensionCandidate: true,
+	Src: `
+.shared 2048
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &A
+    ld.param r5, [4]        // &B
+    ld.param r6, [8]        // &C
+    ld.param r7, [12]       // N
+    shl r8, r3, 4
+    add r8, r8, r1          // row = by*16+ty
+    shl r9, r2, 4
+    add r9, r9, r0          // col = bx*16+tx
+    fmul r10, r0, 0f        // acc = 0 (bit trick: tx*0.0)
+    mov r11, 0              // m
+    shr r12, r7, 4          // tiles = N/16
+    shl r13, r1, 4          // ty*16
+    add r14, r13, r0        // ty*16+tx
+    shl r14, r14, 2         // shared offset of this thread's tile slot
+OUTER:
+    shl r15, r11, 4
+    add r16, r15, r0
+    mad r16, r8, r7, r16
+    shl r16, r16, 2
+    add r16, r4, r16
+    ld.global r17, [r16]    // A[row][m*16+tx]
+    st.shared [r14], r17    // As[ty][tx]
+    add r18, r15, r1
+    mad r18, r18, r7, r9
+    shl r18, r18, 2
+    add r18, r5, r18
+    ld.global r19, [r18]    // B[m*16+ty][col]
+    st.shared [r14+1024], r19 // Bs[ty][tx]
+    bar.sync
+    // fully unrolled k-loop (as nvcc does): As row base and Bs column base
+    shl r20, r13, 2         // &As[ty][0]
+    shl r21, r0, 2
+    add r21, r21, 1024      // &Bs[0][tx]
+    ld.shared r22, [r20]
+    ld.shared r23, [r21]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+4]
+    ld.shared r23, [r21+64]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+8]
+    ld.shared r23, [r21+128]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+12]
+    ld.shared r23, [r21+192]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+16]
+    ld.shared r23, [r21+256]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+20]
+    ld.shared r23, [r21+320]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+24]
+    ld.shared r23, [r21+384]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+28]
+    ld.shared r23, [r21+448]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+32]
+    ld.shared r23, [r21+512]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+36]
+    ld.shared r23, [r21+576]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+40]
+    ld.shared r23, [r21+640]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+44]
+    ld.shared r23, [r21+704]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+48]
+    ld.shared r23, [r21+768]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+52]
+    ld.shared r23, [r21+832]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+56]
+    ld.shared r23, [r21+896]
+    fma r10, r22, r23, r10
+    ld.shared r22, [r20+60]
+    ld.shared r23, [r21+960]
+    fma r10, r22, r23, r10
+    bar.sync
+    add r11, r11, 1
+    setp.lt p1, r11, r12
+@p1 bra OUTER
+    mad r25, r8, r7, r9
+    shl r25, r25, 2
+    add r25, r6, r25
+    st.global [r25], r10
+    exit
+`,
+	Grid:     d3(4, 4, 1),
+	Block:    d3(16, 16, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, sgemmN * sgemmN * 4, sgemmN * sgemmN * 8, sgemmN},
+	Setup: func(mem []uint32) {
+		r := lcg(11)
+		for i := 0; i < 2*sgemmN*sgemmN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		n := sgemmN
+		r := lcg(11)
+		a := make([]float32, n*n)
+		b := make([]float32, n*n)
+		for i := range a {
+			a[i] = r.unitFloat()
+		}
+		for i := range b {
+			b[i] = r.unitFloat()
+		}
+		// Mirror the kernel's accumulation order: tiles of 16 in m, then k.
+		for row := 0; row < n; row++ {
+			for col := 0; col < n; col++ {
+				acc := fmul(0, 0)
+				for m := 0; m < n/16; m++ {
+					for k := 0; k < 16; k++ {
+						acc = fmaf(a[row*n+m*16+k], b[(m*16+k)*n+col], acc)
+					}
+				}
+				if err := expectF32(mem, 2*n*n+row*n+col, acc, "C"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const sgemmN = 64
+
+// LBM: a D1Q3 lattice-Boltzmann stream-and-collide sweep on a ring:
+// strided loads, floating-point collision, scattered stores.
+var LBM = register(&Benchmark{
+	Name:        "LBM",
+	Suite:       "Parboil",
+	Description: "lattice-Boltzmann D1Q3 stream + collide",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0       // i
+    ld.param r4, [0]         // &f0
+    ld.param r5, [4]         // &f1
+    ld.param r6, [8]         // &f2
+    ld.param r7, [12]        // &g0
+    ld.param r8, [16]        // &g1
+    ld.param r9, [20]        // &g2
+    ld.param r10, [24]       // n-1 (mask, n power of two)
+    shl r11, r3, 2
+    add r12, r4, r11
+    ld.global r13, [r12]     // c  = f0[i]
+    add r14, r5, r11
+    ld.global r15, [r14]     // e  = f1[i]
+    add r16, r6, r11
+    ld.global r17, [r16]     // w  = f2[i]
+    fadd r18, r13, r15
+    fadd r18, r18, r17       // rho
+    fsub r19, r15, r17       // u
+    fmul r20, r18, 0.5f      // feq0
+    fmul r21, r18, 0.25f
+    fmul r22, r19, 0.5f
+    fadd r23, r21, r22       // feq1
+    fsub r24, r21, r22       // feq2
+    fsub r25, r20, r13
+    fma r26, r25, 0.8f, r13  // g0v = f0 + omega*(feq0-f0)
+    fsub r27, r23, r15
+    fma r28, r27, 0.8f, r15  // g1v
+    fsub r29, r24, r17
+    fma r30, r29, 0.8f, r17  // g2v
+    add r31, r7, r11
+    st.global [r31], r26
+    add r32, r3, 1
+    and r33, r32, r10        // (i+1) mod n
+    shl r34, r33, 2
+    add r35, r8, r34
+    st.global [r35], r28     // stream right
+    add r36, r3, r10         // i-1 mod n  (i + (n-1) & mask)
+    and r37, r36, r10
+    shl r38, r37, 2
+    add r39, r9, r38
+    st.global [r39], r30     // stream left
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 18,
+	Params: []uint32{
+		0, lbmN * 4, lbmN * 8, lbmN * 12, lbmN * 16, lbmN * 20, lbmN - 1,
+	},
+	Setup: func(mem []uint32) {
+		r := lcg(13)
+		for i := 0; i < 3*lbmN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(13)
+		fv := make([][]float32, 3)
+		for d := range fv {
+			fv[d] = make([]float32, lbmN)
+		}
+		for d := 0; d < 3; d++ {
+			for i := 0; i < lbmN; i++ {
+				fv[d][i] = r.unitFloat()
+			}
+		}
+		for i := 0; i < lbmN; i++ {
+			c, e, w := fv[0][i], fv[1][i], fv[2][i]
+			rho := fadd(fadd(c, e), w)
+			u := fsub(e, w)
+			feq0 := fmul(rho, 0.5)
+			h := fmul(rho, 0.25)
+			uh := fmul(u, 0.5)
+			feq1 := fadd(h, uh)
+			feq2 := fsub(h, uh)
+			g0 := fmaf(fsub(feq0, c), 0.8, c)
+			g1 := fmaf(fsub(feq1, e), 0.8, e)
+			g2 := fmaf(fsub(feq2, w), 0.8, w)
+			if err := expectF32(mem, 3*lbmN+i, g0, "g0"); err != nil {
+				return err
+			}
+			if err := expectF32(mem, 4*lbmN+(i+1)%lbmN, g1, "g1"); err != nil {
+				return err
+			}
+			if err := expectF32(mem, 5*lbmN+(i-1+lbmN)%lbmN, g2, "g2"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const lbmN = 16 * 256

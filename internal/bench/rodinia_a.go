@@ -1,0 +1,510 @@
+package bench
+
+import (
+	"flame/internal/core"
+	"flame/internal/isa"
+)
+
+// Rodinia, part A: BP, BFS, Gaussian, Hotspot, LavaMD.
+
+// BP: backpropagation as a two-kernel application: a forward pass
+// computes each hidden unit's error term, then the weight-adjust pass
+// applies w += eta*delta*x (read-modify-write sweeps over the weight
+// matrix).
+var BP = register(&Benchmark{
+	Name:        "BP",
+	Suite:       "Rodinia",
+	Description: "backpropagation: forward error term + weight update",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0       // j (hidden unit)
+    ld.param r4, [0]         // &w  (J x K)
+    ld.param r5, [4]         // &x  (K)
+    ld.param r6, [8]         // &delta (J, output)
+    ld.param r7, [12]        // K
+    mul r8, r3, r7           // j*K
+    fmul r9, r0, 0f          // acc = 0
+    mov r10, 0               // k
+FWD:
+    add r11, r8, r10
+    shl r12, r11, 2
+    add r13, r4, r12
+    ld.global r14, [r13]     // w[j][k]
+    shl r15, r10, 2
+    add r16, r5, r15
+    ld.global r17, [r16]     // x[k]
+    fma r9, r14, r17, r9
+    add r10, r10, 1
+    setp.lt p0, r10, r7
+@p0 bra FWD
+    fmul r18, r9, -1.4427f
+    exp2 r19, r18
+    fadd r20, r19, 1.0f
+    rcp r21, r20             // h = sigmoid(acc)
+    fmul r22, r21, 0.5f      // delta = 0.5*h (simplified error term)
+    shl r23, r3, 2
+    add r24, r6, r23
+    st.global [r24], r22
+    exit
+`,
+	Grid:  d3(8, 1, 1),
+	Block: d3(128, 1, 1),
+	Steps: []core.Step{{
+		Prog: isa.MustParse("bp-update", `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0       // j
+    ld.param r4, [0]         // &w
+    ld.param r5, [4]         // &x
+    ld.param r6, [8]         // &delta
+    ld.param r7, [12]        // K
+    shl r8, r3, 2
+    add r9, r6, r8
+    ld.global r10, [r9]      // delta[j]
+    fmul r11, r10, 0.25f     // eta*delta
+    mul r12, r3, r7
+    mov r13, 0
+LOOP:
+    shl r14, r13, 2
+    add r15, r5, r14
+    ld.global r16, [r15]     // x[k]
+    add r17, r12, r13
+    shl r18, r17, 2
+    add r19, r4, r18
+    ld.global r20, [r19]     // w[j][k]
+    fma r21, r11, r16, r20
+    st.global [r19], r21
+    add r13, r13, 1
+    setp.lt p0, r13, r7
+@p0 bra LOOP
+    exit
+`),
+		Grid:   d3(8, 1, 1),
+		Block:  d3(128, 1, 1),
+		Params: []uint32{0, bpJ * bpK * 4, bpJ*bpK*4 + bpK*4, bpK},
+	}},
+	MemBytes: 1 << 19,
+	Params:   []uint32{0, bpJ * bpK * 4, bpJ*bpK*4 + bpK*4, bpK},
+	Setup: func(mem []uint32) {
+		r := lcg(61)
+		for i := 0; i < bpJ*bpK+bpK; i++ {
+			mem[i] = f(fmul(r.unitFloat(), 0.5))
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(61)
+		w := make([]float32, bpJ*bpK)
+		x := make([]float32, bpK)
+		for i := range w {
+			w[i] = fmul(r.unitFloat(), 0.5)
+		}
+		for i := range x {
+			x[i] = fmul(r.unitFloat(), 0.5)
+		}
+		for j := 0; j < bpJ; j++ {
+			acc := float32(0)
+			for k := 0; k < bpK; k++ {
+				acc = fmaf(w[j*bpK+k], x[k], acc)
+			}
+			h := frcp(fadd(fexp2(fmul(acc, -1.4427)), 1))
+			delta := fmul(h, 0.5)
+			if err := expectF32(mem, bpJ*bpK+bpK+j, delta, "delta"); err != nil {
+				return err
+			}
+			ed := fmul(delta, 0.25)
+			for k := 0; k < bpK; k++ {
+				want := fmaf(ed, x[k], w[j*bpK+k])
+				if err := expectF32(mem, j*bpK+k, want, "w"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const (
+	bpJ = 8 * 128
+	bpK = 32
+)
+
+// BFS: one level of frontier expansion over a synthetic graph —
+// divergent control flow and scattered (gather/scatter) accesses.
+var BFS = register(&Benchmark{
+	Name:        "BFS",
+	Suite:       "Rodinia",
+	Description: "breadth-first search frontier expansion",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // node
+    ld.param r4, [0]          // &adj (2 per node)
+    ld.param r5, [4]          // &frontier
+    ld.param r6, [8]          // &visited
+    ld.param r7, [12]         // &cost
+    ld.param r8, [16]         // &next frontier
+    shl r9, r3, 2
+    add r10, r5, r9
+    ld.global r11, [r10]      // frontier[node]
+    setp.eq p0, r11, 1
+@!p0 bra DONE
+    add r12, r7, r9
+    ld.global r13, [r12]      // cost[node]
+    add r14, r13, 1
+    shl r15, r3, 3            // node*8 (two adj words)
+    add r16, r4, r15
+    ld.global r17, [r16]      // nb0
+    ld.global r18, [r16+4]    // nb1
+    shl r19, r17, 2
+    add r20, r6, r19
+    ld.global r21, [r20]      // visited[nb0]
+    setp.eq p1, r21, 0
+@!p1 bra SECOND
+    add r22, r7, r19
+    st.global [r22], r14      // cost[nb0] = cost+1
+    add r23, r8, r19
+    mov r24, 1
+    st.global [r23], r24      // next[nb0] = 1
+SECOND:
+    shl r25, r18, 2
+    add r26, r6, r25
+    ld.global r27, [r26]
+    setp.eq p2, r27, 0
+@!p2 bra DONE
+    add r28, r7, r25
+    st.global [r28], r14
+    add r29, r8, r25
+    mov r30, 1
+    st.global [r29], r30
+DONE:
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 18,
+	Params: []uint32{
+		0, bfsN * 8, bfsN*8 + bfsN*4, bfsN*8 + bfsN*8, bfsN*8 + bfsN*12,
+	},
+	Setup: func(mem []uint32) {
+		for i := 0; i < bfsN; i++ {
+			mem[2*i] = uint32((i*7 + 1) % bfsN)
+			mem[2*i+1] = uint32((i*3 + 5) % bfsN)
+			fr := uint32(0)
+			vis := uint32(0)
+			if i%16 == 0 {
+				fr, vis = 1, 1
+			}
+			mem[2*bfsN+i] = fr  // frontier
+			mem[3*bfsN+i] = vis // visited
+			mem[4*bfsN+i] = 0   // cost
+			mem[5*bfsN+i] = 0   // next
+		}
+	},
+	Validate: func(mem []uint32) error {
+		cost := make([]uint32, bfsN)
+		next := make([]uint32, bfsN)
+		visited := func(v int) bool { return v%16 == 0 }
+		for node := 0; node < bfsN; node++ {
+			if node%16 != 0 {
+				continue
+			}
+			for _, nb := range []int{(node*7 + 1) % bfsN, (node*3 + 5) % bfsN} {
+				if !visited(nb) {
+					cost[nb] = 1
+					next[nb] = 1
+				}
+			}
+		}
+		for i := 0; i < bfsN; i++ {
+			if err := expectU32(mem, 4*bfsN+i, cost[i], "cost"); err != nil {
+				return err
+			}
+			if err := expectU32(mem, 5*bfsN+i, next[i], "next"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const bfsN = 16 * 256
+
+// Gaussian: one elimination step (k=0) of Gaussian elimination over a
+// 2D thread grid.
+var Gaussian = register(&Benchmark{
+	Name:        "Gaussian",
+	Suite:       "Rodinia",
+	Description: "Gaussian elimination update step",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &A
+    ld.param r5, [4]        // &out
+    ld.param r6, [8]        // N
+    shl r7, r2, 4
+    add r7, r7, r0          // j (column)
+    shl r8, r3, 4
+    add r8, r8, r1          // i (row)
+    setp.eq p0, r8, 0
+@p0 bra COPY
+    mul r9, r8, r6
+    shl r10, r9, 2
+    add r11, r4, r10
+    ld.global r12, [r11]    // A[i][0]
+    ld.global r13, [r4]     // A[0][0]
+    fdiv r14, r12, r13      // m
+    mad r15, r8, r6, r7
+    shl r16, r15, 2
+    add r17, r4, r16
+    ld.global r18, [r17]    // A[i][j]
+    shl r19, r7, 2
+    add r20, r4, r19
+    ld.global r21, [r20]    // A[0][j]
+    fmul r22, r21, r14
+    fsub r23, r18, r22
+    add r24, r5, r16
+    st.global [r24], r23
+    exit
+COPY:
+    mad r25, r8, r6, r7
+    shl r26, r25, 2
+    add r27, r4, r26
+    ld.global r28, [r27]
+    add r29, r5, r26
+    st.global [r29], r28
+    exit
+`,
+	Grid:     d3(4, 4, 1),
+	Block:    d3(16, 16, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, gaussN * gaussN * 4, gaussN},
+	Setup: func(mem []uint32) {
+		r := lcg(67)
+		for i := 0; i < gaussN*gaussN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		n := gaussN
+		r := lcg(67)
+		a := make([]float32, n*n)
+		for i := range a {
+			a[i] = r.unitFloat()
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := a[i*n+j]
+				if i != 0 {
+					m := fdiv(a[i*n], a[0])
+					want = fsub(a[i*n+j], fmul(a[j], m))
+				}
+				if err := expectF32(mem, n*n+i*n+j, want, "A'"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const gaussN = 64
+
+// Hotspot: 2D thermal simulation — 5-point stencil plus a power term.
+var Hotspot = register(&Benchmark{
+	Name:        "Hotspot",
+	Suite:       "Rodinia",
+	Description: "thermal 5-point stencil with power input",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &temp
+    ld.param r5, [4]        // &power
+    ld.param r6, [8]        // &out
+    ld.param r7, [12]       // N
+    shl r8, r2, 4
+    add r8, r8, r0          // x
+    shl r9, r3, 4
+    add r9, r9, r1          // y
+    sub r10, r7, 1
+    add r11, r8, 1
+    min r11, r11, r10       // x+1 clamped
+    sub r12, r8, 1
+    max r12, r12, 0
+    add r13, r9, 1
+    min r13, r13, r10
+    sub r14, r9, 1
+    max r14, r14, 0
+    mad r15, r9, r7, r8     // idx
+    shl r16, r15, 2
+    add r17, r4, r16
+    ld.global r18, [r17]    // T
+    mad r19, r9, r7, r11
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r22, [r21]    // E
+    mad r19, r9, r7, r12
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r23, [r21]    // W
+    mad r19, r13, r7, r8
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r24, [r21]    // S
+    mad r19, r14, r7, r8
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r25, [r21]    // N
+    add r26, r5, r16
+    ld.global r27, [r26]    // P
+    fadd r28, r22, r23
+    fadd r28, r28, r24
+    fadd r28, r28, r25
+    fmul r29, r18, 4.0f
+    fsub r30, r28, r29
+    fma r31, r30, 0.05f, r18
+    fadd r32, r31, r27
+    add r33, r6, r16
+    st.global [r33], r32
+    exit
+`,
+	Grid:     d3(4, 4, 1),
+	Block:    d3(16, 16, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, hotN * hotN * 4, hotN * hotN * 8, hotN},
+	Setup: func(mem []uint32) {
+		r := lcg(71)
+		for i := 0; i < 2*hotN*hotN; i++ {
+			mem[i] = f(fmul(r.unitFloat(), 0.5))
+		}
+	},
+	Validate: func(mem []uint32) error {
+		n := hotN
+		r := lcg(71)
+		tp := make([]float32, n*n)
+		pw := make([]float32, n*n)
+		for i := range tp {
+			tp[i] = fmul(r.unitFloat(), 0.5)
+		}
+		for i := range pw {
+			pw[i] = fmul(r.unitFloat(), 0.5)
+		}
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v > n-1 {
+				return n - 1
+			}
+			return v
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				T := tp[y*n+x]
+				sum := fadd(fadd(fadd(tp[y*n+clamp(x+1)], tp[y*n+clamp(x-1)]), tp[clamp(y+1)*n+x]), tp[clamp(y-1)*n+x])
+				want := fadd(fmaf(fsub(sum, fmul(T, 4)), 0.05, T), pw[y*n+x])
+				if err := expectF32(mem, 2*n*n+y*n+x, want, "T'"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const hotN = 64
+
+// LavaMD: short-range particle interactions — an rsqrt-heavy force
+// accumulation loop over a fixed neighbour set.
+var LavaMD = register(&Benchmark{
+	Name:        "LavaMD",
+	Suite:       "Rodinia",
+	Description: "molecular dynamics force accumulation (rsqrt-heavy)",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // i
+    ld.param r4, [0]          // &x
+    ld.param r5, [4]          // &y
+    ld.param r6, [8]          // &fx out
+    ld.param r7, [12]         // n-1 mask
+    shl r8, r3, 2
+    add r9, r4, r8
+    ld.global r10, [r9]       // xi
+    add r11, r5, r8
+    ld.global r12, [r11]      // yi
+    fmul r13, r0, 0f          // f = 0
+    mov r14, 0                // j
+LOOP:
+    add r15, r3, r14
+    add r15, r15, 1
+    and r16, r15, r7          // neighbour index
+    shl r17, r16, 2
+    add r18, r4, r17
+    ld.global r19, [r18]      // xj
+    add r20, r5, r17
+    ld.global r21, [r20]      // yj
+    fsub r22, r19, r10        // dx
+    fsub r23, r21, r12        // dy
+    fmul r24, r22, r22
+    fma r24, r23, r23, r24
+    fadd r25, r24, 0.01f      // r2 + eps
+    rsqrt r26, r25
+    fmul r27, r26, r26
+    fmul r28, r27, r26        // 1/r^3
+    fma r13, r22, r28, r13    // f += dx/r^3
+    add r14, r14, 1
+    setp.lt p0, r14, 16
+@p0 bra LOOP
+    add r29, r6, r8
+    st.global [r29], r13
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, lavaN * 4, lavaN * 8, lavaN - 1},
+	Setup: func(mem []uint32) {
+		r := lcg(73)
+		for i := 0; i < 2*lavaN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(73)
+		x := make([]float32, lavaN)
+		y := make([]float32, lavaN)
+		for i := range x {
+			x[i] = r.unitFloat()
+		}
+		for i := range y {
+			y[i] = r.unitFloat()
+		}
+		for i := 0; i < lavaN; i++ {
+			fv := float32(0)
+			for j := 0; j < 16; j++ {
+				nb := (i + j + 1) & (lavaN - 1)
+				dx := fsub(x[nb], x[i])
+				dy := fsub(y[nb], y[i])
+				r2 := fadd(fmaf(dy, dy, fmul(dx, dx)), 0.01)
+				inv := frsqrt(r2)
+				inv3 := fmul(fmul(inv, inv), inv)
+				fv = fmaf(dx, inv3, fv)
+			}
+			if err := expectF32(mem, 2*lavaN+i, fv, "fx"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const lavaN = 8 * 128

@@ -1,0 +1,702 @@
+package bench
+
+import (
+	"flame/internal/core"
+	"flame/internal/isa"
+)
+
+// Rodinia, part B: LUD, NW, PF, SRAD, SC.
+
+// LUD: LU decomposition of an independent 16x16 tile per block, with two
+// barriers inside the k-loop — the paper's headline beneficiary of the
+// region-extension optimization (15% -> 6.4% overhead).
+var LUD = register(&Benchmark{
+	Name:               "LUD",
+	Suite:              "Rodinia",
+	Description:        "blocked LU decomposition (barrier-dense k-loop)",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x            // tx
+    mov r1, %tid.y            // ty
+    mov r2, %ctaid.x          // tile index
+    ld.param r3, [0]          // &A (tiles back to back)
+    ld.param r4, [4]          // &out
+    shl r5, r2, 8             // tile*256
+    shl r6, r1, 4
+    add r7, r6, r0            // ty*16+tx
+    add r8, r5, r7
+    shl r9, r8, 2
+    add r10, r3, r9
+    ld.global r11, [r10]
+    shl r12, r7, 2
+    st.shared [r12], r11      // tile[ty][tx]
+    bar.sync
+    mov r13, 0                // k
+KLOOP:
+    setp.eq p0, r0, r13
+@!p0 bra NOSCALE
+    setp.gt p1, r1, r13
+@!p1 bra NOSCALE
+    shl r14, r13, 4
+    add r15, r14, r13         // k*16+k
+    shl r16, r15, 2
+    ld.shared r17, [r16]      // tile[k][k]
+    add r18, r6, r13          // ty*16+k
+    shl r19, r18, 2
+    ld.shared r20, [r19]
+    fdiv r21, r20, r17
+    st.shared [r19], r21      // tile[ty][k] /= pivot
+NOSCALE:
+    bar.sync
+    setp.gt p2, r0, r13
+@!p2 bra NOUPD
+    setp.gt p3, r1, r13
+@!p3 bra NOUPD
+    add r22, r6, r13
+    shl r23, r22, 2
+    ld.shared r24, [r23]      // tile[ty][k]
+    shl r25, r13, 4
+    add r26, r25, r0
+    shl r27, r26, 2
+    ld.shared r28, [r27]      // tile[k][tx]
+    ld.shared r29, [r12]      // tile[ty][tx]
+    fmul r30, r24, r28
+    fsub r31, r29, r30
+    st.shared [r12], r31
+NOUPD:
+    bar.sync
+    add r13, r13, 1
+    setp.lt p4, r13, 15
+@p4 bra KLOOP
+    ld.shared r32, [r12]
+    add r33, r4, r9
+    st.global [r33], r32
+    exit
+`,
+	Grid:     d3(48, 1, 1),
+	Block:    d3(16, 16, 1),
+	MemBytes: 1 << 18,
+	Params:   []uint32{0, ludTiles * 256 * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(79)
+		for t := 0; t < ludTiles; t++ {
+			for i := 0; i < 256; i++ {
+				v := r.unitFloat()
+				if i%17 == 0 {
+					v = fadd(v, 4) // diagonally dominant pivots
+				}
+				mem[t*256+i] = f(v)
+			}
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(79)
+		for t := 0; t < ludTiles; t++ {
+			var tile [256]float32
+			for i := 0; i < 256; i++ {
+				v := r.unitFloat()
+				if i%17 == 0 {
+					v = fadd(v, 4)
+				}
+				tile[i] = v
+			}
+			for k := 0; k < 15; k++ {
+				pivot := tile[k*16+k]
+				for ty := k + 1; ty < 16; ty++ {
+					tile[ty*16+k] = fdiv(tile[ty*16+k], pivot)
+				}
+				for ty := k + 1; ty < 16; ty++ {
+					for tx := k + 1; tx < 16; tx++ {
+						tile[ty*16+tx] = fsub(tile[ty*16+tx], fmul(tile[ty*16+k], tile[k*16+tx]))
+					}
+				}
+			}
+			for i := 0; i < 256; i++ {
+				if err := expectF32(mem, ludTiles*256+t*256+i, tile[i], "lu"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const ludTiles = 48
+
+// NW: Needleman-Wunsch sequence alignment — anti-diagonal dynamic
+// programming over a shared 17x17 score matrix, one barrier per wave.
+var NW = register(&Benchmark{
+	Name:               "NW",
+	Suite:              "Rodinia",
+	Description:        "Needleman-Wunsch anti-diagonal DP over shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1160
+    mov r0, %tid.x            // t in [0,16)
+    mov r1, %ctaid.x          // pair index
+    ld.param r2, [0]          // &sim (16x16 per block)
+    ld.param r3, [4]          // &out (17x17 per block)
+    // init borders: s[0][t+1] = -(t+1); s[t+1][0] = -(t+1); s[0][0]=0
+    add r4, r0, 1
+    shl r5, r4, 2             // (t+1)*4 -> s[0][t+1]
+    sub r6, 0, r4
+    st.shared [r5], r6
+    mul r7, r4, 17
+    shl r8, r7, 2             // s[t+1][0]
+    st.shared [r8], r6
+    setp.eq p0, r0, 0
+@!p0 bra INITDONE
+    mov r9, 0
+    st.shared [0], r9
+INITDONE:
+    bar.sync
+    mov r10, 0                // d (wave)
+WAVE:
+    setp.leu p1, r0, r10
+@!p1 bra WSKIP
+    sub r11, r10, r0
+    setp.lt p2, r11, 16
+@!p2 bra WSKIP
+    add r12, r0, 1            // i = t+1
+    add r13, r11, 1           // j = d-t+1
+    // sim[blk][i-1][j-1]
+    shl r14, r1, 8
+    shl r15, r0, 4
+    add r16, r15, r11
+    add r17, r14, r16
+    shl r18, r17, 2
+    add r19, r2, r18
+    ld.global r20, [r19]      // sim value
+    sub r21, r12, 1
+    mul r22, r21, 17
+    add r23, r22, r13
+    sub r24, r23, 1           // (i-1)*17 + j-1
+    shl r25, r24, 2
+    ld.shared r26, [r25]      // diag
+    shl r27, r23, 2
+    ld.shared r28, [r27]      // up: (i-1)*17+j
+    mul r29, r12, 17
+    add r30, r29, r13
+    sub r31, r30, 1
+    shl r32, r31, 2
+    ld.shared r33, [r32]      // left: i*17+j-1
+    add r34, r26, r20         // diag + sim
+    sub r35, r28, 1           // up - penalty
+    sub r36, r33, 1           // left - penalty
+    max r37, r34, r35
+    max r37, r37, r36
+    shl r38, r30, 2
+    st.shared [r38], r37      // s[i][j]
+WSKIP:
+    bar.sync
+    add r10, r10, 1
+    setp.lt p3, r10, 31
+@p3 bra WAVE
+    // write out row t+1 (and row 0 from thread 0)
+    mov r39, 0
+OUT:
+    mul r40, r4, 17
+    add r41, r40, r39
+    shl r42, r41, 2
+    ld.shared r43, [r42]
+    mul r44, r1, 289
+    add r45, r44, r41
+    shl r46, r45, 2
+    add r47, r3, r46
+    st.global [r47], r43
+    add r39, r39, 1
+    setp.lt p4, r39, 17
+@p4 bra OUT
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(16, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, nwBlocks * 256 * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(83)
+		for i := 0; i < nwBlocks*256; i++ {
+			mem[i] = uint32(int32(r.next()%7) - 3)
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(83)
+		for blk := 0; blk < nwBlocks; blk++ {
+			var sim [16][16]int32
+			for i := 0; i < 16; i++ {
+				for j := 0; j < 16; j++ {
+					sim[i][j] = int32(r.next()%7) - 3
+				}
+			}
+			var s [17][17]int32
+			for i := 1; i <= 16; i++ {
+				s[0][i] = int32(-i)
+				s[i][0] = int32(-i)
+			}
+			for i := 1; i <= 16; i++ {
+				for j := 1; j <= 16; j++ {
+					v := s[i-1][j-1] + sim[i-1][j-1]
+					if up := s[i-1][j] - 1; up > v {
+						v = up
+					}
+					if left := s[i][j-1] - 1; left > v {
+						v = left
+					}
+					s[i][j] = v
+				}
+			}
+			for i := 1; i <= 16; i++ {
+				for j := 0; j <= 16; j++ {
+					want := uint32(s[i][j])
+					if err := expectU32(mem, nwBlocks*256+blk*289+i*17+j, want, "nw"); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const nwBlocks = 16
+
+// PF: pathfinder — row-by-row dynamic programming over shared memory
+// with two barriers per row.
+var PF = register(&Benchmark{
+	Name:               "PF",
+	Suite:              "Rodinia",
+	Description:        "pathfinder row DP with shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 512
+    mov r0, %tid.x            // col in [0,128)
+    mov r1, %ctaid.x
+    ld.param r2, [0]          // &data (rows x cols per block)
+    ld.param r3, [4]          // &out
+    shl r4, r1, 10            // block base = blk*1024 words
+    add r5, r4, r0
+    shl r6, r5, 2
+    add r7, r2, r6
+    ld.global r8, [r7]        // data[0][col]
+    shl r9, r0, 2
+    st.shared [r9], r8
+    bar.sync
+    mov r10, 1                // row
+ROW:
+    sub r11, r0, 1
+    max r11, r11, 0
+    shl r12, r11, 2
+    ld.shared r13, [r12]      // left
+    ld.shared r14, [r9]       // mid
+    add r15, r0, 1
+    min r15, r15, 127
+    shl r16, r15, 2
+    ld.shared r17, [r16]      // right
+    min r18, r13, r14
+    min r18, r18, r17
+    shl r19, r10, 7           // row*128
+    add r20, r19, r0
+    add r21, r4, r20
+    shl r22, r21, 2
+    add r23, r2, r22
+    ld.global r24, [r23]      // data[row][col]
+    add r25, r24, r18
+    bar.sync
+    st.shared [r9], r25
+    bar.sync
+    add r10, r10, 1
+    setp.lt p0, r10, 8
+@p0 bra ROW
+    ld.shared r26, [r9]
+    shl r27, r1, 7
+    add r28, r27, r0
+    shl r29, r28, 2
+    add r30, r3, r29
+    st.global [r30], r26
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, pfBlocks * 1024 * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(89)
+		for i := 0; i < pfBlocks*1024; i++ {
+			mem[i] = r.next() & 63
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(89)
+		for blk := 0; blk < pfBlocks; blk++ {
+			var data [8][128]int32
+			for row := 0; row < 8; row++ {
+				for c := 0; c < 128; c++ {
+					data[row][c] = int32(r.next() & 63)
+				}
+			}
+			prev := data[0]
+			for row := 1; row < 8; row++ {
+				var cur [128]int32
+				for c := 0; c < 128; c++ {
+					l, m, rr := c-1, c, c+1
+					if l < 0 {
+						l = 0
+					}
+					if rr > 127 {
+						rr = 127
+					}
+					best := prev[l]
+					if prev[m] < best {
+						best = prev[m]
+					}
+					if prev[rr] < best {
+						best = prev[rr]
+					}
+					cur[c] = data[row][c] + best
+				}
+				prev = cur
+			}
+			for c := 0; c < 128; c++ {
+				if err := expectU32(mem, pfBlocks*1024+blk*128+c, uint32(prev[c]), "pf"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const pfBlocks = 16
+
+// SRAD: speckle-reducing anisotropic diffusion — a gradient stencil with
+// a long floating-point coefficient chain per pixel.
+var SRAD = register(&Benchmark{
+	Name:        "SRAD",
+	Suite:       "Rodinia",
+	Description: "speckle-reducing diffusion: coefficient pass + update pass",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &img
+    ld.param r5, [4]        // &out
+    ld.param r6, [8]        // N
+    shl r7, r2, 4
+    add r7, r7, r0          // x
+    shl r8, r3, 4
+    add r8, r8, r1          // y
+    sub r9, r6, 1
+    add r10, r7, 1
+    min r10, r10, r9
+    sub r11, r7, 1
+    max r11, r11, 0
+    add r12, r8, 1
+    min r12, r12, r9
+    sub r13, r8, 1
+    max r13, r13, 0
+    mad r14, r8, r6, r7
+    shl r15, r14, 2
+    add r16, r4, r15
+    ld.global r17, [r16]    // J
+    mad r18, r8, r6, r10
+    shl r19, r18, 2
+    add r20, r4, r19
+    ld.global r21, [r20]
+    fsub r22, r21, r17      // dE
+    mad r18, r8, r6, r11
+    shl r19, r18, 2
+    add r20, r4, r19
+    ld.global r23, [r20]
+    fsub r24, r23, r17      // dW
+    mad r18, r12, r6, r7
+    shl r19, r18, 2
+    add r20, r4, r19
+    ld.global r25, [r20]
+    fsub r26, r25, r17      // dS
+    mad r18, r13, r6, r7
+    shl r19, r18, 2
+    add r20, r4, r19
+    ld.global r27, [r20]
+    fsub r28, r27, r17      // dN
+    fmul r29, r22, r22
+    fma r29, r24, r24, r29
+    fma r29, r26, r26, r29
+    fma r29, r28, r28, r29  // G2 sum
+    fmul r30, r17, r17
+    rcp r31, r30
+    fmul r32, r29, r31      // normalized G2
+    fadd r33, r22, r24
+    fadd r33, r33, r26
+    fadd r33, r33, r28      // L sum
+    rcp r34, r17
+    fmul r35, r33, r34      // L/J
+    fmul r36, r35, r35
+    fmul r37, r36, 0.0625f
+    fmul r38, r32, 0.5f
+    fsub r39, r38, r37      // num
+    fma r40, r35, 0.25f, 1.0f
+    fmul r41, r40, r40      // den
+    fdiv r42, r39, r41      // q
+    fadd r43, r42, 1.0f
+    rcp r44, r43            // c
+    fmul r45, r0, 0f
+    fmax r46, r44, r45      // clamp to [0,1]
+    fadd r47, r45, 1.0f
+    fmin r48, r46, r47
+    add r52, r5, r15
+    st.global [r52], r48    // coefficient image c
+    exit
+`,
+	Grid:  d3(4, 4, 1),
+	Block: d3(16, 16, 1),
+	Steps: []core.Step{{
+		// Second pass: diffuse using the coefficient image (Rodinia's
+		// srad2 kernel), writing the updated image.
+		Prog: isa.MustParse("srad-update", `
+    mov r0, %tid.x
+    mov r1, %tid.y
+    mov r2, %ctaid.x
+    mov r3, %ctaid.y
+    ld.param r4, [0]        // &img
+    ld.param r5, [4]        // &c
+    ld.param r6, [8]        // &out
+    ld.param r7, [12]       // N
+    shl r8, r2, 4
+    add r8, r8, r0          // x
+    shl r9, r3, 4
+    add r9, r9, r1          // y
+    sub r10, r7, 1
+    add r11, r8, 1
+    min r11, r11, r10       // xE
+    add r12, r9, 1
+    min r12, r12, r10       // yS
+    sub r13, r8, 1
+    max r13, r13, 0         // xW
+    sub r14, r9, 1
+    max r14, r14, 0         // yN
+    mad r15, r9, r7, r8     // idx
+    shl r16, r15, 2
+    add r17, r4, r16
+    ld.global r18, [r17]    // J
+    mad r19, r9, r7, r11
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r22, [r21]
+    fsub r23, r22, r18      // dE
+    add r24, r5, r20
+    ld.global r25, [r24]    // cE
+    mad r19, r12, r7, r8
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r26, [r21]
+    fsub r27, r26, r18      // dS
+    add r28, r5, r20
+    ld.global r29, [r28]    // cS
+    mad r19, r9, r7, r13
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r30, [r21]
+    fsub r31, r30, r18      // dW
+    mad r19, r14, r7, r8
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r32, [r21]
+    fsub r33, r32, r18      // dN
+    add r34, r5, r16
+    ld.global r35, [r34]    // c at own pixel (used for W and N flux)
+    fmul r36, r25, r23      // cE*dE
+    fma r36, r29, r27, r36  // + cS*dS
+    fma r36, r35, r31, r36  // + c*dW
+    fma r36, r35, r33, r36  // + c*dN
+    fma r37, r36, 0.0625f, r18
+    add r38, r6, r16
+    st.global [r38], r37
+    exit
+`),
+		Grid:   d3(4, 4, 1),
+		Block:  d3(16, 16, 1),
+		Params: []uint32{0, sradN * sradN * 4, sradN * sradN * 8, sradN},
+	}},
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, sradN * sradN * 4, sradN},
+	Setup: func(mem []uint32) {
+		r := lcg(97)
+		for i := 0; i < sradN*sradN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		n := sradN
+		r := lcg(97)
+		img := make([]float32, n*n)
+		for i := range img {
+			img[i] = r.unitFloat()
+		}
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v > n-1 {
+				return n - 1
+			}
+			return v
+		}
+		cimg := make([]float32, n*n)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				J := img[y*n+x]
+				dE := fsub(img[y*n+clamp(x+1)], J)
+				dW := fsub(img[y*n+clamp(x-1)], J)
+				dS := fsub(img[clamp(y+1)*n+x], J)
+				dN := fsub(img[clamp(y-1)*n+x], J)
+				g2 := fmaf(dN, dN, fmaf(dS, dS, fmaf(dW, dW, fmul(dE, dE))))
+				g2n := fmul(g2, frcp(fmul(J, J)))
+				L := fadd(fadd(fadd(dE, dW), dS), dN)
+				lj := fmul(L, frcp(J))
+				num := fsub(fmul(g2n, 0.5), fmul(fmul(lj, lj), 0.0625))
+				den := fmaf(lj, 0.25, 1)
+				q := fdiv(num, fmul(den, den))
+				c := frcp(fadd(q, 1))
+				c = fmin32(fmax32(c, 0), 1)
+				cimg[y*n+x] = c
+				if err := expectF32(mem, n*n+y*n+x, c, "c"); err != nil {
+					return err
+				}
+			}
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				J := img[y*n+x]
+				dE := fsub(img[y*n+clamp(x+1)], J)
+				dS := fsub(img[clamp(y+1)*n+x], J)
+				dW := fsub(img[y*n+clamp(x-1)], J)
+				dN := fsub(img[clamp(y-1)*n+x], J)
+				cE := cimg[y*n+clamp(x+1)]
+				cS := cimg[clamp(y+1)*n+x]
+				cc := cimg[y*n+x]
+				flux := fmul(cE, dE)
+				flux = fmaf(cS, dS, flux)
+				flux = fmaf(cc, dW, flux)
+				flux = fmaf(cc, dN, flux)
+				want := fmaf(flux, 0.0625, J)
+				if err := expectF32(mem, 2*n*n+y*n+x, want, "srad2"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const sradN = 64
+
+// SC: streamcluster assignment — nearest-center search over 8 centers in
+// 4 dimensions with register-level argmin tracking.
+var SC = register(&Benchmark{
+	Name:        "SC",
+	Suite:       "Rodinia",
+	Description: "streamcluster nearest-center assignment",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0       // point
+    ld.param r4, [0]         // &points (4 dims each)
+    ld.param r5, [4]         // &centers (8 x 4)
+    ld.param r6, [8]         // &assign
+    ld.param r7, [12]        // &cost
+    shl r8, r3, 4            // point*16 bytes
+    add r9, r4, r8
+    ld.global r10, [r9]
+    ld.global r11, [r9+4]
+    ld.global r12, [r9+8]
+    ld.global r13, [r9+12]
+    mov r14, 0               // c
+    mov r15, 0               // best index
+    mov r16, 0x7F7FFFFF      // best dist = +MAXFLOAT
+CLOOP:
+    shl r17, r14, 4
+    add r18, r5, r17
+    ld.global r19, [r18]
+    ld.global r20, [r18+4]
+    ld.global r21, [r18+8]
+    ld.global r22, [r18+12]
+    fsub r23, r10, r19
+    fsub r24, r11, r20
+    fsub r25, r12, r21
+    fsub r26, r13, r22
+    fmul r27, r23, r23
+    fma r27, r24, r24, r27
+    fma r27, r25, r25, r27
+    fma r27, r26, r26, r27
+    setp.flt p0, r27, r16
+    selp r16, r27, r16, p0
+    selp r15, r14, r15, p0
+    add r14, r14, 1
+    setp.lt p1, r14, 8
+@p1 bra CLOOP
+    shl r28, r3, 2
+    add r29, r6, r28
+    st.global [r29], r15
+    add r30, r7, r28
+    st.global [r30], r16
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 17,
+	Params: []uint32{
+		128, 0, 128 + scN*16, 128 + scN*16 + scN*4,
+	},
+	Setup: func(mem []uint32) {
+		r := lcg(101)
+		for i := 0; i < 32; i++ { // 8 centers x 4 dims at offset 0
+			mem[i] = f(r.unitFloat())
+		}
+		for i := 0; i < scN*4; i++ {
+			mem[32+i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(101)
+		var cen [8][4]float32
+		for c := 0; c < 8; c++ {
+			for d := 0; d < 4; d++ {
+				cen[c][d] = r.unitFloat()
+			}
+		}
+		pts := make([][4]float32, scN)
+		for i := 0; i < scN; i++ {
+			for d := 0; d < 4; d++ {
+				pts[i][d] = r.unitFloat()
+			}
+		}
+		for i := 0; i < scN; i++ {
+			best := ff(0x7F7FFFFF)
+			bi := uint32(0)
+			for c := 0; c < 8; c++ {
+				d0 := fsub(pts[i][0], cen[c][0])
+				d1 := fsub(pts[i][1], cen[c][1])
+				d2 := fsub(pts[i][2], cen[c][2])
+				d3v := fsub(pts[i][3], cen[c][3])
+				dist := fmaf(d3v, d3v, fmaf(d2, d2, fmaf(d1, d1, fmul(d0, d0))))
+				if dist < best {
+					best = dist
+					bi = uint32(c)
+				}
+			}
+			base := 32 + scN*4
+			if err := expectU32(mem, base+i, bi, "assign"); err != nil {
+				return err
+			}
+			if err := expectF32(mem, base+scN+i, best, "cost"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const scN = 8 * 128

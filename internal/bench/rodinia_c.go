@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"flame/internal/core"
+	"flame/internal/isa"
+)
+
+// Rodinia, part C: CFD, Kmeans, KNN.
+
+// CFD: Euler flux accumulation — gather over an irregular neighbour list
+// with per-edge floating-point work.
+var CFD = register(&Benchmark{
+	Name:        "CFD",
+	Suite:       "Rodinia",
+	Description: "Euler solver flux accumulation over cell neighbours",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0         // cell
+    ld.param r4, [0]           // &density
+    ld.param r5, [4]           // &momentum
+    ld.param r6, [8]           // &neigh (4 per cell)
+    ld.param r7, [12]          // &flux out
+    shl r8, r3, 2
+    add r9, r4, r8
+    ld.global r10, [r9]        // rho_i
+    add r11, r5, r8
+    ld.global r12, [r11]       // m_i
+    fmul r13, r0, 0f           // flux = 0
+    shl r14, r3, 4             // cell*16 bytes
+    mov r15, 0                 // j
+LOOP:
+    shl r16, r15, 2
+    add r17, r14, r16
+    add r18, r6, r17
+    ld.global r19, [r18]       // nb index
+    shl r20, r19, 2
+    add r21, r4, r20
+    ld.global r22, [r21]       // rho_nb
+    add r23, r5, r20
+    ld.global r24, [r23]       // m_nb
+    fsub r25, r22, r10
+    fsub r26, r24, r12
+    fmul r27, r25, r25
+    fma r27, r26, r26, r27
+    sqrt r28, r27
+    fadd r29, r25, r26
+    fma r13, r29, 0.25f, r13
+    fma r13, r28, 0.125f, r13
+    add r15, r15, 1
+    setp.lt p0, r15, 4
+@p0 bra LOOP
+    add r30, r7, r8
+    st.global [r30], r13
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, cfdN * 4, cfdN * 8, cfdN * 24},
+	Setup: func(mem []uint32) {
+		r := lcg(103)
+		for i := 0; i < cfdN; i++ {
+			mem[i] = f(r.unitFloat())
+			mem[cfdN+i] = f(r.unitFloat())
+		}
+		for i := 0; i < cfdN*4; i++ {
+			mem[2*cfdN+i] = (r.next() * 31) % cfdN
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(103)
+		rho := make([]float32, cfdN)
+		mom := make([]float32, cfdN)
+		for i := 0; i < cfdN; i++ {
+			rho[i] = r.unitFloat()
+			mom[i] = r.unitFloat()
+		}
+		nb := make([]uint32, cfdN*4)
+		for i := range nb {
+			nb[i] = (r.next() * 31) % cfdN
+		}
+		for i := 0; i < cfdN; i++ {
+			flux := float32(0)
+			for j := 0; j < 4; j++ {
+				n := nb[i*4+j]
+				dr := fsub(rho[n], rho[i])
+				dm := fsub(mom[n], mom[i])
+				mag := fsqrt(fmaf(dm, dm, fmul(dr, dr)))
+				flux = fmaf(fadd(dr, dm), 0.25, flux)
+				flux = fmaf(mag, 0.125, flux)
+			}
+			if err := expectF32(mem, 6*cfdN+i, flux, "flux"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const cfdN = 8 * 128
+
+// Kmeans: cluster assignment — nearest centroid over 8 clusters and 4
+// features per point.
+var Kmeans = register(&Benchmark{
+	Name:        "Kmeans",
+	Suite:       "Rodinia",
+	Description: "k-means cluster assignment step",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // point
+    ld.param r4, [0]          // &features (SoA: f*N + i)
+    ld.param r5, [4]          // &centroids (8 x 4)
+    ld.param r6, [8]          // &membership
+    ld.param r7, [12]         // N
+    mov r8, 0                 // cluster
+    mov r9, 0                 // best index
+    mov r10, 0x7F7FFFFF      // best dist
+CLUSTER:
+    fmul r11, r0, 0f          // dist = 0
+    mov r12, 0                // feature
+FEAT:
+    mad r13, r12, r7, r3      // f*N + i
+    shl r14, r13, 2
+    add r15, r4, r14
+    ld.global r16, [r15]      // x[f]
+    shl r17, r8, 2
+    mad r18, r17, 4, 0        // cluster*16
+    shl r19, r12, 2
+    add r20, r18, r19
+    add r21, r5, r20
+    ld.global r22, [r21]      // c[cluster][f]
+    fsub r23, r16, r22
+    fma r11, r23, r23, r11
+    add r12, r12, 1
+    setp.lt p0, r12, 4
+@p0 bra FEAT
+    setp.flt p1, r11, r10
+    selp r10, r11, r10, p1
+    selp r9, r8, r9, p1
+    add r8, r8, 1
+    setp.lt p2, r8, 8
+@p2 bra CLUSTER
+    shl r24, r3, 2
+    add r25, r6, r24
+    st.global [r25], r9
+    exit
+`,
+	Grid:  d3(8, 1, 1),
+	Block: d3(128, 1, 1),
+	Steps: []core.Step{{
+		// Second kernel: histogram the assignments into per-cluster
+		// member counts (the reduction step of a k-means iteration).
+		Prog: isa.MustParse("kmeans-count", `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r4, [0]          // &membership
+    ld.param r5, [4]          // &counts (8)
+    shl r6, r3, 2
+    add r7, r4, r6
+    ld.global r8, [r7]
+    shl r9, r8, 2
+    add r10, r5, r9
+    mov r11, 1
+    atom.global.add r12, [r10], r11
+    exit
+`),
+		Grid:   d3(8, 1, 1),
+		Block:  d3(128, 1, 1),
+		Params: []uint32{kmN*16 + 128, kmN*16 + 128 + kmN*4},
+	}},
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, kmN * 16, kmN*16 + 128, kmN},
+	Setup: func(mem []uint32) {
+		r := lcg(107)
+		for i := 0; i < kmN*4; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+		for i := 0; i < 32; i++ {
+			mem[kmN*4+i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(107)
+		feat := make([]float32, kmN*4)
+		for i := range feat {
+			feat[i] = r.unitFloat()
+		}
+		var cen [8][4]float32
+		for c := 0; c < 8; c++ {
+			for d := 0; d < 4; d++ {
+				cen[c][d] = r.unitFloat()
+			}
+		}
+		counts := make([]uint32, 8)
+		for i := 0; i < kmN; i++ {
+			best := ff(0x7F7FFFFF)
+			bi := uint32(0)
+			for c := 0; c < 8; c++ {
+				dist := float32(0)
+				for d := 0; d < 4; d++ {
+					diff := fsub(feat[d*kmN+i], cen[c][d])
+					dist = fmaf(diff, diff, dist)
+				}
+				if dist < best {
+					best = dist
+					bi = uint32(c)
+				}
+			}
+			counts[bi]++
+			if err := expectU32(mem, kmN*4+32+i, bi, "member"); err != nil {
+				return err
+			}
+		}
+		for c := 0; c < 8; c++ {
+			if err := expectU32(mem, kmN*4+32+kmN+c, counts[c], "count"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const kmN = 8 * 128
+
+// KNN: k-nearest-neighbours distance kernel — euclidean distance from a
+// query record to every reference record.
+var KNN = register(&Benchmark{
+	Name:        "KNN",
+	Suite:       "Rodinia",
+	Description: "euclidean distances to a query record",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // record
+    ld.param r4, [0]          // &records (8 fields each)
+    ld.param r5, [4]          // &query (8 fields)
+    ld.param r6, [8]          // &dist out
+    shl r7, r3, 5             // record*32 bytes
+    fmul r8, r0, 0f           // acc = 0
+    mov r9, 0                 // field
+LOOP:
+    shl r10, r9, 2
+    add r11, r7, r10
+    add r12, r4, r11
+    ld.global r13, [r12]
+    add r14, r5, r10
+    ld.global r15, [r14]
+    fsub r16, r13, r15
+    fma r8, r16, r16, r8
+    add r9, r9, 1
+    setp.lt p0, r9, 8
+@p0 bra LOOP
+    sqrt r17, r8
+    shl r18, r3, 2
+    add r19, r6, r18
+    st.global [r19], r17
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 18,
+	Params:   []uint32{32, 0, 32 + knnN*32},
+	Setup: func(mem []uint32) {
+		r := lcg(109)
+		for i := 0; i < 8; i++ { // query at offset 0
+			mem[i] = f(r.unitFloat())
+		}
+		for i := 0; i < knnN*8; i++ {
+			mem[8+i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(109)
+		var q [8]float32
+		for i := 0; i < 8; i++ {
+			q[i] = r.unitFloat()
+		}
+		rec := make([]float32, knnN*8)
+		for i := range rec {
+			rec[i] = r.unitFloat()
+		}
+		for i := 0; i < knnN; i++ {
+			acc := float32(0)
+			for d := 0; d < 8; d++ {
+				diff := fsub(rec[i*8+d], q[d])
+				acc = fmaf(diff, diff, acc)
+			}
+			want := fsqrt(acc)
+			if err := expectF32(mem, 8+knnN*8+i, want, "dist"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const knnN = 8 * 256

@@ -1,0 +1,569 @@
+package bench
+
+// CUDA SDK samples, compute group: binomialOptions, convolutionSeparable,
+// scalarProd, Haar DWT, sortingNetworks, histogram.
+
+// BO: binomial option pricing — per-thread backward induction over a
+// value tree held in per-thread local memory (local-store heavy, the
+// pattern that makes checkpointing-style stores expensive).
+var BO = register(&Benchmark{
+	Name:        "BO",
+	Suite:       "CUDA SDK",
+	Description: "binomial option backward induction in local memory",
+	Src: `
+.local 36
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r4, [0]        // &S
+    ld.param r5, [4]        // &out
+    shl r6, r3, 2
+    add r7, r4, r6
+    ld.global r8, [r7]      // S
+    mov r9, 0               // k: init leaves v[k] = max(S + 0.1k - 1.2, 0)
+INIT:
+    itof r10, r9
+    fmul r11, r10, 0.1f
+    fadd r12, r8, r11
+    fsub r13, r12, 1.2f
+    fmul r14, r0, 0f        // 0.0
+    fmax r15, r13, r14
+    shl r16, r9, 2
+    st.local [r16], r15
+    add r9, r9, 1
+    setp.le p0, r9, 8
+@p0 bra INIT
+    mov r17, 8              // t
+BACK:
+    mov r18, 0              // k
+STEP:
+    shl r19, r18, 2
+    ld.local r20, [r19]     // v[k]
+    ld.local r21, [r19+4]   // v[k+1]
+    fadd r22, r20, r21
+    fmul r23, r22, 0.4975f  // 0.5 * discount
+    st.local [r19], r23
+    add r18, r18, 1
+    setp.lt p1, r18, r17
+@p1 bra STEP
+    sub r17, r17, 1
+    setp.gt p2, r17, 0
+@p2 bra BACK
+    ld.local r24, [0]
+    add r25, r5, r6
+    st.global [r25], r24
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, boN * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(37)
+		for i := 0; i < boN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(37)
+		for i := 0; i < boN; i++ {
+			S := r.unitFloat()
+			var v [9]float32
+			for k := 0; k <= 8; k++ {
+				leaf := fsub(fadd(S, fmul(float32(k), 0.1)), 1.2)
+				v[k] = fmax32(leaf, 0)
+			}
+			for t := 8; t > 0; t-- {
+				for k := 0; k < t; k++ {
+					v[k] = fmul(fadd(v[k], v[k+1]), 0.4975)
+				}
+			}
+			if err := expectF32(mem, boN+i, v[0], "bo"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const boN = 8 * 128
+
+// CS: separable convolution row pass with a shared-memory halo staged by
+// predicated loads.
+var CS = register(&Benchmark{
+	Name:               "CS",
+	Suite:              "CUDA SDK",
+	Description:        "separable convolution row pass with shared halo",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0        // gid
+    ld.param r4, [0]          // &in
+    ld.param r5, [4]          // &out
+    ld.param r6, [8]          // n-1
+    shl r7, r3, 2
+    add r8, r4, r7
+    ld.global r9, [r8]
+    add r10, r0, 4
+    shl r11, r10, 2
+    st.shared [r11], r9       // s[tid+4] = in[gid]
+    setp.lt p0, r0, 4
+@!p0 bra NOLEFT
+    sub r12, r3, 4
+    max r12, r12, 0
+    shl r13, r12, 2
+    add r14, r4, r13
+    ld.global r15, [r14]
+    shl r16, r0, 2
+    st.shared [r16], r15      // left halo
+NOLEFT:
+    sub r17, r2, 4
+    setp.ge p1, r0, r17
+@!p1 bra NORIGHT
+    add r18, r3, 4
+    min r18, r18, r6
+    shl r19, r18, 2
+    add r20, r4, r19
+    ld.global r21, [r20]
+    add r22, r0, 8
+    shl r23, r22, 2
+    st.shared [r23], r21      // right halo
+NORIGHT:
+    bar.sync
+    ld.shared r24, [r11-16]
+    fmul r25, r24, 0.0625f
+    ld.shared r26, [r11-12]
+    fma r25, r26, 0.125f, r25
+    ld.shared r27, [r11-8]
+    fma r25, r27, 0.1875f, r25
+    ld.shared r28, [r11-4]
+    fma r25, r28, 0.25f, r25
+    ld.shared r29, [r11]
+    fma r25, r29, 0.3125f, r25
+    ld.shared r30, [r11+4]
+    fma r25, r30, 0.25f, r25
+    ld.shared r31, [r11+8]
+    fma r25, r31, 0.1875f, r25
+    ld.shared r32, [r11+12]
+    fma r25, r32, 0.125f, r25
+    ld.shared r33, [r11+16]
+    fma r25, r33, 0.0625f, r25
+    add r34, r5, r7
+    st.global [r34], r25
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, csN * 4, csN - 1},
+	Setup: func(mem []uint32) {
+		r := lcg(41)
+		for i := 0; i < csN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(41)
+		in := make([]float32, csN)
+		for i := range in {
+			in[i] = r.unitFloat()
+		}
+		weights := []float32{0.0625, 0.125, 0.1875, 0.25, 0.3125, 0.25, 0.1875, 0.125, 0.0625}
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= csN {
+				return csN - 1
+			}
+			return v
+		}
+		for g := 0; g < csN; g++ {
+			// Mirror the kernel exactly: within a block, interior taps come
+			// from unclamped neighbours, halo taps clamp at array ends.
+			blockBase := (g / 128) * 128
+			tap := func(off int) float32 {
+				idx := g + off
+				if idx < blockBase || idx >= blockBase+128 {
+					return in[clamp(idx)]
+				}
+				return in[idx]
+			}
+			acc := fmul(tap(-4), weights[0])
+			for j := 1; j <= 8; j++ {
+				acc = fmaf(tap(j-4), weights[j], acc)
+			}
+			if err := expectF32(mem, csN+g, acc, "conv"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const csN = 16 * 128
+
+// SP: per-block scalar product with a shared-memory tree reduction; a
+// kernel the paper reports Flame accidentally speeds up.
+var SP = register(&Benchmark{
+	Name:               "SP",
+	Suite:              "CUDA SDK",
+	Description:        "scalar product with per-block tree reduction",
+	ExtensionCandidate: true,
+	Src: `
+.shared 512
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r4, [0]          // &a
+    ld.param r5, [4]          // &b
+    ld.param r6, [8]          // &out
+    shl r7, r3, 2
+    add r8, r4, r7
+    ld.global r9, [r8]
+    add r10, r5, r7
+    ld.global r11, [r10]
+    fmul r12, r9, r11
+    shl r13, r0, 2
+    st.shared [r13], r12
+    bar.sync
+    mov r14, 64
+RED:
+    setp.lt p0, r0, r14
+@!p0 bra SKIP
+    add r15, r0, r14
+    shl r16, r15, 2
+    ld.shared r17, [r16]
+    ld.shared r18, [r13]
+    fadd r19, r17, r18
+    st.shared [r13], r19
+SKIP:
+    bar.sync
+    shr r14, r14, 1
+    setp.gt p1, r14, 0
+@p1 bra RED
+    setp.eq p2, r0, 0
+@!p2 bra DONE
+    ld.shared r20, [r13]
+    shl r21, r1, 2
+    add r22, r6, r21
+    st.global [r22], r20
+DONE:
+    exit
+`,
+	Grid:     d3(32, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, spN * 4, spN * 8},
+	Setup: func(mem []uint32) {
+		r := lcg(43)
+		for i := 0; i < 2*spN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(43)
+		a := make([]float32, spN)
+		b := make([]float32, spN)
+		for i := range a {
+			a[i] = r.unitFloat()
+		}
+		for i := range b {
+			b[i] = r.unitFloat()
+		}
+		for blk := 0; blk < spN/128; blk++ {
+			s := make([]float32, 128)
+			for t := 0; t < 128; t++ {
+				s[t] = fmul(a[blk*128+t], b[blk*128+t])
+			}
+			for h := 64; h > 0; h >>= 1 {
+				for t := 0; t < h; t++ {
+					s[t] = fadd(s[t+h], s[t])
+				}
+			}
+			if err := expectF32(mem, 2*spN+blk, s[0], "dot"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const spN = 32 * 128
+
+// DWT: two levels of a Haar wavelet decomposition over shared memory,
+// with threads idling at deeper levels (divergence).
+var DWT = register(&Benchmark{
+	Name:               "DWT",
+	Suite:              "CUDA SDK",
+	Description:        "Haar wavelet decomposition (2 levels) in shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 2048
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    ld.param r2, [0]         // &in
+    ld.param r3, [4]         // &out
+    shl r4, r1, 8            // base = blk*256
+    add r5, r4, r0
+    shl r6, r5, 2
+    add r7, r2, r6
+    ld.global r8, [r7]
+    shl r9, r0, 2
+    st.shared [r9], r8
+    add r10, r5, 128
+    shl r11, r10, 2
+    add r12, r2, r11
+    ld.global r13, [r12]
+    add r14, r9, 512
+    st.shared [r14], r13
+    bar.sync
+    mov r15, 128             // len (threads active at level = len)
+LEVEL:
+    setp.lt p0, r0, r15
+@!p0 bra LSKIP
+    shl r16, r0, 1
+    shl r17, r16, 2
+    ld.shared r18, [r17]     // x0 = s[2i]
+    ld.shared r19, [r17+4]   // x1 = s[2i+1]
+    fadd r20, r18, r19
+    fmul r21, r20, 0.5f      // avg
+    fsub r22, r18, r19
+    fmul r23, r22, 0.5f      // diff
+    shl r24, r0, 2
+    st.shared [r24+1024], r21 // tmp avg buffer
+    st.shared [r24+1536], r23 // tmp detail buffer (race-free staging)
+LSKIP:
+    bar.sync
+    setp.lt p1, r0, r15
+@!p1 bra CSKIP
+    shl r27, r0, 2
+    ld.shared r28, [r27+1024]
+    st.shared [r27], r28      // copy avgs back to front
+    ld.shared r25, [r27+1536]
+    add r26, r0, r15
+    shl r26, r26, 2
+    st.shared [r26], r25      // place details at s[i+len]
+CSKIP:
+    bar.sync
+    shr r15, r15, 1
+    setp.ge p2, r15, 64
+@p2 bra LEVEL
+    ld.shared r29, [r9]
+    add r30, r3, r6
+    st.global [r30], r29
+    ld.shared r31, [r14]
+    add r32, r3, r11
+    st.global [r32], r31
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, dwtN * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(47)
+		for i := 0; i < dwtN; i++ {
+			mem[i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(47)
+		in := make([]float32, dwtN)
+		for i := range in {
+			in[i] = r.unitFloat()
+		}
+		for blk := 0; blk < dwtN/256; blk++ {
+			s := append([]float32(nil), in[blk*256:(blk+1)*256]...)
+			for length := 128; length >= 64; length >>= 1 {
+				tmp := make([]float32, length)
+				det := make([]float32, length)
+				for i := 0; i < length; i++ {
+					x0, x1 := s[2*i], s[2*i+1]
+					tmp[i] = fmul(fadd(x0, x1), 0.5)
+					det[i] = fmul(fsub(x0, x1), 0.5)
+				}
+				for i := 0; i < length; i++ {
+					s[i+length] = det[i]
+				}
+				copy(s[:length], tmp)
+			}
+			for i := 0; i < 256; i++ {
+				if err := expectF32(mem, dwtN+blk*256+i, s[i], "dwt"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const dwtN = 16 * 256
+
+// SN: a full bitonic sorting network over 256 integers per block — the
+// densest barrier-in-loop pattern in the suite.
+var SN = register(&Benchmark{
+	Name:               "SN",
+	Suite:              "CUDA SDK",
+	Description:        "bitonic sorting network over shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x            // t in [0,256)
+    mov r1, %ctaid.x
+    ld.param r2, [0]          // &in
+    ld.param r3, [4]          // &out
+    shl r4, r1, 8
+    add r5, r4, r0
+    shl r6, r5, 2
+    add r7, r2, r6
+    ld.global r8, [r7]
+    shl r9, r0, 2
+    st.shared [r9], r8
+    bar.sync
+    mov r10, 2                // k
+KLOOP:
+    shr r11, r10, 1           // j = k>>1
+JLOOP:
+    xor r12, r0, r11          // ixj
+    setp.gt p0, r12, r0
+@!p0 bra NOSWAP
+    shl r13, r12, 2
+    ld.shared r14, [r9]       // a = s[t]
+    ld.shared r15, [r13]      // b = s[ixj]
+    and r16, r0, r10
+    setp.eq p1, r16, 0        // ascending?
+    setp.gtu p2, r14, r15     // a > b
+    selp r17, 1, 0, p1
+    selp r18, 1, 0, p2
+    setp.eq p3, r17, r18      // swap needed
+@p3 st.shared [r9], r15
+@p3 st.shared [r13], r14
+NOSWAP:
+    bar.sync
+    shr r11, r11, 1
+    setp.gt p4, r11, 0
+@p4 bra JLOOP
+    shl r10, r10, 1
+    setp.le p5, r10, 256
+@p5 bra KLOOP
+    ld.shared r19, [r9]
+    add r20, r3, r6
+    st.global [r20], r19
+    exit
+`,
+	Grid:     d3(8, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, snN * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(53)
+		for i := 0; i < snN; i++ {
+			mem[i] = r.next() & 0xFFFF
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(53)
+		in := make([]uint32, snN)
+		for i := range in {
+			in[i] = r.next() & 0xFFFF
+		}
+		for blk := 0; blk < snN/256; blk++ {
+			s := append([]uint32(nil), in[blk*256:(blk+1)*256]...)
+			// Replay the bitonic network exactly.
+			for k := 2; k <= 256; k <<= 1 {
+				for j := k >> 1; j > 0; j >>= 1 {
+					for t := 0; t < 256; t++ {
+						ixj := t ^ j
+						if ixj > t {
+							asc := t&k == 0
+							if (s[t] > s[ixj]) == asc {
+								s[t], s[ixj] = s[ixj], s[t]
+							}
+						}
+					}
+				}
+			}
+			for i := 0; i < 256; i++ {
+				if err := expectU32(mem, snN+blk*256+i, s[i], "sorted"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const snN = 8 * 256
+
+// Histogram: per-block shared-memory bins via shared atomics, merged into
+// the global histogram with global atomics — the kernel the paper found
+// Flame accidentally accelerates (fewer bank conflicts).
+var Histogram = register(&Benchmark{
+	Name:        "Histogram",
+	Suite:       "CUDA SDK",
+	Description: "64-bin histogram: shared atomics + global merge",
+	Src: `
+.shared 256
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r4, [0]          // &data
+    ld.param r5, [4]          // &hist
+    // zero this block's bins (first 64 threads)
+    setp.lt p0, r0, 64
+@!p0 bra NOZERO
+    shl r6, r0, 2
+    mov r7, 0
+    st.shared [r6], r7
+NOZERO:
+    bar.sync
+    shl r8, r3, 2
+    add r9, r4, r8
+    ld.global r10, [r9]
+    and r11, r10, 63
+    shl r12, r11, 2
+    mov r13, 1
+    atom.shared.add r14, [r12], r13
+    bar.sync
+    setp.lt p1, r0, 64
+@!p1 bra DONE
+    shl r15, r0, 2
+    ld.shared r16, [r15]
+    add r17, r5, r15
+    atom.global.add r18, [r17], r16
+DONE:
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{256, 0},
+	Setup: func(mem []uint32) {
+		r := lcg(59)
+		for i := 0; i < histN; i++ {
+			mem[64+i] = r.next()
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(59)
+		want := make([]uint32, 64)
+		for i := 0; i < histN; i++ {
+			want[r.next()&63]++
+		}
+		for b := 0; b < 64; b++ {
+			if err := expectU32(mem, b, want[b], "hist"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const histN = 16 * 256

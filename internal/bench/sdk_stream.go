@@ -1,0 +1,317 @@
+package bench
+
+// CUDA SDK samples, streaming/arithmetic group: BlackScholes, SobolQRNG,
+// transpose, fastWalshTransform.
+
+// BS: Black-Scholes-style option pricing — a long SFU-heavy floating
+// point chain per thread. Duplication-based detection is expensive here.
+var BS = register(&Benchmark{
+	Name:        "BS",
+	Suite:       "CUDA SDK",
+	Description: "Black-Scholes style option pricing (SFU-heavy)",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    shl r4, r3, 2
+    ld.param r5, [0]       // &S
+    ld.param r6, [4]       // &X
+    ld.param r7, [8]       // &T
+    ld.param r8, [12]      // &out
+    add r9, r5, r4
+    ld.global r10, [r9]    // S
+    add r9, r6, r4
+    ld.global r11, [r9]    // X
+    add r9, r7, r4
+    ld.global r12, [r9]    // T
+    fdiv r13, r10, r11     // S/X
+    log2 r14, r13          // log2(S/X)
+    fmul r15, r12, 0.065f  // (r + v*v/2)*T with v=0.3, r=0.02
+    fadd r16, r14, r15
+    fmul r17, r12, 0.09f   // v*v*T
+    rsqrt r18, r17
+    fmul r19, r16, r18     // d1
+    sqrt r20, r17
+    fsub r21, r19, r20     // d2
+    fmul r22, r19, -1.5f
+    exp2 r23, r22
+    fadd r24, r23, 1.0f
+    rcp r25, r24           // N(d1) logistic approx
+    fmul r26, r21, -1.5f
+    exp2 r27, r26
+    fadd r28, r27, 1.0f
+    rcp r29, r28           // N(d2)
+    fmul r30, r12, -0.028854f // -r*T*log2(e)
+    exp2 r31, r30          // discount factor
+    fmul r32, r10, r25
+    fmul r33, r11, r31
+    fmul r34, r33, r29
+    fsub r35, r32, r34     // call price
+    add r9, r8, r4
+    st.global [r9], r35
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 17,
+	Params:   []uint32{0, bsN * 4, bsN * 8, bsN * 12},
+	Setup: func(mem []uint32) {
+		r := lcg(7)
+		for i := 0; i < bsN; i++ {
+			mem[i] = f(r.unitFloat())       // S in [1,2)
+			mem[bsN+i] = f(r.unitFloat())   // X
+			mem[2*bsN+i] = f(r.unitFloat()) // T
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(7)
+		S := make([]float32, bsN)
+		X := make([]float32, bsN)
+		T := make([]float32, bsN)
+		for i := 0; i < bsN; i++ {
+			S[i] = r.unitFloat()
+			X[i] = r.unitFloat()
+			T[i] = r.unitFloat()
+		}
+		for i := 0; i < bsN; i++ {
+			d1 := fmul(fadd(flog2(fdiv(S[i], X[i])), fmul(T[i], 0.065)), frsqrt(fmul(T[i], 0.09)))
+			d2 := fsub(d1, fsqrt(fmul(T[i], 0.09)))
+			nd1 := frcp(fadd(fexp2(fmul(d1, -1.5)), 1))
+			nd2 := frcp(fadd(fexp2(fmul(d2, -1.5)), 1))
+			disc := fexp2(fmul(T[i], -0.028854))
+			call := fsub(fmul(S[i], nd1), fmul(fmul(X[i], disc), nd2))
+			if err := expectF32(mem, 3*bsN+i, call, "call"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const bsN = 16 * 256
+
+// SQ: Sobol quasi-random generation — per-bit predicated XOR accumulation.
+var SQ = register(&Benchmark{
+	Name:        "SQ",
+	Suite:       "CUDA SDK",
+	Description: "Sobol quasi-random sequence via direction vectors",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r5, [0]       // &dirs
+    ld.param r6, [4]       // &out
+    mov r7, 0              // x
+    mov r8, 0              // k
+LOOP:
+    shl r9, r8, 2
+    add r10, r5, r9
+    ld.global r11, [r10]   // dirs[k]
+    shr r12, r3, r8
+    and r13, r12, 1
+    setp.eq p0, r13, 1
+@p0 xor r7, r7, r11
+    add r8, r8, 1
+    setp.lt p1, r8, 16
+@p1 bra LOOP
+    shl r14, r3, 2
+    add r15, r6, r14
+    st.global [r15], r7
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, 64},
+	Setup: func(mem []uint32) {
+		for k := 0; k < 16; k++ {
+			mem[k] = sobolDir(k)
+		}
+	},
+	Validate: func(mem []uint32) error {
+		for i := 0; i < sqN; i++ {
+			var x uint32
+			for k := 0; k < 16; k++ {
+				if (uint32(i)>>k)&1 == 1 {
+					x ^= sobolDir(k)
+				}
+			}
+			if err := expectU32(mem, 16+i, x, "sobol"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const sqN = 16 * 256
+
+func sobolDir(k int) uint32 { return 0x80000000 >> k >> 3 * uint32(2*k+1) }
+
+// Transpose: tiled matrix transpose through shared memory with a barrier;
+// a Section III-E extension candidate.
+var Transpose = register(&Benchmark{
+	Name:               "Transpose",
+	Suite:              "CUDA SDK",
+	Description:        "tiled matrix transpose via shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x         // tx
+    mov r1, %tid.y         // ty
+    mov r2, %ctaid.x       // bx
+    mov r3, %ctaid.y       // by
+    ld.param r4, [0]       // &in
+    ld.param r5, [4]       // &out
+    ld.param r6, [8]       // N
+    shl r7, r2, 4
+    add r7, r7, r0         // x = bx*16+tx
+    shl r8, r3, 4
+    add r8, r8, r1         // y = by*16+ty
+    mad r9, r8, r6, r7     // y*N+x
+    shl r10, r9, 2
+    add r11, r4, r10
+    ld.global r12, [r11]
+    shl r13, r1, 4
+    add r13, r13, r0       // ty*16+tx
+    shl r14, r13, 2
+    st.shared [r14], r12   // tile[ty][tx] = in
+    bar.sync
+    shl r15, r3, 4
+    add r15, r15, r0       // xo = by*16+tx
+    shl r16, r2, 4
+    add r16, r16, r1       // yo = bx*16+ty
+    mad r17, r16, r6, r15
+    shl r18, r17, 2
+    add r19, r5, r18
+    shl r20, r0, 4
+    add r20, r20, r1       // tx*16+ty
+    shl r21, r20, 2
+    ld.shared r22, [r21]
+    st.global [r19], r22
+    exit
+`,
+	Grid:     d3(8, 8, 1),
+	Block:    d3(16, 16, 1),
+	MemBytes: 1 << 18,
+	Params:   []uint32{0, transposeN * transposeN * 4, transposeN},
+	Setup: func(mem []uint32) {
+		for i := 0; i < transposeN*transposeN; i++ {
+			mem[i] = uint32(i*2654435761 + 12345)
+		}
+	},
+	Validate: func(mem []uint32) error {
+		n := transposeN
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				want := uint32((x*n+y)*2654435761 + 12345)
+				if err := expectU32(mem, n*n+y*n+x, want, "out"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const transposeN = 128
+
+// WT: fast Walsh-Hadamard transform — log-depth butterfly stages over
+// shared memory with a barrier in the loop; the paper's motivating
+// pattern for region extension.
+var WT = register(&Benchmark{
+	Name:               "WT",
+	Suite:              "CUDA SDK",
+	Description:        "fast Walsh-Hadamard transform over shared memory",
+	ExtensionCandidate: true,
+	Src: `
+.shared 1024
+    mov r0, %tid.x           // t in [0,128)
+    mov r1, %ctaid.x
+    ld.param r2, [0]         // &in
+    ld.param r3, [4]         // &out
+    shl r4, r1, 8            // base = blk*256
+    add r5, r4, r0
+    shl r6, r5, 2
+    add r7, r2, r6
+    ld.global r8, [r7]       // in[base+t]
+    shl r9, r0, 2
+    st.shared [r9], r8
+    add r10, r5, 128
+    shl r11, r10, 2
+    add r12, r2, r11
+    ld.global r13, [r12]
+    add r14, r9, 512
+    st.shared [r14], r13     // s[t+128]
+    bar.sync
+    mov r15, 0               // k
+    mov r16, 1               // h = 1<<k
+STAGE:
+    shr r17, r0, r15
+    add r18, r15, 1
+    shl r19, r17, r18        // (t>>k)<<(k+1)
+    sub r20, r16, 1
+    and r21, r0, r20         // t & (h-1)
+    or r22, r19, r21         // i
+    add r23, r22, r16        // j = i+h
+    shl r24, r22, 2
+    shl r25, r23, 2
+    ld.shared r26, [r24]     // a
+    ld.shared r27, [r25]     // b
+    add r28, r26, r27
+    sub r29, r26, r27
+    st.shared [r24], r28
+    st.shared [r25], r29
+    bar.sync
+    add r15, r15, 1
+    shl r16, 1, r15
+    setp.lt p0, r15, 8
+@p0 bra STAGE
+    ld.shared r30, [r9]
+    add r31, r3, r6
+    st.global [r31], r30
+    ld.shared r32, [r14]
+    add r33, r3, r11
+    st.global [r33], r32
+    exit
+`,
+	Grid:     d3(16, 1, 1),
+	Block:    d3(128, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, wtN * 4},
+	Setup: func(mem []uint32) {
+		r := lcg(3)
+		for i := 0; i < wtN; i++ {
+			mem[i] = r.next() & 0xFF
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(3)
+		in := make([]int32, wtN)
+		for i := range in {
+			in[i] = int32(r.next() & 0xFF)
+		}
+		for blk := 0; blk < wtN/256; blk++ {
+			s := in[blk*256 : (blk+1)*256]
+			buf := append([]int32(nil), s...)
+			for h := 1; h < 256; h <<= 1 {
+				for i := 0; i < 256; i += 2 * h {
+					for j := i; j < i+h; j++ {
+						a, b := buf[j], buf[j+h]
+						buf[j], buf[j+h] = a+b, a-b
+					}
+				}
+			}
+			for i, v := range buf {
+				if err := expectU32(mem, wtN+blk*256+i, uint32(v), "wht"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+})
+
+const wtN = 16 * 256

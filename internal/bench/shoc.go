@@ -1,0 +1,95 @@
+package bench
+
+// SHOC: STREAM Triad and GUPS (random global updates).
+
+// Triad: a[i] = b[i] + s*c[i]. Pure streaming, DRAM-bandwidth-bound.
+var Triad = register(&Benchmark{
+	Name:        "Triad",
+	Suite:       "SHOC",
+	Description: "STREAM triad a[i] = b[i] + s*c[i]",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    shl r4, r3, 2
+    ld.param r5, [0]
+    ld.param r6, [4]
+    ld.param r7, [8]
+    ld.param r8, [12]
+    add r9, r5, r4
+    ld.global r10, [r9]
+    add r11, r6, r4
+    ld.global r12, [r11]
+    fma r13, r12, r8, r10
+    add r14, r7, r4
+    st.global [r14], r13
+    exit
+`,
+	Grid:     d3(32, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 18,
+	Params:   []uint32{0, triadN * 4, triadN * 8, f(1.75)},
+	Setup: func(mem []uint32) {
+		r := lcg(1)
+		for i := 0; i < triadN; i++ {
+			mem[i] = f(r.unitFloat())
+			mem[triadN+i] = f(r.unitFloat())
+		}
+	},
+	Validate: func(mem []uint32) error {
+		r := lcg(1)
+		for i := 0; i < triadN; i++ {
+			b := r.unitFloat()
+			c := r.unitFloat()
+			if err := expectF32(mem, 2*triadN+i, fmaf(c, 1.75, b), "a"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const triadN = 32 * 256
+
+// GUPS: giga-updates per second — random atomic XOR updates into a table.
+var GUPS = register(&Benchmark{
+	Name:        "GUPS",
+	Suite:       "SHOC",
+	Description: "random global table updates via atomic XOR",
+	Src: `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    ld.param r5, [0]
+    ld.param r6, [4]
+    mul r7, r3, 40503
+    xor r7, r7, r3
+    and r8, r7, r6
+    shl r9, r8, 2
+    add r10, r5, r9
+    atom.global.xor r11, [r10], r3
+    exit
+`,
+	Grid:     d3(32, 1, 1),
+	Block:    d3(256, 1, 1),
+	MemBytes: 1 << 16,
+	Params:   []uint32{0, gupsTable - 1},
+	Setup:    func(mem []uint32) {},
+	Validate: func(mem []uint32) error {
+		want := make([]uint32, gupsTable)
+		for i := uint32(0); i < 32*256; i++ {
+			h := (i*40503 ^ i) & (gupsTable - 1)
+			want[h] ^= i
+		}
+		for j := 0; j < gupsTable; j++ {
+			if err := expectU32(mem, j, want[j], "table"); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+})
+
+const gupsTable = 4096

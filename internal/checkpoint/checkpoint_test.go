@@ -1,0 +1,170 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"flame/internal/isa"
+	"flame/internal/regions"
+)
+
+const figure3Src = `
+    ld.param r1, [0]
+    ld.global r3, [r1]
+    ld.global r5, [r1+4]
+    add r4, r3, r5
+    st.global [r1+8], r4
+    ld.global r6, [r1+12]
+    add r7, r3, r6
+    mov r3, 9
+    st.global [r1+12], r7
+    exit
+`
+
+func TestCheckpointInsertsLiveOutStores(t *testing.T) {
+	p := isa.MustParse("fig3", figure3Src)
+	if _, err := regions.Form(p, regions.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	nBefore := p.Len()
+	res, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stores == 0 {
+		t.Fatal("no checkpoint stores inserted")
+	}
+	if p.Len() != nBefore+res.Stores {
+		t.Fatalf("program grew by %d, stores=%d", p.Len()-nBefore, res.Stores)
+	}
+	// All inserted stores are local-space checkpoint stores.
+	got := 0
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Origin == isa.OrigCheckpoint {
+			got++
+			if in.Op != isa.OpSt || in.Space != isa.SpaceLocal {
+				t.Fatalf("bad checkpoint inst: %s", in.String())
+			}
+		}
+	}
+	if got != res.Stores {
+		t.Fatalf("marked stores %d != %d", got, res.Stores)
+	}
+	// Each checkpointed register has a distinct slot.
+	seen := map[int32]isa.Reg{}
+	for r, s := range res.Slots {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("slot %d assigned to both %v and %v", s, prev, r)
+		}
+		seen[s] = r
+	}
+	// Local footprint covers the slots.
+	if p.LocalBytes < 4*len(res.Slots) {
+		t.Fatalf("LocalBytes %d < slots %d", p.LocalBytes, 4*len(res.Slots))
+	}
+	// The program must still be structurally valid.
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRegionInputCovered(t *testing.T) {
+	// r3 is defined in region 1, live across the boundary (read at the
+	// add in region 2) and then overwritten: the checkpointing scheme
+	// must have saved r3 in region 1 so recovery can restore it.
+	src := `
+    ld.param r1, [0]
+    ld.param r6, [4]
+    ld.param r2, [8]
+    ld.global r3, [r1]
+    ld.global r4, [r6]
+    add r4, r4, 1
+    st.global [r6], r4
+    ld.global r5, [r2]
+    add r7, r3, r5
+    mov r3, 9
+    st.global [r2], r3
+    exit
+`
+	p := isa.MustParse("fig2", src)
+	if _, err := regions.Form(p, regions.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Slots[isa.Reg(3)]; !ok {
+		t.Fatalf("r3 not checkpointed; slots=%v", res.Slots)
+	}
+}
+
+func TestCheckpointBranchTargetsStayValid(t *testing.T) {
+	src := `
+    mov r0, 0
+    mov r3, 0
+    ld.param r1, [0]
+LOOP:
+    add r2, r1, r0
+    ld.global r4, [r2]
+    add r3, r3, r4
+    st.global [r2], r3
+    add r0, r0, 4
+    setp.lt p0, r0, 64
+@p0 bra LOOP
+    exit
+`
+	p := isa.MustParse("loop", src)
+	if _, err := regions.Form(p, regions.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	// The back edge must still target the loop header (the add after LOOP).
+	var bra *isa.Inst
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBra {
+			bra = &p.Insts[i]
+		}
+	}
+	if bra == nil {
+		t.Fatal("branch lost")
+	}
+	tgt := &p.Insts[bra.Target]
+	if tgt.Op != isa.OpAdd || tgt.Dst != isa.Reg(2) {
+		t.Fatalf("branch target corrupted: %s", tgt.String())
+	}
+}
+
+func TestInsertPlanOrdering(t *testing.T) {
+	p := isa.MustParse("ins", `
+    mov r0, 1
+    mov r1, 2
+    exit
+`)
+	var plan isa.InsertPlan
+	mk := func(v int32) isa.Inst {
+		in := isa.Inst{Op: isa.OpMov, Dst: isa.Reg(5), PDst: isa.NoPred, Guard: isa.NoGuard, Target: -1}
+		in.Src[0] = isa.Imm(v)
+		return in
+	}
+	plan.Add(1, mk(10))
+	plan.Add(1, mk(11))
+	plan.Add(2, mk(20))
+	if err := plan.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 10, 11, 0, 20, 0}
+	if p.Len() != 6 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	for i, w := range want {
+		if w == 0 {
+			continue
+		}
+		if p.Insts[i].Src[0].Imm != w {
+			t.Fatalf("inst %d = %s, want imm %d", i, p.Insts[i].String(), w)
+		}
+	}
+}

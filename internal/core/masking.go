@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+// MaskingResult summarizes fault injections into an UNPROTECTED kernel:
+// with no detection and no recovery, each fault either vanishes (masked
+// by dead values, overwrites, or min/max selections) or corrupts the
+// output (SDC). The paper's Section IV cites a 63.5% user-visible
+// masking rate for GPU applications; this campaign measures the
+// bit-exact masking rate of our workloads, the quantity that bounds the
+// sensors' false-positive rate.
+type MaskingResult struct {
+	Runs    int
+	Armed   int // injector found an eligible target
+	Masked  int // injected, output still bit-exact
+	SDC     int // injected, output corrupted
+	Crashed int // run failed outright
+}
+
+// MaskingRate returns the fraction of injected faults that were masked.
+func (m *MaskingResult) MaskingRate() float64 {
+	if m.Armed == 0 {
+		return 0
+	}
+	return float64(m.Masked) / float64(m.Armed)
+}
+
+// String summarizes the campaign.
+func (m *MaskingResult) String() string {
+	return fmt.Sprintf("runs=%d injected=%d masked=%d sdc=%d crashed=%d (masking %.1f%%)",
+		m.Runs, m.Armed, m.Masked, m.SDC, m.Crashed, m.MaskingRate()*100)
+}
+
+// MaskingCampaign injects n faults into baseline (unprotected) runs of
+// the workload and classifies each outcome. It demonstrates why
+// detection is needed at all: unmasked faults silently corrupt output.
+func MaskingCampaign(cfg gpu.Config, spec *KernelSpec, n int, seed int64) (*MaskingResult, error) {
+	comp, err := Compile(spec.Prog, Options{Scheme: Baseline})
+	if err != nil {
+		return nil, err
+	}
+	// Fault-free run to learn the execution window.
+	free, err := RunCompiled(cfg, spec, comp, nil)
+	if err != nil {
+		return nil, err
+	}
+	window := free.Stats.Cycles
+	rng := rand.New(rand.NewSource(seed))
+	out := &MaskingResult{Runs: n}
+	for i := 0; i < n; i++ {
+		inj := flame.NewInjector(rng.Int63n(window*9/10+1), 0, rng.Int63())
+		dev, err := gpu.NewDevice(cfg, spec.MemBytes)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Setup != nil {
+			spec.Setup(dev.Mem.Words())
+		}
+		hooks := &gpu.Hooks{
+			OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+				inj.Observe(d, sm, w, pc)
+			},
+		}
+		launch := &gpu.Launch{Prog: comp.Prog, Grid: spec.Grid, Block: spec.Block, Params: spec.Params}
+		if _, err := dev.Run(launch, hooks); err != nil {
+			out.Crashed++
+			continue
+		}
+		if !inj.Injected {
+			continue
+		}
+		out.Armed++
+		if spec.Validate != nil && spec.Validate(dev.Mem.Words()) != nil {
+			out.SDC++
+		} else {
+			out.Masked++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+	"flame/internal/isa"
+)
+
+// Step is one additional kernel launch of a multi-kernel application,
+// executed after the main kernel on the same device (global memory
+// persists between launches).
+type Step struct {
+	Prog   *isa.Program
+	Grid   isa.Dim3
+	Block  isa.Dim3
+	Params []uint32
+}
+
+// KernelSpec is a self-contained runnable workload: program, launch
+// geometry, input setup and output validation against golden results.
+// Applications with several kernels list the follow-on launches in
+// Steps; Validate checks the memory state after the last one.
+type KernelSpec struct {
+	Name   string
+	Prog   *isa.Program
+	Grid   isa.Dim3
+	Block  isa.Dim3
+	Params []uint32
+	// Steps are additional launches run after the main kernel.
+	Steps []Step
+	// MemBytes sizes device global memory for this workload.
+	MemBytes int
+	// Setup initializes global memory before the launch.
+	Setup func(mem []uint32)
+	// Validate checks global memory after the launch; nil return means
+	// the output is correct.
+	Validate func(mem []uint32) error
+}
+
+// Result is one simulated run of a compiled kernel.
+type Result struct {
+	Compiled *Compiled
+	Stats    gpu.Stats
+	Flame    flame.Stats
+	// Injection is set when the run carried a fault injector.
+	Injection *flame.Injector
+}
+
+// Run compiles the spec's kernels for the scheme and simulates them on a
+// fresh device of the given configuration, validating the output.
+func Run(cfg gpu.Config, spec *KernelSpec, opt Options) (*Result, error) {
+	comp, err := Compile(spec.Prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(cfg, spec, comp, nil)
+}
+
+// RunCompiled simulates an already-compiled application, optionally with
+// a fault injector attached. comp is the compilation of the main kernel;
+// follow-on Steps are compiled on demand with the same options (and
+// memoized on the spec's programs would be the caller's concern — steps
+// are small relative to simulation cost). The injector observes the main
+// kernel's launch.
+func RunCompiled(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.Injector) (*Result, error) {
+	dev, err := gpu.NewDevice(cfg, spec.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Setup != nil {
+		spec.Setup(dev.Mem.Words())
+	}
+	if comp.Controller() == nil && inj != nil {
+		return nil, fmt.Errorf("core: scheme %s cannot host an injector", comp.Opt.Scheme)
+	}
+
+	res := &Result{Compiled: comp, Injection: inj}
+	runOne := func(c *Compiled, grid, block isa.Dim3, params []uint32, attachInj bool) error {
+		ctl := c.Controller()
+		var hooks *gpu.Hooks
+		if ctl != nil {
+			if attachInj {
+				ctl.Inj = inj
+			}
+			hooks = ctl.Hooks()
+		}
+		launch := &gpu.Launch{Prog: c.Prog, Grid: grid, Block: block, Params: params}
+		st, err := dev.Run(launch, hooks)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", spec.Name, c.Opt.Scheme, err)
+		}
+		res.Stats.Accumulate(st)
+		if ctl != nil {
+			res.Flame.Accumulate(&ctl.Stats)
+		}
+		return nil
+	}
+	if err := runOne(comp, spec.Grid, spec.Block, spec.Params, true); err != nil {
+		return nil, err
+	}
+	for i, step := range spec.Steps {
+		sc, err := Compile(step.Prog, comp.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s step %d: %w", spec.Name, i+1, err)
+		}
+		if err := runOne(sc, step.Grid, step.Block, step.Params, false); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Validate != nil {
+		if verr := spec.Validate(dev.Mem.Words()); verr != nil {
+			return nil, fmt.Errorf("%s/%s: output validation: %w", spec.Name, comp.Opt.Scheme, verr)
+		}
+	}
+	return res, nil
+}
+
+// Overhead returns the normalized execution time of a scheme run against
+// a baseline run (1.0 = no overhead).
+func Overhead(scheme, baseline *Result) float64 {
+	if baseline.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(scheme.Stats.Cycles) / float64(baseline.Stats.Cycles)
+}
+
+// CampaignResult summarizes a fault-injection campaign.
+type CampaignResult struct {
+	Runs      int
+	Injected  int
+	Detected  int
+	Recovered int // injected, detected, and output correct
+	SDC       int // injected but wrong output (silent data corruption)
+	DUE       int // run failed outright (detected unrecoverable error)
+	Benign    int // armed but no eligible instruction was corrupted
+}
+
+// String summarizes the campaign.
+func (c *CampaignResult) String() string {
+	return fmt.Sprintf("runs=%d injected=%d recovered=%d sdc=%d due=%d benign=%d",
+		c.Runs, c.Injected, c.Recovered, c.SDC, c.DUE, c.Benign)
+}
+
+// Campaign runs n fault-injection trials of the spec under the scheme.
+// Each trial arms the injector at a random cycle within the fault-free
+// execution window. The detection delay is uniform in [1, WCDL] for
+// sensor schemes and immediate for duplication/hybrid detection.
+func Campaign(cfg gpu.Config, spec *KernelSpec, opt Options, n int, seed int64) (*CampaignResult, error) {
+	if opt.Scheme == Baseline || !opt.Scheme.Detects() {
+		return nil, fmt.Errorf("core: scheme %s has no detection; campaign is meaningless", opt.Scheme)
+	}
+	comp, err := Compile(spec.Prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Fault-free run to learn the execution window.
+	free, err := RunCompiled(cfg, spec, comp, nil)
+	if err != nil {
+		return nil, err
+	}
+	window := free.Stats.Cycles
+	rng := rand.New(rand.NewSource(seed))
+	out := &CampaignResult{Runs: n}
+	maxDelay := opt.WCDL
+	if !opt.Scheme.UsesSensors() {
+		maxDelay = 0 // DMR detects at the replica; model as immediate
+	}
+	for i := 0; i < n; i++ {
+		arm := rng.Int63n(window*9/10 + 1)
+		inj := flame.NewInjector(arm, maxDelay, rng.Int63())
+		res, err := RunCompiled(cfg, spec, comp, inj)
+		switch {
+		case err != nil && inj.Injected:
+			out.Injected++
+			out.SDC++
+		case err != nil:
+			out.DUE++
+		case !inj.Injected:
+			out.Benign++
+		default:
+			out.Injected++
+			if inj.Detected {
+				out.Detected++
+			}
+			out.Recovered++
+			_ = res
+		}
+	}
+	return out, nil
+}

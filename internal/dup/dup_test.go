@@ -1,0 +1,136 @@
+package dup
+
+import (
+	"testing"
+
+	"flame/internal/isa"
+	"flame/internal/regions"
+)
+
+const src = `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    fmul r5, r4, 2.0f
+    fadd r5, r5, 1.0f
+    setp.lt p0, r0, 16
+@p0 st.global [r3], r5
+    exit
+`
+
+func TestFullDuplication(t *testing.T) {
+	p := isa.MustParse("d", src)
+	if _, err := regions.Form(p, regions.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	n := p.Len()
+	st, err := Full(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eligible: mov, shl, add, fmul, fadd, setp (6 value producers);
+	// ld/st/exit excluded.
+	if st.Eligible != 6 || st.Replicas != 6 {
+		t.Fatalf("stats = %+v, want 6/6", st)
+	}
+	if p.Len() != n+6 {
+		t.Fatalf("len = %d, want %d", p.Len(), n+6)
+	}
+	// Replicas write the shadow register and never memory.
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Origin != isa.OrigDup {
+			continue
+		}
+		if in.Op.IsMemory() || in.Op.IsBranch() || in.Op.IsSync() {
+			t.Fatalf("illegal replica: %s", in.String())
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailDMRSizing(t *testing.T) {
+	loop := `
+    mov r0, 0
+    ld.param r1, [0]
+LOOP:
+    add r2, r1, r0
+    ld.global r3, [r2]
+    add r3, r3, 1
+    mul r4, r3, 3
+    add r4, r4, 7
+    xor r4, r4, r3
+    st.global [r2], r4
+    add r0, r0, 4
+    setp.lt p0, r0, 256
+@p0 bra LOOP
+    exit
+`
+	p := isa.MustParse("tail", loop)
+	if _, err := regions.Form(p, regions.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	full := p.Clone()
+	fs, err := Full(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small := p.Clone()
+	ss, err := Tail(small, 4) // tail of 2 insts per region
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Replicas == 0 || ss.Replicas >= fs.Replicas {
+		t.Fatalf("tail replicas = %d, full = %d", ss.Replicas, fs.Replicas)
+	}
+
+	big := p.Clone()
+	bs, err := Tail(big, 1000) // tail covers whole regions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Replicas != fs.Replicas {
+		t.Fatalf("huge WCDL tail should equal full: %d vs %d", bs.Replicas, fs.Replicas)
+	}
+}
+
+func TestTailZeroWCDL(t *testing.T) {
+	p := isa.MustParse("z", src)
+	st, err := Tail(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replicas != 0 {
+		t.Fatalf("wcdl=0 should not duplicate, got %d", st.Replicas)
+	}
+}
+
+func TestDuplicationPreservesBranchTargets(t *testing.T) {
+	loop := `
+    mov r0, 0
+LOOP:
+    add r0, r0, 1
+    setp.lt p0, r0, 8
+@p0 bra LOOP
+    exit
+`
+	p := isa.MustParse("br", loop)
+	if _, err := Full(p); err != nil {
+		t.Fatal(err)
+	}
+	var bra *isa.Inst
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBra {
+			bra = &p.Insts[i]
+		}
+	}
+	tgt := &p.Insts[bra.Target]
+	if tgt.Op != isa.OpAdd || tgt.Origin == isa.OrigDup {
+		t.Fatalf("branch target corrupted: %s", tgt.String())
+	}
+}

@@ -1,0 +1,471 @@
+package flame
+
+import (
+	"sort"
+
+	"flame/internal/gpu"
+	"flame/internal/isa"
+	"flame/internal/regions"
+)
+
+// Mode configures the resilience behaviour the controller enforces.
+type Mode struct {
+	// WCDL is the sensors' worst-case detection latency in cycles (the
+	// RBQ conveyor depth).
+	WCDL int
+	// UseRBQ enables WCDL-aware warp scheduling: a warp hitting a region
+	// boundary is descheduled into the RBQ for WCDL cycles (sensor-based
+	// detection schemes). When false, region boundaries advance the RPT
+	// immediately (duplication/hybrid detection: errors are caught within
+	// the region).
+	UseRBQ bool
+	// Sections are the extended regions produced by the III-E
+	// optimization; they are verified collectively per thread block.
+	Sections []regions.Section
+	// CkptSlots is non-nil under the checkpointing recovery scheme: the
+	// local-memory slot of each checkpointed register. Recovery restores
+	// committed checkpoint values.
+	CkptSlots map[isa.Reg]int32
+	// EagerSectionVerify disables the mid-section verification skip
+	// (ablation): boundaries strictly inside extended sections then wait
+	// in the RBQ even though they cannot advance the recovery PC.
+	EagerSectionVerify bool
+}
+
+// Stats counts controller events.
+type Stats struct {
+	// Enqueues / Pops count RBQ traffic; Flushed counts entries discarded
+	// by recoveries.
+	Enqueues, Pops, Flushed int64
+	// MaxRBQ is the maximum conveyor occupancy observed.
+	MaxRBQ int
+	// CollectiveApplies counts section verifications applied block-wide.
+	CollectiveApplies int64
+	// Recoveries counts error recoveries performed.
+	Recoveries int64
+	// UndoneAtomics counts atomic operations reverted during recovery.
+	UndoneAtomics int64
+	// RestoredRegs counts checkpoint-restored register values.
+	RestoredRegs int64
+}
+
+type ckKey struct {
+	lane int
+	reg  isa.Reg
+}
+
+type rbqKey struct {
+	sm    *gpu.SM
+	sched int
+}
+
+type undoEntry struct {
+	w      *gpu.Warp
+	space  isa.Space
+	shared []uint32 // backing array for shared-space undo
+	mem    *gpu.GlobalMem
+	addr   uint32
+	old    uint32
+}
+
+// Controller implements the Flame hardware: RPT + RBQ + recovery. Attach
+// it to a device run via Hooks().
+type Controller struct {
+	Mode  Mode
+	Stats Stats
+
+	// Inj, when set, injects a fault and drives detection.
+	Inj *Injector
+
+	// FalsePositives lists cycles at which the sensors spuriously report
+	// a strike (mis-calibration, Section IV): a full recovery runs with
+	// no actual corruption. Must be sorted ascending.
+	FalsePositives []int64
+	nextFP         int
+
+	// rbqs holds one verification conveyor per (SM, warp scheduler), as
+	// in the paper's hardware (Section III-D2).
+	rbqs    map[rbqKey]*RBQ
+	rpt     map[*gpu.Warp]Snapshot
+	cleared map[*gpu.Warp]int
+
+	pendCkpt map[*gpu.Warp]map[ckKey]uint32
+	commCkpt map[*gpu.Warp]map[ckKey]uint32
+
+	undo []undoEntry
+
+	// sectionPending[block][warp] holds verified-but-unapplied snapshots
+	// of section-completing boundaries awaiting the whole block.
+	sectionPending map[*gpu.BlockState]map[*gpu.Warp]Snapshot
+}
+
+// NewController creates a controller for one device run.
+func NewController(mode Mode) *Controller {
+	if mode.WCDL < 1 {
+		mode.WCDL = 1
+	}
+	return &Controller{
+		Mode:           mode,
+		rbqs:           map[rbqKey]*RBQ{},
+		rpt:            map[*gpu.Warp]Snapshot{},
+		cleared:        map[*gpu.Warp]int{},
+		pendCkpt:       map[*gpu.Warp]map[ckKey]uint32{},
+		commCkpt:       map[*gpu.Warp]map[ckKey]uint32{},
+		sectionPending: map[*gpu.BlockState]map[*gpu.Warp]Snapshot{},
+	}
+}
+
+// Hooks returns the simulator hooks realizing this controller.
+func (c *Controller) Hooks() *gpu.Hooks {
+	return &gpu.Hooks{
+		BeforeIssue: c.beforeIssue,
+		OnExecuted:  c.onExecuted,
+		OnAtomic:    c.onAtomic,
+		OnCycle:     c.onCycle,
+		OnBlockDone: c.onBlockDone,
+	}
+}
+
+func (c *Controller) rbqOf(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) *RBQ {
+	k := rbqKey{sm: sm, sched: w.ID % d.Cfg.SchedulersPerSM}
+	q, ok := c.rbqs[k]
+	if !ok {
+		q = &RBQ{Depth: c.Mode.WCDL}
+		c.rbqs[k] = q
+	}
+	return q
+}
+
+// boundaryAt reports whether issuing pc crosses a region boundary that
+// needs verification: an annotated boundary or a thread exit (the final
+// region is verified before the warp may retire).
+func boundaryAt(prog *isa.Program, pc int) bool {
+	in := &prog.Insts[pc]
+	return in.Boundary || in.Op == isa.OpExit
+}
+
+func (c *Controller) beforeIssue(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) bool {
+	pc := w.PC()
+	if _, ok := c.rpt[w]; !ok {
+		// First sight of this warp: its recovery point is its launch state.
+		c.rpt[w] = snapshotOf(w)
+	}
+	if !boundaryAt(d.Kernel(), pc) {
+		return true
+	}
+	if !c.Mode.EagerSectionVerify && c.midSection(pc) {
+		// A boundary strictly inside an extended section cannot advance
+		// the recovery PC (the section is verified collectively at its
+		// end), so waiting for its verification buys nothing: any error
+		// before the section-end verification rolls the whole block back
+		// to its pre-section recovery points. Skip the conveyor.
+		return true
+	}
+	if cl, ok := c.cleared[w]; ok && cl == pc {
+		// This crossing was verified; consume the clearance and proceed.
+		delete(c.cleared, w)
+		return true
+	}
+	snap := snapshotOf(w)
+	if !c.Mode.UseRBQ {
+		// Immediate-detection schemes: the finished region is known
+		// error-free at its end; advance the RPT without any delay.
+		c.advanceRPT(w, snap)
+		c.cleared[w] = pc
+		return true
+	}
+	q := c.rbqOf(d, sm, w)
+	if !q.CanPush(d.Cyc) {
+		// The conveyor accepts one warp per cycle and holds at most WCDL
+		// entries; the warp retries next cycle (a structural stall).
+		return false
+	}
+	q.Push(w, snap, d.Cyc)
+	if q.Len() > c.Stats.MaxRBQ {
+		c.Stats.MaxRBQ = q.Len()
+	}
+	c.Stats.Enqueues++
+	w.Suspended = true
+	return false
+}
+
+// advanceRPT commits a verified boundary: the snapshot becomes the
+// warp's recovery point, pending checkpoints commit, and the warp's
+// atomic undo entries are dropped.
+func (c *Controller) advanceRPT(w *gpu.Warp, snap Snapshot) {
+	c.rpt[w] = snap
+	if p := c.pendCkpt[w]; len(p) > 0 {
+		com, ok := c.commCkpt[w]
+		if !ok {
+			com = map[ckKey]uint32{}
+			c.commCkpt[w] = com
+		}
+		for k, v := range p {
+			com[k] = v
+		}
+		delete(c.pendCkpt, w)
+	}
+	if len(c.undo) > 0 {
+		kept := c.undo[:0]
+		for _, e := range c.undo {
+			if e.w != w {
+				kept = append(kept, e)
+			}
+		}
+		c.undo = kept
+	}
+}
+
+// sectionCrossed returns the instruction span of a section completed by
+// verifying the region [rptPC, snapPC), or ok=false.
+func (c *Controller) sectionCrossed(rptPC, snapPC int) (regions.Section, bool) {
+	for _, s := range c.Mode.Sections {
+		if rptPC < s.End && snapPC >= s.End {
+			return s, true
+		}
+	}
+	return regions.Section{}, false
+}
+
+// midSection reports whether pc lies strictly inside a section.
+func (c *Controller) midSection(pc int) bool {
+	for _, s := range c.Mode.Sections {
+		if pc > s.Start && pc < s.End {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) onCycle(d *gpu.Device) {
+	// Detection first: an error detected this cycle invalidates pops that
+	// would otherwise complete this cycle.
+	if c.Inj != nil && c.Inj.DetectionDue(d.Cyc) {
+		c.Recover(d)
+	}
+	for c.nextFP < len(c.FalsePositives) && d.Cyc >= c.FalsePositives[c.nextFP] {
+		c.Recover(d)
+		c.nextFP++
+	}
+	for _, sm := range d.SMs {
+		for sched := 0; sched < d.Cfg.SchedulersPerSM; sched++ {
+			q, ok := c.rbqs[rbqKey{sm: sm, sched: sched}]
+			if !ok {
+				continue
+			}
+			c.popOne(d, sm, q)
+		}
+	}
+	c.applyCompleteSections(d)
+}
+
+// popOne dequeues at most one verified entry from a conveyor.
+func (c *Controller) popOne(d *gpu.Device, sm *gpu.SM, q *RBQ) {
+	e, ok := q.Pop(d.Cyc)
+	if !ok {
+		return
+	}
+	c.Stats.Pops++
+	w := e.w
+	if w.Finished {
+		return
+	}
+	if _, collective := c.sectionCrossed(c.rpt[w].PC, e.snap.PC); collective {
+		// The verified region completes an extended section: hold the
+		// warp until every live warp of its block completes it too.
+		b := sm.BlockOf(w)
+		pend, ok := c.sectionPending[b]
+		if !ok {
+			pend = map[*gpu.Warp]Snapshot{}
+			c.sectionPending[b] = pend
+		}
+		pend[w] = e.snap
+		return // warp stays suspended
+	}
+	if c.midSection(e.snap.PC) {
+		// Possible only under EagerSectionVerify: the wait elapsed, but
+		// the recovery PC must not move inside a collectively recovered
+		// section.
+		c.cleared[w] = e.snap.PC
+		w.Suspended = false
+		return
+	}
+	c.advanceRPT(w, e.snap)
+	c.cleared[w] = e.snap.PC
+	w.Suspended = false
+}
+
+// applyCompleteSections releases blocks whose live warps all verified an
+// extended section.
+func (c *Controller) applyCompleteSections(d *gpu.Device) {
+	if len(c.sectionPending) == 0 {
+		return
+	}
+	for _, sm := range d.SMs {
+		for _, b := range sm.Blocks {
+			pend, ok := c.sectionPending[b]
+			if !ok || b.GlobalID < 0 {
+				continue
+			}
+			live := sm.WarpsOfBlock(b)
+			alive := 0
+			complete := true
+			for _, w := range live {
+				if w.Finished {
+					continue
+				}
+				alive++
+				if _, ok := pend[w]; !ok {
+					complete = false
+				}
+			}
+			if alive == 0 || !complete {
+				continue
+			}
+			for w, snap := range pend {
+				if w.Finished {
+					continue
+				}
+				c.advanceRPT(w, snap)
+				c.cleared[w] = snap.PC
+				w.Suspended = false
+			}
+			delete(c.sectionPending, b)
+			c.Stats.CollectiveApplies++
+		}
+	}
+}
+
+func (c *Controller) onExecuted(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+	in := &d.Kernel().Insts[pc]
+	if c.Mode.CkptSlots != nil && in.Origin == isa.OrigCheckpoint {
+		// Record the checkpointed value per lane; it commits into the
+		// restore set when the containing region verifies.
+		reg := in.Src[1].Reg
+		p, ok := c.pendCkpt[w]
+		if !ok {
+			p = map[ckKey]uint32{}
+			c.pendCkpt[w] = p
+		}
+		mask := w.ActiveMask()
+		for lane := 0; lane < len(w.Regs); lane++ {
+			if mask&(1<<lane) == 0 || w.Regs[lane] == nil {
+				continue
+			}
+			p[ckKey{lane, reg}] = w.Regs[lane][reg]
+		}
+	}
+	if c.Inj != nil {
+		c.Inj.Observe(d, sm, w, pc)
+	}
+	if w.Finished {
+		c.forgetWarp(w)
+	}
+}
+
+func (c *Controller) onAtomic(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, space isa.Space, addr, old uint32, lane int) {
+	e := undoEntry{w: w, space: space, addr: addr, old: old}
+	if space == isa.SpaceShared {
+		e.shared = sm.BlockOf(w).Shared
+	} else {
+		e.mem = d.Mem
+	}
+	c.undo = append(c.undo, e)
+}
+
+func (c *Controller) onBlockDone(d *gpu.Device, sm *gpu.SM, gb int) {
+	for b := range c.sectionPending {
+		if b.GlobalID < 0 {
+			delete(c.sectionPending, b)
+		}
+	}
+}
+
+// forgetWarp drops all per-warp state once a warp retires (its final
+// region was verified before the exit issued).
+func (c *Controller) forgetWarp(w *gpu.Warp) {
+	delete(c.rpt, w)
+	delete(c.cleared, w)
+	delete(c.pendCkpt, w)
+	delete(c.commCkpt, w)
+}
+
+// Recover performs full error recovery: flush the RBQ, revert unverified
+// atomics, restore checkpointed inputs (checkpointing scheme), and reset
+// every live warp to its recovery snapshot (Section III-D1).
+func (c *Controller) Recover(d *gpu.Device) {
+	c.Stats.Recoveries++
+	for _, q := range c.rbqs {
+		c.Stats.Flushed += int64(len(q.Flush()))
+	}
+	// Revert unverified atomics, newest first.
+	for i := len(c.undo) - 1; i >= 0; i-- {
+		e := c.undo[i]
+		if e.space == isa.SpaceShared {
+			e.shared[e.addr/4] = e.old
+		} else {
+			_ = e.mem.Store(e.addr, e.old)
+		}
+		c.Stats.UndoneAtomics++
+	}
+	c.undo = c.undo[:0]
+
+	for _, sm := range d.SMs {
+		for _, w := range sm.Warps {
+			if w == nil || w.Finished {
+				continue
+			}
+			snap, ok := c.rpt[w]
+			if !ok {
+				snap = snapshotOf(w)
+			}
+			w.Restore(snap.PC, snap.Stack, snap.BarGen, d.Cyc)
+			c.cleared[w] = snap.PC
+			delete(c.pendCkpt, w)
+			if com := c.commCkpt[w]; com != nil {
+				// Restore region inputs from committed checkpoints,
+				// deterministically ordered for reproducibility.
+				keys := make([]ckKey, 0, len(com))
+				for k := range com {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool {
+					if keys[i].lane != keys[j].lane {
+						return keys[i].lane < keys[j].lane
+					}
+					return keys[i].reg < keys[j].reg
+				})
+				for _, k := range keys {
+					if w.Regs[k.lane] != nil {
+						w.Regs[k.lane][k.reg] = com[k]
+						c.Stats.RestoredRegs++
+					}
+				}
+			}
+		}
+		// Re-synchronize replayed barriers.
+		for _, b := range sm.Blocks {
+			if b.GlobalID >= 0 {
+				sm.ResetBarrierGen(b)
+			}
+		}
+	}
+	for b := range c.sectionPending {
+		delete(c.sectionPending, b)
+	}
+}
+
+// Accumulate adds another controller's counters into s (multi-kernel
+// applications sum their launches).
+func (s *Stats) Accumulate(o *Stats) {
+	s.Enqueues += o.Enqueues
+	s.Pops += o.Pops
+	s.Flushed += o.Flushed
+	if o.MaxRBQ > s.MaxRBQ {
+		s.MaxRBQ = o.MaxRBQ
+	}
+	s.CollectiveApplies += o.CollectiveApplies
+	s.Recoveries += o.Recoveries
+	s.UndoneAtomics += o.UndoneAtomics
+	s.RestoredRegs += o.RestoredRegs
+}

@@ -1,0 +1,162 @@
+package flame
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flame/internal/gpu"
+	"flame/internal/isa"
+)
+
+// Injector models a particle strike corrupting the output of one
+// in-flight instruction, and the acoustic sensors detecting it within
+// WCDL cycles. The fault model follows Section III-B: register files,
+// caches and memory are ECC-protected and AGUs are hardened, so faults
+// manifest as corrupted destination-register values or corrupted store
+// data — never as wrong addresses.
+type Injector struct {
+	// ArmCycle is the cycle at or after which the next eligible executed
+	// instruction gets corrupted.
+	ArmCycle int64
+	// MaxDelay bounds the sensor detection delay in cycles (uniform in
+	// [1, MaxDelay]); it must not exceed the WCDL. Zero means immediate
+	// detection (duplication/tail-DMR schemes).
+	MaxDelay int
+	// Rand drives lane/bit/delay choices.
+	Rand *rand.Rand
+
+	// Results.
+	Injected    bool
+	Detected    bool
+	InjectedAt  int64
+	DetectedAt  int64
+	Description string
+
+	detectAt int64
+	// excluded caches the set of registers outside the injectable data
+	// slice (see addressControlSlice).
+	excluded map[isa.Reg]bool
+}
+
+// addressControlSlice computes the registers that transitively feed a
+// memory address base or a comparison (and through it, control flow).
+// The paper's fault model hardens address generation (AGU + RF
+// controller, Section IV) and discards wrong-path work via store
+// buffering in the CPU predecessors; with immediately-committed GPU
+// stores, a corrupted address or predicate input could commit a store
+// that re-execution does not overwrite. Faults are therefore injected
+// only into the data slice — the values idempotent re-execution provably
+// repairs — mirroring the paper's effective coverage claim.
+func addressControlSlice(p *isa.Program) map[isa.Reg]bool {
+	s := map[isa.Reg]bool{}
+	add := func(o isa.Operand) bool {
+		if o.Kind == isa.OperReg && !s[o.Reg] {
+			s[o.Reg] = true
+			return true
+		}
+		return false
+	}
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Op.IsMemory() {
+			add(in.Src[0])
+		}
+		if in.Op == isa.OpSetp {
+			add(in.Src[0])
+			add(in.Src[1])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Insts {
+			in := &p.Insts[i]
+			d := in.Defs()
+			if d == isa.NoReg || !s[d] {
+				continue
+			}
+			var uses [4]isa.Reg
+			for _, r := range in.Uses(uses[:0]) {
+				if !s[r] {
+					s[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// NewInjector creates an injector armed at the given cycle.
+func NewInjector(armCycle int64, maxDelay int, seed int64) *Injector {
+	return &Injector{ArmCycle: armCycle, MaxDelay: maxDelay, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Observe is called after each executed instruction (from the
+// controller's OnExecuted hook, or directly for unprotected masking
+// studies); it corrupts the first eligible instruction once armed.
+func (inj *Injector) Observe(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+	if inj.Injected || d.Cyc < inj.ArmCycle {
+		return
+	}
+	if inj.excluded == nil {
+		inj.excluded = addressControlSlice(d.Kernel())
+	}
+	in := &d.Kernel().Insts[pc]
+	lane := inj.pickLane(w)
+	if lane < 0 {
+		return
+	}
+	bit := uint32(1) << uint(inj.Rand.Intn(32))
+	switch {
+	case in.Defs() != isa.NoReg && in.Origin != isa.OrigDup && !inj.excluded[in.Defs()]:
+		r := in.Defs()
+		w.Regs[lane][r] ^= bit
+		inj.Description = fmt.Sprintf("cycle %d: flipped bit %#x of %s (lane %d, warp %d, SM %d, inst %d: %s)",
+			d.Cyc, bit, r, lane, w.ID, sm.ID, pc, in.String())
+	case in.Op == isa.OpSt && in.Space == isa.SpaceGlobal:
+		addr := sm.LaneAddress(w, lane, in)
+		v, err := d.Mem.Load(addr)
+		if err != nil {
+			return
+		}
+		if d.Mem.Store(addr, v^bit) != nil {
+			return
+		}
+		inj.Description = fmt.Sprintf("cycle %d: flipped bit %#x of store data at %#x (lane %d, warp %d, SM %d)",
+			d.Cyc, bit, addr, lane, w.ID, sm.ID)
+	default:
+		return // not a corruptible instruction; stay armed
+	}
+	inj.Injected = true
+	inj.InjectedAt = d.Cyc
+	delay := int64(0)
+	if inj.MaxDelay > 0 {
+		delay = 1 + int64(inj.Rand.Intn(inj.MaxDelay))
+	}
+	inj.detectAt = d.Cyc + delay
+}
+
+// pickLane selects a random live lane of the warp.
+func (inj *Injector) pickLane(w *gpu.Warp) int {
+	var lanes []int
+	for l := 0; l < len(w.Regs); l++ {
+		if w.AliveMask&(1<<l) != 0 && w.Regs[l] != nil {
+			lanes = append(lanes, l)
+		}
+	}
+	if len(lanes) == 0 {
+		return -1
+	}
+	return lanes[inj.Rand.Intn(len(lanes))]
+}
+
+// DetectionDue reports whether the sensors report the strike this cycle
+// and marks it detected. The caller performs the recovery.
+func (inj *Injector) DetectionDue(cyc int64) bool {
+	if !inj.Injected || inj.Detected || cyc < inj.detectAt {
+		return false
+	}
+	inj.Detected = true
+	inj.DetectedAt = cyc
+	return true
+}

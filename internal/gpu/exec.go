@@ -1,0 +1,471 @@
+package gpu
+
+import (
+	"math/bits"
+
+	"flame/internal/isa"
+)
+
+// execute issues and architecturally executes warp w's next instruction.
+func (sm *SM) execute(w *Warp, cycle int64) error {
+	d := sm.dev
+	prog := d.launch.Prog
+	pc := w.PC()
+	in := &prog.Insts[pc]
+
+	d.Stats.Issued++
+	switch in.Origin {
+	case isa.OrigDup:
+		d.Stats.ReplicaInsts++
+	case isa.OrigCheckpoint:
+		d.Stats.CheckpointStores++
+	default:
+		d.Stats.SourceInsts++
+	}
+	if in.Boundary {
+		d.Stats.BoundaryCrossings++
+	}
+
+	mask := w.ActiveMask()
+	// Lanes enabled by the guard predicate.
+	exec := mask
+	if in.Guard.Valid() {
+		exec = 0
+		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			p := w.Preds[lane]&(1<<in.Guard.Pred) != 0
+			if p != in.Guard.Neg {
+				exec |= 1 << lane
+			}
+		}
+	}
+
+	advance := true
+	switch in.Op {
+	case isa.OpNop, isa.OpMembar:
+		// Timing-only.
+
+	case isa.OpExit:
+		w.exitLanes(exec)
+		// Guard-false lanes fall through; a finished warp skips the PC
+		// advance below but still reaches OnExecuted.
+
+	case isa.OpBra:
+		advance = false
+		sm.branch(w, in, pc, exec, mask)
+
+	case isa.OpBar:
+		sm.arriveBarrier(w)
+
+	case isa.OpSetp:
+		lat := int64(d.Cfg.ALULat)
+		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+			if exec&(1<<lane) == 0 {
+				continue
+			}
+			a := sm.operand(w, lane, in.Src[0])
+			b := sm.operand(w, lane, in.Src[1])
+			if isa.EvalCmp(in.Cmp, a, b) {
+				w.Preds[lane] |= 1 << in.PDst
+			} else {
+				w.Preds[lane] &^= 1 << in.PDst
+			}
+		}
+		w.predReady[in.PDst] = cycle + lat
+
+	case isa.OpLd:
+		if err := sm.load(w, in, exec, cycle); err != nil {
+			return err
+		}
+
+	case isa.OpSt:
+		if err := sm.store(w, in, exec, cycle); err != nil {
+			return err
+		}
+
+	case isa.OpAtom:
+		if err := sm.atomic(w, in, exec, cycle); err != nil {
+			return err
+		}
+
+	default:
+		// ALU / SFU value producers.
+		lat := int64(d.Cfg.ALULat)
+		if in.Op.IsSFU() {
+			lat = int64(d.Cfg.SFULat)
+			sm.sfuBusyUntil = cycle + 2
+		}
+		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+			if exec&(1<<lane) == 0 {
+				continue
+			}
+			var v uint32
+			if in.Op == isa.OpSelp {
+				a := sm.operand(w, lane, in.Src[0])
+				b := sm.operand(w, lane, in.Src[1])
+				if w.Preds[lane]&(1<<in.Src[2].Pred) != 0 {
+					v = a
+				} else {
+					v = b
+				}
+			} else {
+				a := sm.operand(w, lane, in.Src[0])
+				b := sm.operand(w, lane, in.Src[1])
+				c := sm.operand(w, lane, in.Src[2])
+				v = isa.EvalALU(in.Op, a, b, c)
+			}
+			w.Regs[lane][in.Dst] = v
+		}
+		if in.Dst != isa.NoReg {
+			w.regReady[in.Dst] = cycle + lat
+		}
+	}
+
+	if advance && !w.Finished {
+		w.setPC(pc + 1)
+	}
+	w.popReconverged()
+	d.hooks.onExecuted(d, sm, w, pc)
+	return nil
+}
+
+// branch implements predicated branching with IPDOM reconvergence.
+func (sm *SM) branch(w *Warp, in *isa.Inst, pc int, taken, mask uint32) {
+	notTaken := mask &^ taken
+	switch {
+	case taken == 0:
+		w.setPC(pc + 1)
+	case notTaken == 0:
+		w.setPC(in.Target)
+	default:
+		rpc := sm.dev.kern.info.Reconv[pc]
+		// The current top becomes the reconvergence entry.
+		w.setPC(rpc)
+		w.Stack = append(w.Stack,
+			SIMTEntry{PC: pc + 1, RPC: rpc, Mask: notTaken},
+			SIMTEntry{PC: in.Target, RPC: rpc, Mask: taken},
+		)
+	}
+}
+
+// operand evaluates a source operand for one lane.
+func (sm *SM) operand(w *Warp, lane int, o isa.Operand) uint32 {
+	switch o.Kind {
+	case isa.OperReg:
+		return w.Regs[lane][o.Reg]
+	case isa.OperImm:
+		return uint32(o.Imm)
+	case isa.OperSpecial:
+		return sm.special(w, lane, o.Spec)
+	default:
+		return 0
+	}
+}
+
+// special evaluates a special register for one lane.
+func (sm *SM) special(w *Warp, lane int, s isa.Special) uint32 {
+	l := sm.dev.launch
+	t := w.laneThread[lane]
+	if t < 0 {
+		t = 0
+	}
+	bx, by := max1(l.Block.X), max1(l.Block.Y)
+	gx, gy := max1(l.Grid.X), max1(l.Grid.Y)
+	gb := w.GlobalBlock
+	switch s {
+	case isa.SpecTidX:
+		return uint32(t % bx)
+	case isa.SpecTidY:
+		return uint32((t / bx) % by)
+	case isa.SpecTidZ:
+		return uint32(t / (bx * by))
+	case isa.SpecNTidX:
+		return uint32(bx)
+	case isa.SpecNTidY:
+		return uint32(by)
+	case isa.SpecNTidZ:
+		return uint32(max1(l.Block.Z))
+	case isa.SpecCtaIDX:
+		return uint32(gb % gx)
+	case isa.SpecCtaIDY:
+		return uint32((gb / gx) % gy)
+	case isa.SpecCtaIDZ:
+		return uint32(gb / (gx * gy))
+	case isa.SpecNCtaIDX:
+		return uint32(gx)
+	case isa.SpecNCtaIDY:
+		return uint32(gy)
+	case isa.SpecNCtaIDZ:
+		return uint32(max1(l.Grid.Z))
+	case isa.SpecLaneID:
+		return uint32(lane)
+	case isa.SpecWarpID:
+		return uint32(w.WarpInBlock)
+	}
+	return 0
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// address computes a lane's effective byte address.
+func (sm *SM) address(w *Warp, lane int, in *isa.Inst) uint32 {
+	return sm.operand(w, lane, in.Src[0]) + uint32(in.Off)
+}
+
+// LaneAddress computes the effective address of a memory instruction for
+// one lane (used by fault injection to corrupt store data in place).
+func (sm *SM) LaneAddress(w *Warp, lane int, in *isa.Inst) uint32 {
+	return sm.address(w, lane, in)
+}
+
+// load executes ld.<space> for all enabled lanes and models its latency.
+func (sm *SM) load(w *Warp, in *isa.Inst, exec uint32, cycle int64) error {
+	d := sm.dev
+	var addrs [32]uint32
+	for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+		if exec&(1<<lane) == 0 {
+			continue
+		}
+		a := sm.address(w, lane, in)
+		addrs[lane] = a
+		v, err := sm.read(w, lane, in.Space, a)
+		if err != nil {
+			return err
+		}
+		w.Regs[lane][in.Dst] = v
+	}
+	lat := sm.memLatency(w, in.Space, addrs[:], exec, cycle, false)
+	w.regReady[in.Dst] = cycle + lat
+	return nil
+}
+
+// store executes st.<space>; stores complete without blocking the warp.
+func (sm *SM) store(w *Warp, in *isa.Inst, exec uint32, cycle int64) error {
+	d := sm.dev
+	var addrs [32]uint32
+	for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+		if exec&(1<<lane) == 0 {
+			continue
+		}
+		a := sm.address(w, lane, in)
+		addrs[lane] = a
+		v := sm.operand(w, lane, in.Src[1])
+		if err := sm.write(w, lane, in.Space, a, v); err != nil {
+			return err
+		}
+	}
+	sm.memLatency(w, in.Space, addrs[:], exec, cycle, true)
+	return nil
+}
+
+// atomic executes atom.<space>.<op>: lanes are serialized in lane order,
+// each returning the pre-update value.
+func (sm *SM) atomic(w *Warp, in *isa.Inst, exec uint32, cycle int64) error {
+	d := sm.dev
+	lanes := bits.OnesCount32(exec)
+	for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+		if exec&(1<<lane) == 0 {
+			continue
+		}
+		a := sm.address(w, lane, in)
+		old, err := sm.read(w, lane, in.Space, a)
+		if err != nil {
+			return err
+		}
+		d.hooks.onAtomic(d, sm, w, in.Space, a, old, lane)
+		operand := sm.operand(w, lane, in.Src[1])
+		nv, ret := isa.EvalAtom(in.AOp, old, operand)
+		if err := sm.write(w, lane, in.Space, a, nv); err != nil {
+			return err
+		}
+		w.Regs[lane][in.Dst] = ret
+		d.Stats.Atomics++
+	}
+	base := int64(d.Cfg.L2Lat)
+	if in.Space == isa.SpaceShared {
+		base = int64(d.Cfg.SharedLat)
+	}
+	lat := base + 2*int64(lanes)
+	sm.lsuBusyUntil = cycle + int64(lanes)
+	w.regReady[in.Dst] = cycle + lat
+	return nil
+}
+
+// read fetches one word from the lane's view of an address space.
+func (sm *SM) read(w *Warp, lane int, space isa.Space, addr uint32) (uint32, error) {
+	switch space {
+	case isa.SpaceGlobal:
+		return sm.dev.Mem.Load(addr)
+	case isa.SpaceShared:
+		sh := sm.BlockOf(w).Shared
+		if addr%4 != 0 || int(addr/4) >= len(sh) {
+			return 0, &MemFault{Space: space, Addr: addr, Op: "load"}
+		}
+		return sh[addr/4], nil
+	case isa.SpaceLocal:
+		lm := w.local[lane]
+		if addr%4 != 0 || int(addr/4) >= len(lm) {
+			return 0, &MemFault{Space: space, Addr: addr, Op: "load"}
+		}
+		return lm[addr/4], nil
+	case isa.SpaceParam:
+		ps := sm.dev.launch.Params
+		if addr%4 != 0 || int(addr/4) >= len(ps) {
+			return 0, &MemFault{Space: space, Addr: addr, Op: "load"}
+		}
+		return ps[addr/4], nil
+	}
+	return 0, &MemFault{Space: space, Addr: addr, Op: "load"}
+}
+
+// write stores one word into the lane's view of an address space.
+func (sm *SM) write(w *Warp, lane int, space isa.Space, addr, v uint32) error {
+	switch space {
+	case isa.SpaceGlobal:
+		return sm.dev.Mem.Store(addr, v)
+	case isa.SpaceShared:
+		sh := sm.BlockOf(w).Shared
+		if addr%4 != 0 || int(addr/4) >= len(sh) {
+			return &MemFault{Space: space, Addr: addr, Op: "store"}
+		}
+		sh[addr/4] = v
+		return nil
+	case isa.SpaceLocal:
+		lm := w.local[lane]
+		if addr%4 != 0 || int(addr/4) >= len(lm) {
+			return &MemFault{Space: space, Addr: addr, Op: "store"}
+		}
+		lm[addr/4] = v
+		return nil
+	}
+	return &MemFault{Space: space, Addr: addr, Op: "store"}
+}
+
+// memLatency models coalescing, caches, and shared-memory banking for
+// one warp-level memory operation and returns its latency.
+func (sm *SM) memLatency(w *Warp, space isa.Space, addrs []uint32, exec uint32, cycle int64, isStore bool) int64 {
+	d := sm.dev
+	cfg := &d.Cfg
+	switch space {
+	case isa.SpaceShared:
+		// Bank conflicts: count distinct addresses per bank.
+		var bankCount [64]int8
+		var seen []uint32
+		degree := int8(1)
+		for lane := 0; lane < cfg.WarpSize; lane++ {
+			if exec&(1<<lane) == 0 {
+				continue
+			}
+			a := addrs[lane]
+			dup := false
+			for _, s := range seen {
+				if s == a {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, a)
+			b := (a / 4) % uint32(cfg.SharedBanks)
+			bankCount[b]++
+			if bankCount[b] > degree {
+				degree = bankCount[b]
+			}
+		}
+		if degree > 1 {
+			d.Stats.SharedConflicts += int64(degree - 1)
+		}
+		sm.lsuBusyUntil = cycle + int64(degree)
+		return int64(cfg.SharedLat) + 2*int64(degree-1)
+
+	case isa.SpaceGlobal:
+		// Coalesce into cache-line transactions.
+		var lines []uint32
+		for lane := 0; lane < cfg.WarpSize; lane++ {
+			if exec&(1<<lane) == 0 {
+				continue
+			}
+			ln := addrs[lane] / uint32(cfg.LineBytes)
+			dup := false
+			for _, s := range lines {
+				if s == ln {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines = append(lines, ln)
+			}
+		}
+		d.Stats.GlobalTransactions += int64(len(lines))
+		var worst int64
+		for _, ln := range lines {
+			a := ln * uint32(cfg.LineBytes)
+			var lat int64
+			if sm.l1.access(a) {
+				d.Stats.L1Hits++
+				lat = int64(cfg.L1Lat)
+			} else {
+				d.Stats.L1Misses++
+				// Consume this SM's L2 bandwidth share.
+				start := cycle
+				if sm.l2Free > start {
+					start = sm.l2Free
+				}
+				sm.l2Free = start + int64(cfg.L2CyclesPerLine)
+				if d.l2.access(a) {
+					d.Stats.L2Hits++
+					lat = start - cycle + int64(cfg.L2Lat)
+				} else {
+					d.Stats.L2Misses++
+					// Consume DRAM bandwidth share; queueing delay adds
+					// to latency, which is how bandwidth saturation
+					// manifests.
+					dstart := start
+					if sm.dramFree > dstart {
+						dstart = sm.dramFree
+					}
+					sm.dramFree = dstart + int64(cfg.DRAMCyclesPerLine)
+					lat = dstart - cycle + int64(cfg.DRAMLat)
+				}
+				if !isStore {
+					sm.mshrRelease = append(sm.mshrRelease, cycle+lat)
+				}
+			}
+			if lat > worst {
+				worst = lat
+			}
+		}
+		n := int64(len(lines))
+		if n == 0 {
+			n = 1
+		}
+		sm.lsuBusyUntil = cycle + n
+		if isStore {
+			// Write-through, fire and forget.
+			return int64(cfg.L1Lat)
+		}
+		return worst + 2*(n-1)
+
+	case isa.SpaceLocal, isa.SpaceParam:
+		sm.lsuBusyUntil = cycle + 1
+		if space == isa.SpaceParam {
+			return int64(cfg.SharedLat)
+		}
+		// Local memory behaves like cached global (per-thread, coalesced).
+		if isStore {
+			return int64(cfg.L1Lat)
+		}
+		return int64(cfg.L1Lat)
+	}
+	return int64(cfg.ALULat)
+}

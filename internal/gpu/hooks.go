@@ -1,0 +1,59 @@
+package gpu
+
+import "flame/internal/isa"
+
+// Hooks lets a resilience scheme observe and steer the simulation
+// without the simulator knowing scheme specifics. All hooks are optional.
+type Hooks struct {
+	// BeforeIssue runs when the scheduler considers issuing warp w's next
+	// instruction. Returning false blocks the warp for this cycle (the
+	// hook may also set w.Suspended to deschedule it durably — this is
+	// how WCDL-aware warp scheduling treats a region boundary as a
+	// long-latency operation).
+	BeforeIssue func(d *Device, sm *SM, w *Warp) bool
+
+	// OnExecuted runs after warp w architecturally executed the
+	// instruction at pc.
+	OnExecuted func(d *Device, sm *SM, w *Warp, pc int)
+
+	// OnAtomic runs for each lane-level atomic update before it commits,
+	// with the old memory value (for undo logging).
+	OnAtomic func(d *Device, sm *SM, w *Warp, space isa.Space, addr, old uint32, lane int)
+
+	// OnCycle runs once per device cycle, after all SMs stepped.
+	OnCycle func(d *Device)
+
+	// OnBlockDone runs when a thread block retires from an SM.
+	OnBlockDone func(d *Device, sm *SM, globalBlock int)
+}
+
+func (h *Hooks) beforeIssue(d *Device, sm *SM, w *Warp) bool {
+	if h == nil || h.BeforeIssue == nil {
+		return true
+	}
+	return h.BeforeIssue(d, sm, w)
+}
+
+func (h *Hooks) onExecuted(d *Device, sm *SM, w *Warp, pc int) {
+	if h != nil && h.OnExecuted != nil {
+		h.OnExecuted(d, sm, w, pc)
+	}
+}
+
+func (h *Hooks) onAtomic(d *Device, sm *SM, w *Warp, space isa.Space, addr, old uint32, lane int) {
+	if h != nil && h.OnAtomic != nil {
+		h.OnAtomic(d, sm, w, space, addr, old, lane)
+	}
+}
+
+func (h *Hooks) onCycle(d *Device) {
+	if h != nil && h.OnCycle != nil {
+		h.OnCycle(d)
+	}
+}
+
+func (h *Hooks) onBlockDone(d *Device, sm *SM, gb int) {
+	if h != nil && h.OnBlockDone != nil {
+		h.OnBlockDone(d, sm, gb)
+	}
+}

@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"fmt"
+
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// Launch describes one kernel launch.
+type Launch struct {
+	Prog   *isa.Program
+	Grid   isa.Dim3
+	Block  isa.Dim3
+	Params []uint32
+}
+
+// Threads returns the total number of threads in the launch.
+func (l *Launch) Threads() int { return l.Grid.Count() * l.Block.Count() }
+
+// Validate checks launch sanity against a configuration.
+func (l *Launch) Validate(cfg *Config) error {
+	switch {
+	case l.Prog == nil:
+		return fmt.Errorf("gpu: launch without program")
+	case l.Grid.Count() <= 0 || l.Block.Count() <= 0:
+		return fmt.Errorf("gpu: empty grid or block")
+	case l.Block.Count() > cfg.MaxWarpsPerSM*cfg.WarpSize:
+		return fmt.Errorf("gpu: block of %d threads exceeds SM capacity", l.Block.Count())
+	case l.Prog.SharedBytes > cfg.SharedMemPerSM:
+		return fmt.Errorf("gpu: kernel needs %d B shared, SM has %d", l.Prog.SharedBytes, cfg.SharedMemPerSM)
+	}
+	if err := l.Prog.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BlocksPerSM computes the occupancy: how many blocks of this launch fit
+// on one SM simultaneously.
+func (l *Launch) BlocksPerSM(cfg *Config) int {
+	warpsPerBlock := (l.Block.Count() + cfg.WarpSize - 1) / cfg.WarpSize
+	n := cfg.MaxBlocksPerSM
+	if byWarps := cfg.MaxWarpsPerSM / warpsPerBlock; byWarps < n {
+		n = byWarps
+	}
+	regsPerBlock := l.Prog.NumRegs * l.Block.Count()
+	if regsPerBlock > 0 {
+		if byRegs := cfg.RegistersPerSM / regsPerBlock; byRegs < n {
+			n = byRegs
+		}
+	}
+	if l.Prog.SharedBytes > 0 {
+		if byShared := cfg.SharedMemPerSM / l.Prog.SharedBytes; byShared < n {
+			n = byShared
+		}
+	}
+	if n < 1 {
+		n = 0
+	}
+	return n
+}
+
+// compiledKernel caches per-program structures shared by all warps.
+type compiledKernel struct {
+	prog *isa.Program
+	info *kernel.Info
+}
+
+func compileKernel(p *isa.Program) *compiledKernel {
+	return &compiledKernel{prog: p, info: kernel.Analyze(p)}
+}

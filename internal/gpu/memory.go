@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"fmt"
+
+	"flame/internal/isa"
+)
+
+// MemFault describes an out-of-bounds or misaligned simulated access.
+type MemFault struct {
+	Space isa.Space
+	Addr  uint32
+	Op    string
+}
+
+// Error implements the error interface.
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("gpu: %s fault: %s address %#x", f.Space, f.Op, f.Addr)
+}
+
+// GlobalMem is the device's flat global memory (word-addressed storage,
+// byte-addressed accesses).
+type GlobalMem struct {
+	words []uint32
+}
+
+// NewGlobalMem allocates global memory of the given byte size.
+func NewGlobalMem(bytes int) *GlobalMem {
+	return &GlobalMem{words: make([]uint32, (bytes+3)/4)}
+}
+
+// SizeBytes returns the memory size in bytes.
+func (m *GlobalMem) SizeBytes() int { return len(m.words) * 4 }
+
+// Load reads the 32-bit word at a byte address.
+func (m *GlobalMem) Load(addr uint32) (uint32, error) {
+	i, err := m.index(addr, "load")
+	if err != nil {
+		return 0, err
+	}
+	return m.words[i], nil
+}
+
+// Store writes the 32-bit word at a byte address.
+func (m *GlobalMem) Store(addr, v uint32) error {
+	i, err := m.index(addr, "store")
+	if err != nil {
+		return err
+	}
+	m.words[i] = v
+	return nil
+}
+
+func (m *GlobalMem) index(addr uint32, op string) (int, error) {
+	if addr%4 != 0 || int(addr/4) >= len(m.words) {
+		return 0, &MemFault{Space: isa.SpaceGlobal, Addr: addr, Op: op}
+	}
+	return int(addr / 4), nil
+}
+
+// Words exposes the underlying storage for host-side setup/validation.
+func (m *GlobalMem) Words() []uint32 { return m.words }
+
+// cacheModel is a tag-only set-associative LRU cache used for timing.
+type cacheModel struct {
+	sets, ways int
+	lineBytes  uint32
+	tags       [][]uint64 // [set][way]; 0 = invalid
+	tick       [][]int64  // LRU timestamps
+	now        int64
+}
+
+func newCache(sets, ways, lineBytes int) *cacheModel {
+	c := &cacheModel{sets: sets, ways: ways, lineBytes: uint32(lineBytes)}
+	c.tags = make([][]uint64, sets)
+	c.tick = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.tick[i] = make([]int64, ways)
+	}
+	return c
+}
+
+// access probes the line containing addr, filling it on miss.
+// It reports whether the access hit.
+func (c *cacheModel) access(addr uint32) bool {
+	line := uint64(addr / c.lineBytes)
+	set := int(line) % c.sets
+	tag := line + 1 // +1 so 0 stays "invalid"
+	c.now++
+	lru, lruAt := 0, c.tick[set][0]
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.tick[set][w] = c.now
+			return true
+		}
+		if c.tick[set][w] < lruAt {
+			lru, lruAt = w, c.tick[set][w]
+		}
+	}
+	c.tags[set][lru] = tag
+	c.tick[set][lru] = c.now
+	return false
+}
+
+// reset invalidates every line.
+func (c *cacheModel) reset() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.tick[s][w] = 0
+		}
+	}
+}

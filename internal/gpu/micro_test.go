@@ -1,0 +1,457 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"flame/internal/isa"
+)
+
+// Microarchitectural unit tests: caches, coalescing, bank conflicts,
+// MSHRs, DRAM bandwidth queueing, schedulers, nested divergence,
+// multi-launch reuse.
+
+func TestCacheModelLRU(t *testing.T) {
+	c := newCache(1, 2, 128) // one set, two ways
+	if c.access(0) {
+		t.Fatal("cold miss expected")
+	}
+	if !c.access(0) {
+		t.Fatal("hit expected")
+	}
+	c.access(128) // second line fills way 2
+	if !c.access(0) || !c.access(128) {
+		t.Fatal("both lines should be resident")
+	}
+	c.access(256) // evicts LRU (line 0 was touched before 128... order: 0,128 -> LRU is 0)
+	if c.access(128) == false {
+		t.Fatal("line 128 should survive")
+	}
+	// Line 0 was evicted by 256.
+	if c.access(0) {
+		t.Fatal("line 0 should have been evicted")
+	}
+	c.reset()
+	if c.access(128) {
+		t.Fatal("reset must invalidate")
+	}
+}
+
+func TestCoalescingCounts(t *testing.T) {
+	// 32 consecutive words = 1 line transaction; stride-128 bytes = 32.
+	coalesced := `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    exit
+`
+	strided := `
+    mov r0, %tid.x
+    shl r1, r0, 7
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    exit
+`
+	run := func(src string) *Stats {
+		d := newTestDevice(t)
+		l := &Launch{Prog: isa.MustParse("c", src), Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}, Params: []uint32{0}}
+		st, err := d.Run(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := run(coalesced); st.GlobalTransactions != 1 {
+		t.Fatalf("coalesced transactions = %d, want 1", st.GlobalTransactions)
+	}
+	if st := run(strided); st.GlobalTransactions != 32 {
+		t.Fatalf("strided transactions = %d, want 32", st.GlobalTransactions)
+	}
+}
+
+func TestSharedBankConflictDegrees(t *testing.T) {
+	// Same word from all lanes: broadcast, no conflict. Stride 2 words:
+	// 2-way conflict (16 distinct banks, 2 addrs each).
+	broadcast := `
+.shared 4096
+    mov r1, 0
+    ld.shared r2, [r1]
+    exit
+`
+	stride2 := `
+.shared 4096
+    mov r0, %tid.x
+    shl r1, r0, 3
+    ld.shared r2, [r1]
+    exit
+`
+	run := func(src string) *Stats {
+		d := newTestDevice(t)
+		l := &Launch{Prog: isa.MustParse("b", src), Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}}
+		st, err := d.Run(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := run(broadcast); st.SharedConflicts != 0 {
+		t.Fatalf("broadcast conflicts = %d, want 0", st.SharedConflicts)
+	}
+	if st := run(stride2); st.SharedConflicts != 1 {
+		t.Fatalf("stride-2 conflicts = %d, want 1 extra transaction", st.SharedConflicts)
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	// Many independent strided loads from one warp: with MSHRs=1 the
+	// misses serialize, so the run takes much longer than with MSHRs=32.
+	src := `
+    mov r0, %tid.x
+    shl r1, r0, 7
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    ld.global r5, [r3+16384]
+    ld.global r6, [r3+32768]
+    ld.global r7, [r3+49152]
+    add r8, r4, r5
+    add r8, r8, r6
+    add r8, r8, r7
+    st.global [r3+65536], r8
+    exit
+`
+	run := func(mshrs int) int64 {
+		cfg := smallConfig()
+		cfg.MSHRs = mshrs
+		d, err := NewDevice(cfg, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := &Launch{Prog: isa.MustParse("m", src), Grid: isa.Dim3{X: 4}, Block: isa.Dim3{X: 64}, Params: []uint32{0}}
+		st, err := d.Run(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	wide, narrow := run(32), run(1)
+	if narrow <= wide {
+		t.Fatalf("MSHR=1 (%d cycles) should be slower than MSHR=32 (%d)", narrow, wide)
+	}
+}
+
+func TestDRAMBandwidthQueueing(t *testing.T) {
+	// A bandwidth-starved config must take longer than a generous one on
+	// a streaming kernel.
+	run := func(cyclesPerLine int) int64 {
+		cfg := smallConfig()
+		cfg.DRAMCyclesPerLine = cyclesPerLine
+		d, err := NewDevice(cfg, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8192
+		l := &Launch{Prog: isa.MustParse("t", vaddSrc), Grid: isa.Dim3{X: 32}, Block: isa.Dim3{X: 256},
+			Params: []uint32{0, 4 * n, 8 * n}}
+		st, err := d.Run(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	fast, slow := run(2), run(32)
+	if slow < fast*2 {
+		t.Fatalf("bandwidth model inert: %d vs %d cycles", fast, slow)
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	// Two nested diamonds: every lane must end with the value of its
+	// (outer, inner) path.
+	src := `
+    mov r0, %tid.x
+    and r1, r0, 1
+    and r2, r0, 2
+    setp.eq p0, r1, 0
+@!p0 bra OUTER_ELSE
+    setp.eq p1, r2, 0
+@!p1 bra IN1_ELSE
+    mov r3, 11
+    bra IN1_JOIN
+IN1_ELSE:
+    mov r3, 12
+IN1_JOIN:
+    bra OUTER_JOIN
+OUTER_ELSE:
+    setp.eq p2, r2, 0
+@!p2 bra IN2_ELSE
+    mov r3, 21
+    bra IN2_JOIN
+IN2_ELSE:
+    mov r3, 22
+IN2_JOIN:
+OUTER_JOIN:
+    shl r4, r0, 2
+    ld.param r5, [0]
+    add r6, r5, r4
+    st.global [r6], r3
+    exit
+`
+	d := newTestDevice(t)
+	l := &Launch{Prog: isa.MustParse("nest", src), Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}, Params: []uint32{0}}
+	if _, err := d.Run(l, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		want := uint32(11)
+		switch {
+		case i&1 == 0 && i&2 != 0:
+			want = 12
+		case i&1 != 0 && i&2 == 0:
+			want = 21
+		case i&1 != 0 && i&2 != 0:
+			want = 22
+		}
+		if got := d.Mem.Words()[i]; got != want {
+			t.Fatalf("lane %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// Each lane loops tid+1 times; the warp must keep lanes alive until
+	// the last one finishes.
+	src := `
+    mov r0, %tid.x
+    mov r1, 0
+LOOP:
+    add r1, r1, 1
+    setp.leu p0, r1, r0
+@p0 bra LOOP
+    shl r2, r0, 2
+    ld.param r3, [0]
+    add r4, r3, r2
+    st.global [r4], r1
+    exit
+`
+	d := newTestDevice(t)
+	l := &Launch{Prog: isa.MustParse("dl", src), Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}, Params: []uint32{0}}
+	if _, err := d.Run(l, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := d.Mem.Words()[i]; got != uint32(i+1) {
+			t.Fatalf("lane %d looped %d times, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestMultiLaunchStatePersists(t *testing.T) {
+	// Two sequential launches on one device: the second reads the
+	// first's output (iterative-application pattern).
+	inc := `
+    mov r0, %tid.x
+    mov r8, %ctaid.x
+    mov r9, %ntid.x
+    mad r0, r8, r9, r0
+    shl r1, r0, 2
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    add r5, r4, 1
+    ld.param r6, [4]
+    add r7, r6, r1
+    st.global [r7], r5
+    exit
+`
+	d := newTestDevice(t)
+	p := isa.MustParse("inc", inc)
+	for i := 0; i < 64; i++ {
+		d.Mem.Words()[i] = uint32(i)
+	}
+	// Ping-pong between buffers at 0 and 256 bytes.
+	l1 := &Launch{Prog: p, Grid: isa.Dim3{X: 2}, Block: isa.Dim3{X: 32}, Params: []uint32{0, 256}}
+	l2 := &Launch{Prog: p, Grid: isa.Dim3{X: 2}, Block: isa.Dim3{X: 32}, Params: []uint32{256, 0}}
+	for it := 0; it < 3; it++ {
+		if _, err := d.Run(l1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(l2, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if got := d.Mem.Words()[i]; got != uint32(i+6) {
+			t.Fatalf("after 6 increments, x[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestTwoLevelSchedulerRuns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scheduler = TwoLevel
+	cfg.TwoLevelGroup = 4
+	d, err := NewDevice(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	for i := 0; i < n; i++ {
+		d.Mem.Words()[i] = uint32(i)
+		d.Mem.Words()[n+i] = uint32(i)
+	}
+	l := &Launch{Prog: isa.MustParse("v", vaddSrc), Grid: isa.Dim3{X: 8}, Block: isa.Dim3{X: 256},
+		Params: []uint32{0, 4 * n, 8 * n}}
+	if _, err := d.Run(l, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.Mem.Words()[2*n+i]; got != uint32(2*i) {
+			t.Fatalf("c[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestSchedulerPoliciesDiffer(t *testing.T) {
+	// The four policies should produce different cycle counts on a
+	// mixed compute/memory kernel (they are genuinely different models).
+	cycles := map[SchedulerKind]int64{}
+	for _, sk := range []SchedulerKind{GTO, LRR, OLD, TwoLevel} {
+		cfg := smallConfig()
+		cfg.Scheduler = sk
+		d, err := NewDevice(cfg, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4096
+		l := &Launch{Prog: isa.MustParse("v", vaddSrc), Grid: isa.Dim3{X: 16}, Block: isa.Dim3{X: 256},
+			Params: []uint32{0, 4 * n, 8 * n}}
+		st, err := d.Run(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[sk] = st.Cycles
+	}
+	distinct := map[int64]bool{}
+	for _, c := range cycles {
+		distinct[c] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all schedulers identical: %v", cycles)
+	}
+}
+
+func TestAtomicLaneSerialization(t *testing.T) {
+	// All 32 lanes atomically add to the same address: result exact.
+	src := `
+    mov r0, 1
+    ld.param r1, [0]
+    atom.global.add r2, [r1], r0
+    exit
+`
+	d := newTestDevice(t)
+	l := &Launch{Prog: isa.MustParse("a", src), Grid: isa.Dim3{X: 2}, Block: isa.Dim3{X: 32}, Params: []uint32{0}}
+	st, err := d.Run(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mem.Words()[0]; got != 64 {
+		t.Fatalf("atomic sum = %d, want 64", got)
+	}
+	if st.Atomics != 64 {
+		t.Fatalf("atomic count = %d", st.Atomics)
+	}
+}
+
+func TestLocalMemoryIsPerThread(t *testing.T) {
+	src := `
+.local 8
+    mov r0, %tid.x
+    st.local [0], r0
+    ld.local r1, [0]
+    shl r2, r0, 2
+    ld.param r3, [0]
+    add r4, r3, r2
+    st.global [r4], r1
+    exit
+`
+	d := newTestDevice(t)
+	l := &Launch{Prog: isa.MustParse("lm", src), Grid: isa.Dim3{X: 1}, Block: isa.Dim3{X: 32}, Params: []uint32{0}}
+	if _, err := d.Run(l, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := d.Mem.Words()[i]; got != uint32(i) {
+			t.Fatalf("lane %d local = %d (local memory shared between threads?)", i, got)
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	d := newTestDevice(t)
+	const n = 1024
+	l := &Launch{Prog: isa.MustParse("v", vaddSrc), Grid: isa.Dim3{X: 4}, Block: isa.Dim3{X: 256},
+		Params: []uint32{0, 4 * n, 8 * n}}
+	st, err := d.Run(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != st.SourceInsts+st.ReplicaInsts+st.CheckpointStores {
+		t.Fatalf("issued %d != source %d + replicas %d + ckpt %d",
+			st.Issued, st.SourceInsts, st.ReplicaInsts, st.CheckpointStores)
+	}
+	wantIssued := int64(4 * 256 / 32 * 16) // warps * instructions
+	if st.Issued != wantIssued {
+		t.Fatalf("issued = %d, want %d", st.Issued, wantIssued)
+	}
+	if st.L1Hits+st.L1Misses != st.GlobalTransactions {
+		t.Fatalf("L1 probes %d != transactions %d", st.L1Hits+st.L1Misses, st.GlobalTransactions)
+	}
+}
+
+func TestTracerAndCombineHooks(t *testing.T) {
+	d := newTestDevice(t)
+	const n = 256
+	for i := 0; i < n; i++ {
+		d.Mem.Words()[i] = uint32(i)
+		d.Mem.Words()[n+i] = uint32(i)
+	}
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+	tr.FromCycle, tr.ToCycle = 0, 50
+	blocked := 0
+	extra := &Hooks{
+		BeforeIssue: func(d *Device, sm *SM, w *Warp) bool {
+			// Block warp 1 for the first 10 cycles via the combinator.
+			if w.ID == 1 && d.Cyc < 10 {
+				blocked++
+				return false
+			}
+			return true
+		},
+	}
+	hooks := CombineHooks(extra, tr.Hooks())
+	l := &Launch{Prog: isa.MustParse("v", vaddSrc), Grid: isa.Dim3{X: 4}, Block: isa.Dim3{X: 64},
+		Params: []uint32{0, 4 * n, 8 * n}}
+	if _, err := d.Run(l, hooks); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events == 0 || sb.Len() == 0 {
+		t.Fatal("tracer emitted nothing")
+	}
+	if blocked == 0 {
+		t.Fatal("combined BeforeIssue never ran")
+	}
+	if !strings.Contains(sb.String(), "mov r0, %tid.x") {
+		t.Fatalf("trace content missing disassembly:\n%.300s", sb.String())
+	}
+	// Correctness preserved under tracing + blocking.
+	for i := 0; i < n; i++ {
+		if got := d.Mem.Words()[2*n+i]; got != uint32(2*i) {
+			t.Fatalf("c[%d] = %d", i, got)
+		}
+	}
+}

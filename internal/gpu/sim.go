@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"fmt"
+
+	"flame/internal/isa"
+)
+
+// Device is a simulated GPU.
+type Device struct {
+	Cfg   Config
+	Mem   *GlobalMem
+	SMs   []*SM
+	l2    *cacheModel
+	Cyc   int64
+	Stats Stats
+
+	launch      *Launch
+	kern        *compiledKernel
+	hooks       *Hooks
+	blocksPerSM int
+	nextBlock   int
+	blocksDone  int
+	ageSeq      int64
+
+	// MaxCycles bounds a run (deadlock/livelock detection).
+	MaxCycles int64
+}
+
+// NewDevice creates a device with the given configuration and global
+// memory size in bytes.
+func NewDevice(cfg Config, memBytes int) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		Cfg:       cfg,
+		Mem:       NewGlobalMem(memBytes),
+		l2:        newCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes),
+		MaxCycles: 200_000_000,
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		d.SMs = append(d.SMs, newSM(i, d))
+	}
+	return d, nil
+}
+
+// Launch returns the launch currently running (nil outside Run).
+func (d *Device) Launch() *Launch { return d.launch }
+
+// Kernel returns the compiled kernel of the current launch.
+func (d *Device) Kernel() *isa.Program { return d.launch.Prog }
+
+// Cycle returns the current simulation cycle.
+func (d *Device) Cycle() int64 { return d.Cyc }
+
+// Run simulates one kernel launch to completion and returns its stats.
+// Hooks may be nil. Global memory contents persist across runs (host
+// code initializes and validates them via Mem).
+func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
+	if err := l.Validate(&d.Cfg); err != nil {
+		return nil, err
+	}
+	d.launch = l
+	d.kern = compileKernel(l.Prog)
+	d.hooks = hooks
+	d.Stats = Stats{}
+	d.Cyc = 0
+	d.nextBlock = 0
+	d.blocksDone = 0
+	d.ageSeq = 0
+	d.blocksPerSM = l.BlocksPerSM(&d.Cfg)
+	if d.blocksPerSM == 0 {
+		return nil, fmt.Errorf("gpu: kernel %q does not fit on an SM (regs=%d shared=%dB)",
+			l.Prog.Name, l.Prog.NumRegs, l.Prog.SharedBytes)
+	}
+
+	// Reset per-run microarchitectural state.
+	for _, sm := range d.SMs {
+		sm.Warps = sm.Warps[:0]
+		sm.Blocks = sm.Blocks[:0]
+		sm.liveWarps = 0
+		sm.lsuBusyUntil = 0
+		sm.sfuBusyUntil = 0
+		sm.dramFree = 0
+		sm.l2Free = 0
+		sm.mshrRelease = sm.mshrRelease[:0]
+		sm.l1.reset()
+		for i := range sm.scheds {
+			sm.scheds[i] = newScheduler(d.Cfg.Scheduler, d.Cfg.TwoLevelGroup)
+		}
+	}
+	d.l2.reset()
+
+	// Initial block dispatch, round-robin over SMs.
+	for _, sm := range d.SMs {
+		sm.dispatch()
+	}
+
+	total := l.Grid.Count()
+	for d.blocksDone < total {
+		if d.Cyc >= d.MaxCycles {
+			return nil, fmt.Errorf("gpu: %q exceeded %d cycles (deadlock or runaway kernel); %d/%d blocks done",
+				l.Prog.Name, d.MaxCycles, d.blocksDone, total)
+		}
+		for _, sm := range d.SMs {
+			if err := sm.step(d.Cyc); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", d.Cyc, err)
+			}
+		}
+		d.hooks.onCycle(d)
+		d.Cyc++
+	}
+	d.Stats.Cycles = d.Cyc
+	return &d.Stats, nil
+}
+
+// WarpsOfBlock returns the live warps of a block slot on an SM.
+func (sm *SM) WarpsOfBlock(b *BlockState) []*Warp {
+	out := make([]*Warp, 0, len(b.WarpIdx))
+	for _, wi := range b.WarpIdx {
+		if w := sm.Warps[wi]; w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}

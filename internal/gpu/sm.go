@@ -1,0 +1,321 @@
+package gpu
+
+import "flame/internal/isa"
+
+// BlockState is a thread block resident on an SM.
+type BlockState struct {
+	// Slot is the SM-local block slot index.
+	Slot int
+	// GlobalID is the launch-wide block index, or -1 if the slot is free.
+	GlobalID int
+	// Shared is the block's shared-memory scratchpad.
+	Shared []uint32
+	// BarGen counts barrier releases in this block.
+	BarGen int
+	// WarpIdx lists the SM warp indices belonging to this block.
+	WarpIdx   []int
+	liveWarps int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID     int
+	dev    *Device
+	Warps  []*Warp
+	Blocks []*BlockState
+	scheds []scheduler
+	l1     *cacheModel
+
+	lsuBusyUntil int64
+	sfuBusyUntil int64
+	// dramFree / l2Free model this SM's share of DRAM and L2 bandwidth:
+	// the cycle its next line transaction can start service.
+	dramFree int64
+	l2Free   int64
+	// mshrRelease holds completion cycles of outstanding L1 misses.
+	mshrRelease []int64
+
+	liveWarps int
+}
+
+// mshrAvailable reports whether an L1 miss slot is free at the cycle.
+func (sm *SM) mshrAvailable(cycle int64) bool {
+	limit := sm.dev.Cfg.MSHRs
+	if limit <= 0 {
+		return true
+	}
+	n := 0
+	kept := sm.mshrRelease[:0]
+	for _, r := range sm.mshrRelease {
+		if r > cycle {
+			kept = append(kept, r)
+			n++
+		}
+	}
+	sm.mshrRelease = kept
+	return n < limit
+}
+
+func newSM(id int, d *Device) *SM {
+	cfg := &d.Cfg
+	sm := &SM{ID: id, dev: d, l1: newCache(cfg.L1Sets, cfg.L1Ways, cfg.LineBytes)}
+	for i := 0; i < cfg.SchedulersPerSM; i++ {
+		sm.scheds = append(sm.scheds, newScheduler(cfg.Scheduler, cfg.TwoLevelGroup))
+	}
+	return sm
+}
+
+// BlockOf returns the block state a warp belongs to.
+func (sm *SM) BlockOf(w *Warp) *BlockState { return sm.Blocks[w.BlockSlot] }
+
+// dispatch places grid blocks into free slots until occupancy is reached.
+func (sm *SM) dispatch() {
+	d := sm.dev
+	for d.nextBlock < d.launch.Grid.Count() {
+		slot := -1
+		for i, b := range sm.Blocks {
+			if b.GlobalID == -1 {
+				slot = i
+				break
+			}
+		}
+		if slot == -1 {
+			if len(sm.Blocks) < d.blocksPerSM {
+				sm.Blocks = append(sm.Blocks, &BlockState{Slot: len(sm.Blocks), GlobalID: -1})
+				slot = len(sm.Blocks) - 1
+			} else {
+				return
+			}
+		}
+		sm.placeBlock(sm.Blocks[slot], d.nextBlock)
+		d.nextBlock++
+	}
+}
+
+// placeBlock initializes warps for global block gb in the given slot.
+func (sm *SM) placeBlock(b *BlockState, gb int) {
+	d := sm.dev
+	l := d.launch
+	threads := l.Block.Count()
+	warpsPerBlock := (threads + d.Cfg.WarpSize - 1) / d.Cfg.WarpSize
+
+	b.GlobalID = gb
+	b.BarGen = 0
+	if n := l.Prog.SharedBytes / 4; len(b.Shared) != n {
+		b.Shared = make([]uint32, n)
+	} else {
+		for i := range b.Shared {
+			b.Shared[i] = 0
+		}
+	}
+	b.WarpIdx = b.WarpIdx[:0]
+	b.liveWarps = warpsPerBlock
+
+	nregs := l.Prog.NumRegs
+	localWords := (l.Prog.LocalBytes + 3) / 4
+	for wi := 0; wi < warpsPerBlock; wi++ {
+		w := &Warp{
+			ID:          len(sm.Warps),
+			BlockSlot:   b.Slot,
+			GlobalBlock: gb,
+			WarpInBlock: wi,
+			Age:         d.ageSeq,
+		}
+		d.ageSeq++
+		// Reuse a retired warp object slot if available.
+		reused := false
+		for i, old := range sm.Warps {
+			if old == nil {
+				w.ID = i
+				sm.Warps[i] = w
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			sm.Warps = append(sm.Warps, w)
+		}
+		b.WarpIdx = append(b.WarpIdx, w.ID)
+
+		var mask uint32
+		w.laneThread = make([]int, d.Cfg.WarpSize)
+		w.Regs = make([][]uint32, d.Cfg.WarpSize)
+		w.Preds = make([]uint8, d.Cfg.WarpSize)
+		w.local = make([][]uint32, d.Cfg.WarpSize)
+		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+			t := wi*d.Cfg.WarpSize + lane
+			if t < threads {
+				mask |= 1 << lane
+				w.laneThread[lane] = t
+				w.Regs[lane] = make([]uint32, nregs)
+				if localWords > 0 {
+					w.local[lane] = make([]uint32, localWords)
+				}
+			} else {
+				w.laneThread[lane] = -1
+			}
+		}
+		w.AliveMask = mask
+		w.Stack = SIMTStack{{PC: 0, RPC: len(l.Prog.Insts), Mask: mask}}
+		w.regReady = make([]int64, nregs)
+		sm.liveWarps++
+	}
+}
+
+// retireWarp handles a warp that just finished.
+func (sm *SM) retireWarp(w *Warp) {
+	sm.liveWarps--
+	b := sm.BlockOf(w)
+	b.liveWarps--
+	sm.checkBarrierRelease(b)
+	if b.liveWarps == 0 {
+		sm.dev.Stats.BlocksRun++
+		sm.dev.blocksDone++
+		gb := b.GlobalID
+		b.GlobalID = -1
+		for _, wi := range b.WarpIdx {
+			sm.Warps[wi] = nil
+		}
+		b.WarpIdx = b.WarpIdx[:0]
+		sm.dev.hooks.onBlockDone(sm.dev, sm, gb)
+		sm.dispatch()
+	}
+}
+
+// arriveBarrier implements bar.sync with generation counting: a warp
+// re-executing a barrier whose generation already released (recovery
+// replay) passes through immediately.
+func (sm *SM) arriveBarrier(w *Warp) {
+	b := sm.BlockOf(w)
+	if w.BarGen < b.BarGen {
+		w.BarGen++
+		return
+	}
+	w.AtBarrier = true
+	sm.checkBarrierRelease(b)
+}
+
+// checkBarrierRelease releases the block barrier when every live warp of
+// the current generation has arrived.
+func (sm *SM) checkBarrierRelease(b *BlockState) {
+	waiting := 0
+	for _, wi := range b.WarpIdx {
+		w := sm.Warps[wi]
+		if w == nil || w.Finished {
+			continue
+		}
+		if w.BarGen > b.BarGen || (w.BarGen == b.BarGen && w.AtBarrier) {
+			waiting++
+		} else {
+			return // someone has not arrived yet
+		}
+	}
+	if waiting == 0 {
+		return
+	}
+	b.BarGen++
+	for _, wi := range b.WarpIdx {
+		w := sm.Warps[wi]
+		if w == nil || w.Finished {
+			continue
+		}
+		if w.AtBarrier && w.BarGen == b.BarGen-1 {
+			w.AtBarrier = false
+			w.BarGen = b.BarGen
+		}
+	}
+}
+
+// ResetBarrierGen rewinds the block barrier generation (collective
+// section recovery): the block's released-generation counter is set to
+// the minimum of its warps' generations so replayed warps re-synchronize.
+func (sm *SM) ResetBarrierGen(b *BlockState) {
+	min := -1
+	for _, wi := range b.WarpIdx {
+		w := sm.Warps[wi]
+		if w == nil || w.Finished {
+			continue
+		}
+		if min == -1 || w.BarGen < min {
+			min = w.BarGen
+		}
+	}
+	if min >= 0 {
+		b.BarGen = min
+	}
+}
+
+// step runs one cycle of this SM. It returns the first simulation error.
+func (sm *SM) step(cycle int64) error {
+	if sm.liveWarps == 0 {
+		sm.dispatch()
+		if sm.liveWarps == 0 {
+			return nil
+		}
+	}
+	d := sm.dev
+	prog := d.launch.Prog
+	nsched := len(sm.scheds)
+	var readyBuf [64]int
+	for si, sched := range sm.scheds {
+		// Partition: warp i belongs to scheduler i%nsched.
+		ready := readyBuf[:0]
+		havework := false
+		for wi := si; wi < len(sm.Warps); wi += nsched {
+			w := sm.Warps[wi]
+			if w == nil || w.Finished {
+				continue
+			}
+			havework = true
+			if w.Suspended {
+				d.Stats.RBQWaitCycles++
+				continue
+			}
+			if w.AtBarrier {
+				d.Stats.BarrierWaits++
+				continue
+			}
+			if !w.depsReady(&prog.Insts[w.PC()], cycle) {
+				continue
+			}
+			// Structural hazards.
+			in := &prog.Insts[w.PC()]
+			if in.Op.IsMemory() {
+				if sm.lsuBusyUntil > cycle {
+					continue
+				}
+				if in.Space == isa.SpaceGlobal && !sm.mshrAvailable(cycle) {
+					continue
+				}
+			}
+			if in.Op.IsSFU() && sm.sfuBusyUntil > cycle {
+				continue
+			}
+			if !d.hooks.beforeIssue(d, sm, w) {
+				continue
+			}
+			ready = append(ready, wi)
+		}
+		if len(ready) == 0 {
+			if havework {
+				d.Stats.StallCycles++
+			}
+			continue
+		}
+		pick := sched.pick(sm.Warps, ready, cycle)
+		if pick < 0 {
+			d.Stats.StallCycles++
+			continue
+		}
+		w := sm.Warps[pick]
+		w.LastIssue = cycle
+		if err := sm.execute(w, cycle); err != nil {
+			return err
+		}
+		if w.Finished {
+			sm.retireWarp(w)
+			sched.reset()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package gpu
+
+import "fmt"
+
+// Stats accumulates device-wide counters over one Run.
+type Stats struct {
+	// Cycles is the total simulated core cycles until grid completion.
+	Cycles int64
+	// Issued is the number of dynamic instructions issued.
+	Issued int64
+	// SourceInsts counts issued instructions originating from the source
+	// kernel (excludes replicas, checkpoints and renaming copies).
+	SourceInsts int64
+	// ReplicaInsts counts issued SwapCodes replicas.
+	ReplicaInsts int64
+	// CheckpointStores counts issued checkpoint stores.
+	CheckpointStores int64
+	// BoundaryCrossings counts dynamic region-boundary crossings.
+	BoundaryCrossings int64
+	// StallCycles counts scheduler slots with work present but nothing
+	// ready to issue.
+	StallCycles int64
+	// L1Hits / L1Misses / L2Hits / L2Misses count cache probes.
+	L1Hits, L1Misses, L2Hits, L2Misses int64
+	// SharedConflicts counts extra shared-memory transactions caused by
+	// bank conflicts.
+	SharedConflicts int64
+	// GlobalTransactions counts coalesced global-memory transactions.
+	GlobalTransactions int64
+	// BarrierWaits counts warp-cycles spent waiting at barriers.
+	BarrierWaits int64
+	// Atomics counts atomic operations performed (per lane).
+	Atomics int64
+	// BlocksRun counts thread blocks executed to completion.
+	BlocksRun int64
+	// RBQWaitCycles counts warp-cycles spent suspended by resilience
+	// hooks (filled through Hooks).
+	RBQWaitCycles int64
+	// Recoveries counts error-recovery events (filled through Hooks).
+	Recoveries int64
+}
+
+// AvgDynRegionSize returns the average dynamic region size in source
+// instructions per boundary crossing (the paper reports 50.23 on
+// average across its benchmarks).
+func (s *Stats) AvgDynRegionSize() float64 {
+	if s.BoundaryCrossings == 0 {
+		return float64(s.SourceInsts)
+	}
+	return float64(s.SourceInsts) / float64(s.BoundaryCrossings)
+}
+
+// IPC returns issued instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// String summarizes the run.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d issued=%d ipc=%.2f regions=%d avgRegion=%.1f l1=%d/%d stall=%d",
+		s.Cycles, s.Issued, s.IPC(), s.BoundaryCrossings, s.AvgDynRegionSize(),
+		s.L1Hits, s.L1Hits+s.L1Misses, s.StallCycles)
+}
+
+// Accumulate adds another run's counters into s (multi-kernel
+// applications sum their launches).
+func (s *Stats) Accumulate(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Issued += o.Issued
+	s.SourceInsts += o.SourceInsts
+	s.ReplicaInsts += o.ReplicaInsts
+	s.CheckpointStores += o.CheckpointStores
+	s.BoundaryCrossings += o.BoundaryCrossings
+	s.StallCycles += o.StallCycles
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.SharedConflicts += o.SharedConflicts
+	s.GlobalTransactions += o.GlobalTransactions
+	s.BarrierWaits += o.BarrierWaits
+	s.Atomics += o.Atomics
+	s.BlocksRun += o.BlocksRun
+	s.RBQWaitCycles += o.RBQWaitCycles
+	s.Recoveries += o.Recoveries
+}

@@ -1,0 +1,164 @@
+package gpu
+
+import "flame/internal/isa"
+
+// SIMTEntry is one reconvergence-stack entry: execute at PC with Mask
+// until PC reaches RPC, then pop.
+type SIMTEntry struct {
+	PC   int
+	RPC  int // reconvergence PC; len(prog) means "at exit"
+	Mask uint32
+}
+
+// SIMTStack is a warp's divergence reconvergence stack.
+type SIMTStack []SIMTEntry
+
+// Clone returns an independent copy (used by RPT snapshots).
+func (s SIMTStack) Clone() SIMTStack {
+	t := make(SIMTStack, len(s))
+	copy(t, s)
+	return t
+}
+
+// Warp is one warp resident on an SM.
+type Warp struct {
+	// ID is the warp's index within its SM (stable while resident).
+	ID int
+	// BlockSlot is the SM-local slot of the warp's thread block.
+	BlockSlot int
+	// GlobalBlock is the launch-wide block index.
+	GlobalBlock int
+	// WarpInBlock is the warp's index within its block.
+	WarpInBlock int
+	// AliveMask has a bit per lane holding a live (non-exited) thread.
+	AliveMask uint32
+	// Stack is the SIMT reconvergence stack; the top entry carries the
+	// current PC and active mask.
+	Stack SIMTStack
+
+	// Regs[lane][reg] holds per-thread register files.
+	Regs [][]uint32
+	// Preds[lane] holds the 8 predicate registers as a bitmask.
+	Preds []uint8
+
+	// regReady[r] is the cycle at which register r's pending write
+	// completes; issue of a dependent instruction waits for it.
+	regReady []int64
+	// predReady[p] is the same for predicate registers.
+	predReady [isa.NumPredRegs]int64
+
+	// AtBarrier is set while the warp waits for a block barrier release.
+	AtBarrier bool
+	// BarGen counts barrier releases the warp has participated in.
+	BarGen int
+	// Suspended is set by resilience hooks (e.g. while the warp sits in
+	// the region boundary queue); a suspended warp is not schedulable.
+	Suspended bool
+	// Finished is set when every lane has exited.
+	Finished bool
+
+	// LastIssue is the cycle this warp last issued (scheduler bookkeeping).
+	LastIssue int64
+	// Age is the dispatch sequence number (for oldest-first policies).
+	Age int64
+
+	// laneThread[lane] is the block-linear thread id of each lane, or -1.
+	laneThread []int
+	// local[lane] is per-thread local memory (spills, checkpoints).
+	local [][]uint32
+}
+
+// PC returns the warp's current program counter.
+func (w *Warp) PC() int {
+	return w.Stack[len(w.Stack)-1].PC
+}
+
+// ActiveMask returns the current execution mask (top of stack ∧ alive).
+func (w *Warp) ActiveMask() uint32 {
+	return w.Stack[len(w.Stack)-1].Mask & w.AliveMask
+}
+
+// setPC updates the top-of-stack PC.
+func (w *Warp) setPC(pc int) {
+	w.Stack[len(w.Stack)-1].PC = pc
+}
+
+// popReconverged pops stack entries whose reconvergence point has been
+// reached or whose mask died, keeping at least one entry.
+func (w *Warp) popReconverged() {
+	for len(w.Stack) > 1 {
+		top := &w.Stack[len(w.Stack)-1]
+		if top.PC == top.RPC || top.Mask&w.AliveMask == 0 {
+			w.Stack = w.Stack[:len(w.Stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// exitLanes retires the given lanes from the warp: they are removed from
+// the alive mask and every stack entry.
+func (w *Warp) exitLanes(mask uint32) {
+	w.AliveMask &^= mask
+	for i := range w.Stack {
+		w.Stack[i].Mask &^= mask
+	}
+	if w.AliveMask == 0 {
+		w.Finished = true
+	}
+}
+
+// depsReady reports whether the instruction's source and destination
+// registers have no pending writes at the given cycle.
+func (w *Warp) depsReady(in *isa.Inst, cycle int64) bool {
+	var uses [4]isa.Reg
+	for _, r := range in.Uses(uses[:0]) {
+		if w.regReady[r] > cycle {
+			return false
+		}
+	}
+	if d := in.Defs(); d != isa.NoReg && w.regReady[d] > cycle {
+		return false
+	}
+	if g := in.Guard; g.Valid() && w.predReady[g.Pred] > cycle {
+		return false
+	}
+	if in.Op == isa.OpSelp && in.Src[2].Kind == isa.OperPred &&
+		w.predReady[in.Src[2].Pred] > cycle {
+		return false
+	}
+	if pd := in.DefsPred(); pd != isa.NoPred && w.predReady[pd] > cycle {
+		return false
+	}
+	return true
+}
+
+// Schedulable reports whether the warp could issue this cycle, ignoring
+// structural (unit) hazards.
+func (w *Warp) Schedulable(prog *isa.Program, cycle int64) bool {
+	if w.Finished || w.AtBarrier || w.Suspended {
+		return false
+	}
+	return w.depsReady(&prog.Insts[w.PC()], cycle)
+}
+
+// ResetPipeline clears pending-write tracking (used at recovery: the
+// pipeline is flushed, so every register is architecturally ready).
+func (w *Warp) ResetPipeline(cycle int64) {
+	for i := range w.regReady {
+		w.regReady[i] = cycle
+	}
+	for i := range w.predReady {
+		w.predReady[i] = cycle
+	}
+}
+
+// Restore rewinds the warp's control state to a recovery snapshot.
+func (w *Warp) Restore(pc int, stack SIMTStack, barGen int, cycle int64) {
+	w.Stack = stack.Clone()
+	w.setPC(pc)
+	w.BarGen = barGen
+	w.AtBarrier = false
+	w.Suspended = false
+	w.ResetPipeline(cycle)
+}

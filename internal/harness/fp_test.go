@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"flame/internal/bench"
+	"testing"
+)
+
+func TestFalsePositiveMultiKernel(t *testing.T) {
+	cfg := quick(t)
+	bp, err := bench.ByName("BP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Benchmarks = []*bench.Benchmark{bp}
+	rows, err := FalsePositiveStudy(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].NumFP < 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}

@@ -1,0 +1,188 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation section: the sensor-deployment curves (Figure 12, Table II),
+// the per-benchmark and average overhead comparisons (Figures 13-15), the
+// region-extension ablation (Figure 16), the WCDL / scheduler /
+// architecture sensitivity studies (Figures 17-19), the Section IV
+// discussion numbers, the hardware-cost arithmetic (Section VI-A2), and
+// a fault-injection validation campaign.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/gpu"
+	"flame/internal/stats"
+)
+
+// Config selects what the experiments run on.
+type Config struct {
+	// Arch is the GPU configuration (default GTX480).
+	Arch gpu.Config
+	// WCDL is the default sensor latency (default 20 cycles).
+	WCDL int
+	// Benchmarks restricts the workloads (default bench.All()).
+	Benchmarks []*bench.Benchmark
+	// Out receives the printed tables (nil = discard).
+	Out io.Writer
+}
+
+// Default returns the paper's default setup: GTX480, 20-cycle WCDL, GTO,
+// all 34 benchmarks.
+func Default() Config {
+	return Config{Arch: gpu.GTX480(), WCDL: 20, Benchmarks: bench.All()}
+}
+
+func (c *Config) fill() {
+	if c.Arch.Name == "" {
+		c.Arch = gpu.GTX480()
+	}
+	if c.WCDL == 0 {
+		c.WCDL = 20
+	}
+	if c.Benchmarks == nil {
+		c.Benchmarks = bench.All()
+	}
+}
+
+func (c *Config) printf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// runner caches baseline runs per (arch, scheduler, benchmark).
+type runner struct {
+	cfg      *Config
+	baseline map[string]float64 // key -> baseline cycles
+}
+
+func newRunner(cfg *Config) *runner {
+	cfg.fill()
+	return &runner{cfg: cfg, baseline: map[string]float64{}}
+}
+
+func (r *runner) key(arch gpu.Config, b *bench.Benchmark) string {
+	return arch.Name + "/" + arch.Scheduler.String() + "/" + b.Name
+}
+
+// overhead runs benchmark b under the scheme options on arch and returns
+// its execution time normalized to the cached baseline.
+func (r *runner) overhead(arch gpu.Config, b *bench.Benchmark, opt core.Options) (float64, error) {
+	k := r.key(arch, b)
+	base, ok := r.baseline[k]
+	if !ok {
+		res, err := core.Run(arch, b.Spec(), core.Options{Scheme: core.Baseline})
+		if err != nil {
+			return 0, fmt.Errorf("baseline %s: %w", b.Name, err)
+		}
+		base = float64(res.Stats.Cycles)
+		r.baseline[k] = base
+	}
+	res, err := core.Run(arch, b.Spec(), opt)
+	if err != nil {
+		return 0, fmt.Errorf("%s/%s: %w", b.Name, opt.Scheme, err)
+	}
+	return float64(res.Stats.Cycles) / base, nil
+}
+
+// flameOptions returns the full Flame configuration at the config's WCDL.
+func (c *Config) flameOptions() core.Options {
+	return core.Options{Scheme: core.SensorRenaming, WCDL: c.WCDL, ExtendRegions: true}
+}
+
+// OverheadMatrix is the result of Figures 13-15: normalized execution
+// times indexed [scheme][benchmark].
+type OverheadMatrix struct {
+	Benchmarks []string
+	Schemes    []core.Scheme
+	// Norm[i][j] is scheme i's normalized time on benchmark j.
+	Norm [][]float64
+}
+
+// Geomeans returns each scheme's geometric-mean normalized time
+// (Figure 15).
+func (m *OverheadMatrix) Geomeans() []float64 {
+	out := make([]float64, len(m.Schemes))
+	for i := range m.Schemes {
+		out[i] = stats.Geomean(m.Norm[i])
+	}
+	return out
+}
+
+// SchemeRow returns the row of a scheme, or nil.
+func (m *OverheadMatrix) SchemeRow(s core.Scheme) []float64 {
+	for i, sc := range m.Schemes {
+		if sc == s {
+			return m.Norm[i]
+		}
+	}
+	return nil
+}
+
+// Figure13_14 measures normalized execution time for every non-baseline
+// scheme on every benchmark (the paper's per-application bars), with
+// Flame = Sensor+Renaming including the region-extension optimization.
+func Figure13_14(cfg Config) (*OverheadMatrix, error) {
+	r := newRunner(&cfg)
+	schemes := []core.Scheme{
+		core.Renaming, core.Checkpointing,
+		core.SensorRenaming, core.SensorCheckpointing,
+		core.DupRenaming, core.DupCheckpointing,
+		core.HybridRenaming, core.HybridCheckpointing,
+	}
+	m := &OverheadMatrix{Schemes: schemes}
+	for _, b := range cfg.Benchmarks {
+		m.Benchmarks = append(m.Benchmarks, b.Name)
+	}
+	for _, s := range schemes {
+		opt := core.Options{Scheme: s, WCDL: cfg.WCDL}
+		if s == core.SensorRenaming {
+			opt.ExtendRegions = true // the full Flame design
+		}
+		row := make([]float64, 0, len(cfg.Benchmarks))
+		for _, b := range cfg.Benchmarks {
+			ov, err := r.overhead(cfg.Arch, b, opt)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ov)
+		}
+		m.Norm = append(m.Norm, row)
+	}
+
+	t := &stats.Table{Header: append([]string{"benchmark"}, schemeNames(schemes)...)}
+	for j, name := range m.Benchmarks {
+		cells := []any{name}
+		for i := range schemes {
+			cells = append(cells, m.Norm[i][j])
+		}
+		t.Add(cells...)
+	}
+	cfg.printf("Figure 13/14: normalized execution time (%s, WCDL=%d, %s)\n%s\n",
+		cfg.Arch.Name, cfg.WCDL, cfg.Arch.Scheduler, t)
+	return m, nil
+}
+
+// Figure15 prints the geometric means of a Figure 13/14 matrix.
+func Figure15(cfg Config, m *OverheadMatrix) []stats.Series {
+	g := m.Geomeans()
+	t := &stats.Table{Header: []string{"scheme", "geomean", "overhead"}}
+	labels := make([]string, len(m.Schemes))
+	for i, s := range m.Schemes {
+		labels[i] = s.String()
+		t.Add(s.String(), g[i], stats.OverheadPct(g[i]))
+	}
+	cfg.printf("Figure 15: average normalized execution time (geomean)\n%s\n", t)
+	return []stats.Series{{Name: "geomean", Labels: labels, Values: g}}
+}
+
+func schemeNames(ss []core.Scheme) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.String()
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package isa
+
+// InsertAt inserts instructions immediately before index at, shifting the
+// rest of the program and remapping branch targets. A branch whose target
+// was >= at continues to point at the same (displaced) instruction, so
+// inserted code is only reached by fall-through — which is what
+// checkpoint-store and replica insertion want. Boundary annotations move
+// with their instructions. Call Finalize afterwards.
+func InsertAt(p *Program, at int, ins ...Inst) {
+	if len(ins) == 0 {
+		return
+	}
+	k := len(ins)
+	for i := range p.Insts {
+		if p.Insts[i].Op == OpBra && p.Insts[i].Target >= at {
+			p.Insts[i].Target += k
+		}
+	}
+	for i := range ins {
+		if ins[i].Op == OpBra && ins[i].Target >= at {
+			ins[i].Target += k
+		}
+	}
+	out := make([]Inst, 0, len(p.Insts)+k)
+	out = append(out, p.Insts[:at]...)
+	out = append(out, ins...)
+	out = append(out, p.Insts[at:]...)
+	p.Insts = out
+}
+
+// InsertPlan batches insertions at multiple positions. Positions refer to
+// the original instruction indices; instructions inserted at the same
+// position keep their plan order.
+type InsertPlan struct {
+	entries []planEntry
+}
+
+type planEntry struct {
+	at  int
+	seq int
+	in  Inst
+}
+
+// Add schedules instruction in to be inserted before original index at.
+func (pl *InsertPlan) Add(at int, in Inst) {
+	pl.entries = append(pl.entries, planEntry{at: at, seq: len(pl.entries), in: in})
+}
+
+// Len returns the number of scheduled insertions.
+func (pl *InsertPlan) Len() int { return len(pl.entries) }
+
+// Apply performs all scheduled insertions and re-finalizes the program.
+func (pl *InsertPlan) Apply(p *Program) error {
+	if len(pl.entries) == 0 {
+		return nil
+	}
+	// Stable sort by position; apply back to front so original indices
+	// stay valid.
+	es := append([]planEntry(nil), pl.entries...)
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j].at < es[j-1].at || (es[j].at == es[j-1].at && es[j].seq < es[j-1].seq)); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	for i := len(es) - 1; i >= 0; {
+		j := i
+		for j >= 0 && es[j].at == es[i].at {
+			j--
+		}
+		group := make([]Inst, 0, i-j)
+		for k := j + 1; k <= i; k++ {
+			group = append(group, es[k].in)
+		}
+		InsertAt(p, es[i].at, group...)
+		i = j
+	}
+	return p.Finalize()
+}

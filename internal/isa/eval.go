@@ -1,0 +1,184 @@
+package isa
+
+import "math"
+
+func f32bits(f float32) uint32     { return math.Float32bits(f) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// F32Bits converts a float32 to its raw register representation.
+func F32Bits(f float32) uint32 { return f32bits(f) }
+
+// F32FromBits converts a raw register value to float32.
+func F32FromBits(b uint32) float32 { return f32frombits(b) }
+
+// EvalALU computes the result of a value-producing opcode on 32-bit
+// register values a, b, c. It is a pure function: the simulator applies it
+// per active lane. Opcodes that do not produce a general-register value
+// (branches, memory, setp) must not be passed here.
+func EvalALU(op Opcode, a, b, c uint32) uint32 {
+	sa, sb := int32(a), int32(b)
+	fa, fb, fc := f32frombits(a), f32frombits(b), f32frombits(c)
+	switch op {
+	case OpMov:
+		return a
+	case OpAdd:
+		return uint32(sa + sb)
+	case OpSub:
+		return uint32(sa - sb)
+	case OpMul:
+		return uint32(sa * sb)
+	case OpMulHi:
+		return uint32(uint64(int64(sa)*int64(sb)) >> 32)
+	case OpDiv:
+		if sb == 0 {
+			return 0
+		}
+		return uint32(sa / sb)
+	case OpRem:
+		if sb == 0 {
+			return 0
+		}
+		return uint32(sa % sb)
+	case OpMin:
+		if sa < sb {
+			return a
+		}
+		return b
+	case OpMax:
+		if sa > sb {
+			return a
+		}
+		return b
+	case OpAbs:
+		if sa < 0 {
+			return uint32(-sa)
+		}
+		return a
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 31)
+	case OpShr:
+		return a >> (b & 31)
+	case OpSra:
+		return uint32(sa >> (b & 31))
+	case OpMad:
+		return uint32(sa*sb + int32(c))
+	case OpFAdd:
+		return f32bits(fa + fb)
+	case OpFSub:
+		return f32bits(fa - fb)
+	case OpFMul:
+		return f32bits(fa * fb)
+	case OpFDiv:
+		return f32bits(fa / fb)
+	case OpFMin:
+		return f32bits(float32(math.Min(float64(fa), float64(fb))))
+	case OpFMax:
+		return f32bits(float32(math.Max(float64(fa), float64(fb))))
+	case OpFAbs:
+		return f32bits(float32(math.Abs(float64(fa))))
+	case OpFNeg:
+		return f32bits(-fa)
+	case OpFMA:
+		return f32bits(fa*fb + fc)
+	case OpItoF:
+		return f32bits(float32(sa))
+	case OpFtoI:
+		if math.IsNaN(float64(fa)) {
+			return 0
+		}
+		return uint32(int32(fa))
+	case OpSqrt:
+		return f32bits(float32(math.Sqrt(float64(fa))))
+	case OpRsqrt:
+		return f32bits(float32(1 / math.Sqrt(float64(fa))))
+	case OpSin:
+		return f32bits(float32(math.Sin(float64(fa))))
+	case OpCos:
+		return f32bits(float32(math.Cos(float64(fa))))
+	case OpExp2:
+		return f32bits(float32(math.Exp2(float64(fa))))
+	case OpLog2:
+		return f32bits(float32(math.Log2(float64(fa))))
+	case OpRcp:
+		return f32bits(1 / fa)
+	}
+	return 0
+}
+
+// EvalCmp computes a setp comparison on two register values.
+func EvalCmp(c CmpOp, a, b uint32) bool {
+	sa, sb := int32(a), int32(b)
+	fa, fb := f32frombits(a), f32frombits(b)
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return sa < sb
+	case CmpLE:
+		return sa <= sb
+	case CmpGT:
+		return sa > sb
+	case CmpGE:
+		return sa >= sb
+	case CmpLTU:
+		return a < b
+	case CmpLEU:
+		return a <= b
+	case CmpGTU:
+		return a > b
+	case CmpGEU:
+		return a >= b
+	case CmpFEQ:
+		return fa == fb
+	case CmpFNE:
+		return fa != fb
+	case CmpFLT:
+		return fa < fb
+	case CmpFLE:
+		return fa <= fb
+	case CmpFGT:
+		return fa > fb
+	case CmpFGE:
+		return fa >= fb
+	}
+	return false
+}
+
+// EvalAtom computes the new memory value and returned old value of an
+// atomic read-modify-write: new = old <aop> operand.
+func EvalAtom(aop AtomOp, old, operand uint32) (newVal, ret uint32) {
+	so, sv := int32(old), int32(operand)
+	switch aop {
+	case AtomAdd:
+		return uint32(so + sv), old
+	case AtomMax:
+		if sv > so {
+			return operand, old
+		}
+		return old, old
+	case AtomMin:
+		if sv < so {
+			return operand, old
+		}
+		return old, old
+	case AtomExch:
+		return operand, old
+	case AtomAnd:
+		return old & operand, old
+	case AtomOr:
+		return old | operand, old
+	case AtomXor:
+		return old ^ operand, old
+	}
+	return old, old
+}

@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Origin records how a compiler pass produced an instruction, for
+// statistics and debugging.
+type Origin uint8
+
+// Instruction origins.
+const (
+	OrigSource     Origin = iota // written by the programmer
+	OrigRename                   // rewritten by anti-dependent register renaming
+	OrigCheckpoint               // checkpoint store inserted by live-out checkpointing
+	OrigRestore                  // restore load used by checkpoint recovery
+	OrigDup                      // SwapCodes replica instruction
+)
+
+// Inst is a single instruction. Instructions are stored flat in a Program;
+// Target of a branch is an index into that flat slice after assembly.
+type Inst struct {
+	Op    Opcode
+	Guard Guard // predicate guard, NoGuard if unpredicated
+
+	Dst   Reg     // destination register (NoReg if none)
+	PDst  PredReg // predicate destination of setp (NoPred otherwise)
+	Src   [3]Operand
+	Cmp   CmpOp  // for setp
+	AOp   AtomOp // for atom
+	Space Space  // for ld/st/atom
+	Off   int32  // address immediate offset for ld/st/atom
+
+	Target int    // branch target instruction index (after Resolve)
+	Label  string // branch target label (before Resolve)
+
+	Line int // 1-based source line in the assembly text (0 if synthesized)
+
+	// Compiler annotations.
+	Boundary bool   // a region boundary immediately precedes this instruction
+	Origin   Origin // which pass produced the instruction
+}
+
+// Uses appends the general registers read by the instruction to dst and
+// returns it. The address base of memory operations is included. Registers
+// read via the guard predicate are not general registers and are excluded.
+func (in *Inst) Uses(dst []Reg) []Reg {
+	n := in.Op.NumSrcs()
+	switch in.Op {
+	case OpSt:
+		// st [a+off], b — reads address base and data.
+		n = 2
+	case OpAtom:
+		// atom d, [a+off], b — reads address base and combine operand.
+		n = 2
+	case OpBra:
+		n = 0
+	}
+	for i := 0; i < n && i < len(in.Src); i++ {
+		if in.Src[i].Kind == OperReg {
+			dst = append(dst, in.Src[i].Reg)
+		}
+	}
+	return dst
+}
+
+// Defs returns the general register written by the instruction, or NoReg.
+func (in *Inst) Defs() Reg {
+	if in.Op.HasDst() && in.Dst != NoReg {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// UsesPred appends the predicate registers read (guard and selp source).
+func (in *Inst) UsesPred(dst []PredReg) []PredReg {
+	if in.Guard.Valid() {
+		dst = append(dst, in.Guard.Pred)
+	}
+	if in.Op == OpSelp && in.Src[2].Kind == OperPred {
+		dst = append(dst, in.Src[2].Pred)
+	}
+	return dst
+}
+
+// DefsPred returns the predicate register written, or NoPred.
+func (in *Inst) DefsPred() PredReg {
+	if in.Op == OpSetp {
+		return in.PDst
+	}
+	return NoPred
+}
+
+// String disassembles the instruction (without its boundary annotation).
+func (in *Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Guard.String())
+	switch in.Op {
+	case OpNop, OpBar, OpMembar, OpExit:
+		b.WriteString(in.Op.String())
+	case OpBra:
+		fmt.Fprintf(&b, "bra %s", in.targetString())
+	case OpSetp:
+		fmt.Fprintf(&b, "setp.%s %s, %s, %s", in.Cmp, in.PDst, in.Src[0], in.Src[1])
+	case OpLd:
+		fmt.Fprintf(&b, "ld.%s %s, %s", in.Space, in.Dst, in.addrString())
+	case OpSt:
+		fmt.Fprintf(&b, "st.%s %s, %s", in.Space, in.addrString(), in.Src[1])
+	case OpAtom:
+		fmt.Fprintf(&b, "atom.%s.%s %s, %s, %s", in.Space, in.AOp, in.Dst, in.addrString(), in.Src[1])
+	default:
+		b.WriteString(in.Op.String())
+		b.WriteByte(' ')
+		b.WriteString(in.Dst.String())
+		for i := 0; i < in.Op.NumSrcs(); i++ {
+			b.WriteString(", ")
+			b.WriteString(in.Src[i].String())
+		}
+	}
+	return b.String()
+}
+
+func (in *Inst) targetString() string {
+	if in.Label != "" {
+		return in.Label
+	}
+	return fmt.Sprintf("@%d", in.Target)
+}
+
+func (in *Inst) addrString() string {
+	base := in.Src[0].String()
+	if in.Off == 0 {
+		return "[" + base + "]"
+	}
+	return fmt.Sprintf("[%s%+d]", base, in.Off)
+}
+
+// Clone returns a deep copy of the instruction.
+func (in *Inst) Clone() Inst { return *in }

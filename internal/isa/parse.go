@@ -1,0 +1,514 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes an assembly syntax error with its source line.
+type ParseError struct {
+	Name string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Name, e.Line, e.Msg)
+}
+
+// Parse assembles kernel source text into a Program with resolved branch
+// targets. The syntax is line-oriented:
+//
+//	// comment            # comment
+//	.shared 4096          // per-block shared memory bytes
+//	.local 256            // per-thread local memory bytes
+//	LOOP:                 // label
+//	    mov r1, %tid.x
+//	    ld.param r2, [0]
+//	    ld.global r3, [r2+8]
+//	    setp.lt p0, r1, r3
+//	@p0 bra LOOP
+//	    atom.global.add r4, [r2], r1
+//	    bar.sync
+//	    exit
+func Parse(name, src string) (*Program, error) {
+	p := &parser{prog: &Program{Name: name}, labels: map[string]int{}}
+	for i, line := range strings.Split(src, "\n") {
+		if err := p.line(i+1, line); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Finalize(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// compile-time-constant kernel sources (benchmarks, tests).
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	prog    *Program
+	labels  map[string]int
+	pending []pendingBoundary
+}
+
+type pendingBoundary struct{}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{Name: p.prog.Name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) line(ln int, raw string) error {
+	s := raw
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		fields := strings.Fields(s)
+		switch fields[0] {
+		case ".shared", ".local":
+			if len(fields) != 2 {
+				return p.errf(ln, "%s wants one integer argument", fields[0])
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return p.errf(ln, "bad %s size %q", fields[0], fields[1])
+			}
+			if fields[0] == ".shared" {
+				p.prog.SharedBytes = n
+			} else {
+				p.prog.LocalBytes = n
+			}
+			return nil
+		default:
+			return p.errf(ln, "unknown directive %q", fields[0])
+		}
+	}
+
+	// Explicit region boundary marker (used in tests and dumps).
+	if s == "--" {
+		p.pending = append(p.pending, pendingBoundary{})
+		return nil
+	}
+
+	// Label.
+	if strings.HasSuffix(s, ":") {
+		l := strings.TrimSuffix(s, ":")
+		if !isIdent(l) {
+			return p.errf(ln, "bad label %q", l)
+		}
+		if _, dup := p.labels[l]; dup {
+			return p.errf(ln, "duplicate label %q", l)
+		}
+		p.labels[l] = len(p.prog.Insts)
+		return nil
+	}
+
+	in, err := p.inst(ln, s)
+	if err != nil {
+		return err
+	}
+	if len(p.pending) > 0 {
+		in.Boundary = true
+		p.pending = p.pending[:0]
+	}
+	p.prog.Insts = append(p.prog.Insts, in)
+	return nil
+}
+
+func (p *parser) inst(ln int, s string) (Inst, error) {
+	in := Inst{Guard: NoGuard, Dst: NoReg, PDst: NoPred, Target: -1, Line: ln}
+
+	// Guard prefix.
+	if strings.HasPrefix(s, "@") {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return in, p.errf(ln, "guard without instruction")
+		}
+		g := s[1:sp]
+		s = strings.TrimSpace(s[sp:])
+		if strings.HasPrefix(g, "!") {
+			in.Guard.Neg = true
+			g = g[1:]
+		}
+		pr, ok := parsePredReg(g)
+		if !ok {
+			return in, p.errf(ln, "bad guard predicate %q", g)
+		}
+		in.Guard.Pred = pr
+	}
+
+	// Mnemonic and operand text.
+	mn := s
+	args := ""
+	if sp := strings.IndexAny(s, " \t"); sp >= 0 {
+		mn, args = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	ops := splitOperands(args)
+
+	parts := strings.Split(mn, ".")
+	switch parts[0] {
+	case "nop", "exit", "membar":
+		if len(ops) != 0 {
+			return in, p.errf(ln, "%s takes no operands", parts[0])
+		}
+		in.Op = map[string]Opcode{"nop": OpNop, "exit": OpExit, "membar": OpMembar}[parts[0]]
+		return in, nil
+	case "bar":
+		if len(parts) != 2 || parts[1] != "sync" {
+			return in, p.errf(ln, "expected bar.sync")
+		}
+		in.Op = OpBar
+		return in, nil
+	case "bra":
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return in, p.errf(ln, "bra wants a label operand")
+		}
+		in.Op = OpBra
+		in.Label = ops[0]
+		return in, nil
+	case "setp":
+		if len(parts) != 2 {
+			return in, p.errf(ln, "setp wants a comparison suffix")
+		}
+		cmp, ok := cmpByName(parts[1])
+		if !ok {
+			return in, p.errf(ln, "unknown comparison %q", parts[1])
+		}
+		if len(ops) != 3 {
+			return in, p.errf(ln, "setp wants 3 operands")
+		}
+		pr, ok := parsePredReg(ops[0])
+		if !ok {
+			return in, p.errf(ln, "setp destination must be a predicate register")
+		}
+		in.Op, in.Cmp, in.PDst = OpSetp, cmp, pr
+		return in, p.sources(ln, &in, ops[1:])
+	case "ld", "st", "atom":
+		return p.memInst(ln, in, parts, ops)
+	}
+
+	op, ok := opByName(mn)
+	if !ok {
+		return in, p.errf(ln, "unknown instruction %q", mn)
+	}
+	in.Op = op
+	want := op.NumSrcs() + 1 // destination + sources
+	if len(ops) != want {
+		return in, p.errf(ln, "%s wants %d operands, got %d", mn, want, len(ops))
+	}
+	r, ok := parseReg(ops[0])
+	if !ok {
+		return in, p.errf(ln, "%s destination must be a register, got %q", mn, ops[0])
+	}
+	in.Dst = r
+	return in, p.sources(ln, &in, ops[1:])
+}
+
+func (p *parser) memInst(ln int, in Inst, parts []string, ops []string) (Inst, error) {
+	if len(parts) < 2 {
+		return in, p.errf(ln, "%s wants an address-space suffix", parts[0])
+	}
+	sp, ok := spaceByName(parts[1])
+	if !ok {
+		return in, p.errf(ln, "unknown address space %q", parts[1])
+	}
+	in.Space = sp
+	switch parts[0] {
+	case "ld":
+		if len(parts) != 2 || len(ops) != 2 {
+			return in, p.errf(ln, "ld.<space> wants: dst, [addr]")
+		}
+		in.Op = OpLd
+		r, ok := parseReg(ops[0])
+		if !ok {
+			return in, p.errf(ln, "ld destination must be a register")
+		}
+		in.Dst = r
+		return in, p.address(ln, &in, ops[1])
+	case "st":
+		if len(parts) != 2 || len(ops) != 2 {
+			return in, p.errf(ln, "st.<space> wants: [addr], src")
+		}
+		in.Op = OpSt
+		if err := p.address(ln, &in, ops[0]); err != nil {
+			return in, err
+		}
+		src, err := p.operand(ln, ops[1])
+		if err != nil {
+			return in, err
+		}
+		in.Src[1] = src
+		return in, nil
+	case "atom":
+		if len(parts) != 3 || len(ops) != 3 {
+			return in, p.errf(ln, "atom.<space>.<op> wants: dst, [addr], src")
+		}
+		ao, ok := atomByName(parts[2])
+		if !ok {
+			return in, p.errf(ln, "unknown atomic op %q", parts[2])
+		}
+		in.Op, in.AOp = OpAtom, ao
+		r, ok := parseReg(ops[0])
+		if !ok {
+			return in, p.errf(ln, "atom destination must be a register")
+		}
+		in.Dst = r
+		if err := p.address(ln, &in, ops[1]); err != nil {
+			return in, err
+		}
+		src, err := p.operand(ln, ops[2])
+		if err != nil {
+			return in, err
+		}
+		in.Src[1] = src
+		return in, nil
+	}
+	return in, p.errf(ln, "unreachable memory mnemonic")
+}
+
+// address parses "[rN+off]", "[rN-off]", "[rN]", or "[imm]" into Src[0]/Off.
+func (p *parser) address(ln int, in *Inst, s string) error {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return p.errf(ln, "bad address %q", s)
+	}
+	body := s[1 : len(s)-1]
+	// Find a +/- separator after the base (not a leading sign).
+	sep := -1
+	for i := 1; i < len(body); i++ {
+		if body[i] == '+' || body[i] == '-' {
+			sep = i
+			break
+		}
+	}
+	base := body
+	off := ""
+	if sep > 0 {
+		base, off = body[:sep], body[sep:]
+	}
+	if r, ok := parseReg(base); ok {
+		in.Src[0] = R(r)
+	} else if v, err := parseInt(base); err == nil {
+		in.Src[0] = Imm(v)
+	} else {
+		return p.errf(ln, "bad address base %q", base)
+	}
+	if off != "" {
+		off = strings.TrimPrefix(off, "+") // allow both [r2+-4] and [r2-4]
+		v, err := parseInt(off)
+		if err != nil {
+			return p.errf(ln, "bad address offset %q", off)
+		}
+		in.Off = v
+	}
+	return nil
+}
+
+func (p *parser) sources(ln int, in *Inst, ops []string) error {
+	for i, o := range ops {
+		v, err := p.operand(ln, o)
+		if err != nil {
+			return err
+		}
+		in.Src[i] = v
+	}
+	return nil
+}
+
+func (p *parser) operand(ln int, s string) (Operand, error) {
+	if r, ok := parseReg(s); ok {
+		return R(r), nil
+	}
+	if pr, ok := parsePredReg(s); ok {
+		return PredOperand(pr), nil
+	}
+	if strings.HasPrefix(s, "%") {
+		if sp, ok := specialByName(s); ok {
+			return Spec(sp), nil
+		}
+		return Operand{}, p.errf(ln, "unknown special register %q", s)
+	}
+	if strings.HasSuffix(s, "f") {
+		f, err := strconv.ParseFloat(strings.TrimSuffix(s, "f"), 32)
+		if err != nil {
+			return Operand{}, p.errf(ln, "bad float immediate %q", s)
+		}
+		return FImm(float32(f)), nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return Operand{}, p.errf(ln, "bad operand %q", s)
+	}
+	return Imm(v), nil
+}
+
+func (p *parser) resolve() error {
+	for i := range p.prog.Insts {
+		in := &p.prog.Insts[i]
+		if in.Op != OpBra {
+			continue
+		}
+		t, ok := p.labels[in.Label]
+		if !ok {
+			return p.errf(in.Line, "undefined label %q", in.Label)
+		}
+		if t >= len(p.prog.Insts) {
+			return p.errf(in.Line, "label %q points past program end", in.Label)
+		}
+		in.Target = t
+	}
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(s string) (Reg, bool) {
+	if len(s) < 2 || s[0] != 'r' {
+		return NoReg, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= int(NoReg) {
+		return NoReg, false
+	}
+	return Reg(n), true
+}
+
+func parsePredReg(s string) (PredReg, bool) {
+	if len(s) < 2 || s[0] != 'p' {
+		return NoPred, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumPredRegs {
+		return NoPred, false
+	}
+	return PredReg(n), true
+}
+
+func parseInt(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var nameToOp = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	// Memory/branch/setp mnemonics are handled structurally, not by map.
+	delete(m, "ld")
+	delete(m, "st")
+	delete(m, "atom")
+	delete(m, "bra")
+	delete(m, "setp")
+	delete(m, "bar.sync")
+	return m
+}()
+
+func opByName(s string) (Opcode, bool) {
+	op, ok := nameToOp[s]
+	return op, ok
+}
+
+func cmpByName(s string) (CmpOp, bool) {
+	for c := CmpOp(0); c < numCmpOps; c++ {
+		if cmpNames[c] == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func atomByName(s string) (AtomOp, bool) {
+	for a := AtomOp(0); a < numAtomOps; a++ {
+		if atomNames[a] == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+func spaceByName(s string) (Space, bool) {
+	for sp := SpaceGlobal; sp <= SpaceParam; sp++ {
+		if spaceNames[sp] == s {
+			return sp, true
+		}
+	}
+	return SpaceNone, false
+}
+
+func specialByName(s string) (Special, bool) {
+	for sp := Special(1); sp < numSpecials; sp++ {
+		if specialNames[sp] == s {
+			return sp, true
+		}
+	}
+	return SpecNone, false
+}

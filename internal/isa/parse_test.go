@@ -1,0 +1,270 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleKernel = `
+// vector add: c[i] = a[i] + b[i]
+.shared 128
+.local 32
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0      // global thread id
+    shl r4, r3, 2           // byte offset
+    ld.param r5, [0]        // &a
+    ld.param r6, [4]        // &b
+    ld.param r7, [8]        // &c
+    add r8, r5, r4
+    ld.global r9, [r8]
+    add r10, r6, r4
+    ld.global r11, [r10+0]
+    fadd r12, r9, r11
+    add r13, r7, r4
+    st.global [r13], r12
+    exit
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse("vadd", sampleKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 16 {
+		t.Fatalf("got %d insts, want 16", p.Len())
+	}
+	if p.SharedBytes != 128 || p.LocalBytes != 32 {
+		t.Fatalf("directives: shared=%d local=%d", p.SharedBytes, p.LocalBytes)
+	}
+	if p.NumRegs != 14 {
+		t.Fatalf("NumRegs = %d, want 14", p.NumRegs)
+	}
+	if p.Insts[0].Op != OpMov || p.Insts[0].Src[0].Spec != SpecTidX {
+		t.Fatalf("inst 0 = %s", p.Insts[0].String())
+	}
+	if p.Insts[3].Op != OpMad {
+		t.Fatalf("inst 3 = %s", p.Insts[3].String())
+	}
+	ld := p.Insts[9]
+	if ld.Op != OpLd || ld.Space != SpaceGlobal || ld.Dst != Reg(9) {
+		t.Fatalf("inst 9 = %s", ld.String())
+	}
+	st := p.Insts[14]
+	if st.Op != OpSt || st.Src[0].Reg != Reg(13) || st.Src[1].Reg != Reg(12) {
+		t.Fatalf("inst 14 = %s", st.String())
+	}
+}
+
+func TestParseBranchesAndGuards(t *testing.T) {
+	src := `
+    mov r0, 0
+    mov r1, 10
+LOOP:
+    add r0, r0, 1
+    setp.lt p0, r0, r1
+@p0 bra LOOP
+@!p0 bra DONE
+DONE:
+    exit
+`
+	p, err := Parse("loop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Insts[4]
+	if br.Op != OpBra || br.Target != 2 {
+		t.Fatalf("branch target = %d, want 2", br.Target)
+	}
+	if !br.Guard.Valid() || br.Guard.Neg {
+		t.Fatalf("guard = %+v", br.Guard)
+	}
+	br2 := p.Insts[5]
+	if !br2.Guard.Neg || br2.Target != 6 {
+		t.Fatalf("negated guard branch: %+v", br2)
+	}
+}
+
+func TestParseAtomicsAndBarrier(t *testing.T) {
+	src := `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    atom.global.add r2, [r1+16], r0
+    atom.shared.max r3, [r1], r2
+    bar.sync
+    membar
+    exit
+`
+	p, err := Parse("atom", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Insts[2]
+	if a.Op != OpAtom || a.AOp != AtomAdd || a.Space != SpaceGlobal || a.Off != 16 {
+		t.Fatalf("atom inst: %s", a.String())
+	}
+	if p.Insts[4].Op != OpBar || p.Insts[5].Op != OpMembar {
+		t.Fatal("barrier/membar not parsed")
+	}
+}
+
+func TestParseFloatImmediate(t *testing.T) {
+	p, err := Parse("fimm", "    fmul r1, r0, 2.5f\n    exit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint32(p.Insts[0].Src[1].Imm)
+	if F32FromBits(got) != 2.5 {
+		t.Fatalf("float imm bits = %#x", got)
+	}
+}
+
+func TestParseNegativeOffsets(t *testing.T) {
+	p, err := Parse("neg", "    ld.global r1, [r0-8]\n    st.shared [r2+-4], r1\n    exit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Off != -8 {
+		t.Fatalf("off = %d, want -8", p.Insts[0].Off)
+	}
+	if p.Insts[1].Off != -4 {
+		t.Fatalf("off = %d, want -4", p.Insts[1].Off)
+	}
+}
+
+func TestParseImmediateAddressBase(t *testing.T) {
+	p, err := Parse("param", "    ld.param r1, [12]\n    exit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Src[0].Kind != OperImm || p.Insts[0].Src[0].Imm != 12 {
+		t.Fatalf("address base: %+v", p.Insts[0].Src[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown-op", "    frobnicate r1, r2\n    exit", "unknown instruction"},
+		{"bad-label", "    bra NOWHERE\n    exit", "undefined label"},
+		{"no-exit", "    mov r0, 1", "no exit"},
+		{"bad-operand-count", "    add r1, r2\n    exit", "wants 3 operands"},
+		{"store-to-param", "    st.param [0], r1\n    exit", "read-only param"},
+		{"atomic-local", "    atom.local.add r1, [r0], r2\n    exit", "atomics require"},
+		{"dup-label", "A:\n    exit\nA:\n", "duplicate label"},
+		{"bad-guard", "@q0 bra X\nX:\n    exit", "bad guard"},
+		{"bad-space", "    ld.device r1, [r0]\n    exit", "unknown address space"},
+		{"setp-no-cmp", "    setp p0, r1, r2\n    exit", "comparison suffix"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.name, c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := Parse("rt", sampleKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.String()
+	// Strip the header comment; the dump must re-assemble to an equal program.
+	p2, err := Parse("rt", text)
+	if err != nil {
+		t.Fatalf("re-parse of dump failed: %v\ndump:\n%s", err, text)
+	}
+	if p2.Len() != p.Len() {
+		t.Fatalf("round trip length %d != %d", p2.Len(), p.Len())
+	}
+	for i := range p.Insts {
+		a, b := p.Insts[i], p2.Insts[i]
+		a.Line, b.Line = 0, 0
+		a.Label, b.Label = "", ""
+		if a != b {
+			t.Fatalf("inst %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestBoundaryMarkerRoundTrip(t *testing.T) {
+	src := "    mov r0, 1\n    --\n    add r1, r0, 1\n    exit\n"
+	p, err := Parse("b", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Insts[1].Boundary {
+		t.Fatal("boundary marker not attached to following instruction")
+	}
+	if p.BoundaryCount() != 1 {
+		t.Fatalf("BoundaryCount = %d", p.BoundaryCount())
+	}
+	p2, err := Parse("b2", p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Insts[1].Boundary {
+		t.Fatal("boundary lost in round trip")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	p := MustParse("ud", `
+    mad r3, r1, r2, r0
+    st.global [r4+8], r3
+    ld.global r5, [r4]
+    atom.shared.add r6, [r7], r8
+    setp.lt p0, r3, r5
+@p0 bra END
+END:
+    exit
+`)
+	check := func(i int, wantUses []Reg, wantDef Reg) {
+		t.Helper()
+		var u []Reg
+		u = p.Insts[i].Uses(u)
+		if len(u) != len(wantUses) {
+			t.Fatalf("inst %d uses %v, want %v", i, u, wantUses)
+		}
+		for j := range u {
+			if u[j] != wantUses[j] {
+				t.Fatalf("inst %d uses %v, want %v", i, u, wantUses)
+			}
+		}
+		if d := p.Insts[i].Defs(); d != wantDef {
+			t.Fatalf("inst %d def %v, want %v", i, d, wantDef)
+		}
+	}
+	check(0, []Reg{1, 2, 0}, 3)
+	check(1, []Reg{4, 3}, NoReg)
+	check(2, []Reg{4}, 5)
+	check(3, []Reg{7, 8}, 6)
+	check(4, []Reg{3, 5}, NoReg)
+	check(5, nil, NoReg)
+
+	if p.Insts[4].DefsPred() != PredReg(0) {
+		t.Fatal("setp should define p0")
+	}
+	var ps []PredReg
+	ps = p.Insts[5].UsesPred(ps)
+	if len(ps) != 1 || ps[0] != PredReg(0) {
+		t.Fatalf("branch pred uses = %v", ps)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParse("c", "    mov r0, 1\n    exit\n")
+	q := p.Clone()
+	q.Insts[0].Dst = Reg(5)
+	if p.Insts[0].Dst != Reg(0) {
+		t.Fatal("Clone shares instruction storage")
+	}
+}

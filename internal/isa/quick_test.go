@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomInst builds a random but valid instruction.
+func randomInst(r *rand.Rand) Inst {
+	in := Inst{Guard: NoGuard, Dst: NoReg, PDst: NoPred, Target: -1}
+	reg := func() Operand { return R(Reg(r.Intn(32))) }
+	operand := func() Operand {
+		if r.Intn(3) == 0 {
+			return Imm(int32(r.Intn(1<<16) - 1<<15))
+		}
+		if r.Intn(8) == 0 {
+			return Spec(Special(1 + r.Intn(int(numSpecials)-1)))
+		}
+		return reg()
+	}
+	if r.Intn(4) == 0 {
+		in.Guard = Guard{Pred: PredReg(r.Intn(NumPredRegs)), Neg: r.Intn(2) == 0}
+	}
+	switch r.Intn(6) {
+	case 0: // ALU binary
+		ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpMin, OpMax, OpFAdd, OpFMul, OpFSub, OpFDiv}
+		in.Op = ops[r.Intn(len(ops))]
+		in.Dst = Reg(r.Intn(32))
+		in.Src[0], in.Src[1] = operand(), operand()
+	case 1: // unary
+		ops := []Opcode{OpMov, OpNot, OpAbs, OpFAbs, OpFNeg, OpItoF, OpFtoI,
+			OpSqrt, OpRsqrt, OpSin, OpCos, OpExp2, OpLog2, OpRcp}
+		in.Op = ops[r.Intn(len(ops))]
+		in.Dst = Reg(r.Intn(32))
+		in.Src[0] = operand()
+	case 2: // ternary
+		in.Op = OpMad
+		if r.Intn(2) == 0 {
+			in.Op = OpFMA
+		}
+		in.Dst = Reg(r.Intn(32))
+		in.Src[0], in.Src[1], in.Src[2] = operand(), operand(), operand()
+	case 3: // setp
+		in.Op = OpSetp
+		in.Cmp = CmpOp(r.Intn(int(numCmpOps)))
+		in.PDst = PredReg(r.Intn(NumPredRegs))
+		in.Src[0], in.Src[1] = operand(), operand()
+	case 4: // load
+		in.Op = OpLd
+		in.Space = []Space{SpaceGlobal, SpaceShared, SpaceLocal, SpaceParam}[r.Intn(4)]
+		in.Dst = Reg(r.Intn(32))
+		in.Src[0] = reg()
+		in.Off = int32(r.Intn(256) * 4)
+	default: // store
+		in.Op = OpSt
+		in.Space = []Space{SpaceGlobal, SpaceShared, SpaceLocal}[r.Intn(3)]
+		in.Src[0] = reg()
+		in.Src[1] = operand()
+		in.Off = int32(r.Intn(256) * 4)
+	}
+	return in
+}
+
+// TestDisassembleParseRoundTrip: any program the generator produces must
+// disassemble to text that re-parses to the identical program.
+func TestDisassembleParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(30)
+		p := &Program{Name: "rt"}
+		for i := 0; i < n; i++ {
+			p.Insts = append(p.Insts, randomInst(r))
+		}
+		exit := Inst{Op: OpExit, Guard: NoGuard, Dst: NoReg, PDst: NoPred, Target: -1}
+		p.Insts = append(p.Insts, exit)
+		if err := p.Finalize(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		text := p.String()
+		q, err := Parse("rt", text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, text)
+		}
+		if q.Len() != p.Len() {
+			t.Fatalf("trial %d: length %d != %d", trial, q.Len(), p.Len())
+		}
+		for i := range p.Insts {
+			a, b := p.Insts[i], q.Insts[i]
+			a.Line, b.Line = 0, 0
+			a.Label, b.Label = "", ""
+			if a != b {
+				t.Fatalf("trial %d inst %d: %s != %s\n(%+v vs %+v)", trial, i, a.String(), b.String(), a, b)
+			}
+		}
+	}
+}
+
+// TestRoundTripWithBranches adds random forward branches and boundaries.
+func TestRoundTripWithBranches(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + r.Intn(20)
+		p := &Program{Name: "br"}
+		for i := 0; i < n; i++ {
+			in := randomInst(r)
+			in.Boundary = r.Intn(5) == 0
+			p.Insts = append(p.Insts, in)
+		}
+		// Random forward branches (target any instruction).
+		for k := 0; k < 3; k++ {
+			at := r.Intn(len(p.Insts))
+			br := Inst{Op: OpBra, Guard: Guard{Pred: PredReg(r.Intn(8))}, Dst: NoReg, PDst: NoPred,
+				Target: r.Intn(len(p.Insts))}
+			p.Insts[at] = br
+		}
+		p.Insts = append(p.Insts, Inst{Op: OpExit, Guard: NoGuard, Dst: NoReg, PDst: NoPred, Target: -1})
+		if err := p.Finalize(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		text := p.String()
+		q, err := Parse("br", text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		for i := range p.Insts {
+			if p.Insts[i].Op == OpBra && q.Insts[i].Target != p.Insts[i].Target {
+				t.Fatalf("trial %d: branch target %d != %d", trial, q.Insts[i].Target, p.Insts[i].Target)
+			}
+			if q.Insts[i].Boundary != p.Insts[i].Boundary {
+				t.Fatalf("trial %d inst %d: boundary flag lost", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package kernel
+
+import "sort"
+
+// Loop is a natural loop: a back edge Latch->Header plus the set of blocks
+// that can reach the latch without passing through the header.
+type Loop struct {
+	Header int
+	Latch  int
+	Blocks map[int]bool
+	// Depth is the loop nesting depth (1 = outermost). Filled by FindLoops.
+	Depth int
+}
+
+// Contains reports whether the loop body contains block b.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// FindLoops detects all natural loops using dominator-identified back
+// edges and computes nesting depths. Loops sharing a header are merged.
+func FindLoops(g *CFG, dom *DomTree) []*Loop {
+	byHeader := map[int]*Loop{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !dom.Dominates(s, b.ID) {
+				continue
+			}
+			// Back edge b -> s.
+			l, ok := byHeader[s]
+			if !ok {
+				l = &Loop{Header: s, Latch: b.ID, Blocks: map[int]bool{s: true}}
+				byHeader[s] = l
+			}
+			// Collect body: reverse flood from the latch stopping at header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				stack = append(stack, g.Blocks[x].Preds...)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+
+	// Nesting depth: a loop's depth is 1 + number of other loops whose body
+	// strictly contains its header.
+	for _, l := range loops {
+		l.Depth = 1
+		for _, o := range loops {
+			if o != l && o.Blocks[l.Header] {
+				l.Depth++
+			}
+		}
+	}
+	return loops
+}
+
+// LoopDepthOf returns, for each block, the deepest loop nesting depth the
+// block participates in (0 = not in any loop).
+func LoopDepthOf(g *CFG, loops []*Loop) []int {
+	depth := make([]int, len(g.Blocks))
+	for _, l := range loops {
+		for b := range l.Blocks {
+			if l.Depth > depth[b] {
+				depth[b] = l.Depth
+			}
+		}
+	}
+	return depth
+}

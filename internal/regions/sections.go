@@ -1,0 +1,115 @@
+package regions
+
+import (
+	"flame/internal/analysis"
+	"flame/internal/isa"
+)
+
+// detectSections finds instruction spans qualifying for the Section III-E
+// region-extension optimization. A section is a maximal span delimited by
+// "hard" points (kernel entry, exits, atomics, membars) that
+//
+//  1. contains at least one barrier,
+//  2. stores only to block-local shared memory, and
+//  3. initializes that shared memory before the first barrier with at
+//     least one unpredicated store.
+//
+// Inside such a section, error propagation is confined to the thread
+// block (shared memory is block-local), so barrier boundaries can be
+// elided and recovery replays the section collectively per block.
+func detectSections(p *isa.Program, sc *analysis.Scanner, boundary []bool) []Section {
+	n := len(p.Insts)
+	hard := make([]bool, n+1)
+	hard[0] = true
+	hard[n] = true
+	for i := range p.Insts {
+		switch p.Insts[i].Op {
+		case isa.OpAtom, isa.OpMembar:
+			hard[i] = true
+			if i+1 <= n {
+				hard[i+1] = true
+			}
+		case isa.OpExit:
+			hard[i] = true
+		}
+	}
+
+	var sections []Section
+	start := 0
+	for i := 1; i <= n; i++ {
+		if !hard[i] {
+			continue
+		}
+		sections = append(sections, qualifySubSpans(p, start, i)...)
+		start = i
+		// Skip the hard instruction itself for the next span.
+		if i < n && (p.Insts[i].Op == isa.OpAtom || p.Insts[i].Op == isa.OpMembar) {
+			start = i + 1
+		}
+	}
+	return sections
+}
+
+// qualifySubSpans splits a hard span at every non-shared store (stores
+// leaving block-local memory bound the pattern) and qualifies each piece
+// independently, so e.g. a kernel whose first phase writes global memory
+// can still extend its barrier-tiled second phase.
+func qualifySubSpans(p *isa.Program, start, end int) []Section {
+	var out []Section
+	sub := start
+	for i := start; i <= end; i++ {
+		atSplit := i == end ||
+			(p.Insts[i].Op == isa.OpSt && p.Insts[i].Space != isa.SpaceShared)
+		if !atSplit {
+			continue
+		}
+		if s, ok := qualifySection(p, sub, i); ok {
+			out = append(out, s)
+		}
+		sub = i + 1
+	}
+	return out
+}
+
+// qualifySection checks the III-E pattern on the span [start, end). The
+// section is truncated at the first store that leaves shared memory (the
+// typical global write-back tail of a tiled kernel): inside the section
+// all stores stay block-local, which is what makes collective per-block
+// replay coherent.
+func qualifySection(p *isa.Program, start, end int) (Section, bool) {
+	effEnd := end
+	for i := start; i < end; i++ {
+		in := &p.Insts[i]
+		if in.Op == isa.OpSt && in.Space != isa.SpaceShared {
+			effEnd = i
+			break
+		}
+		if in.Op == isa.OpAtom {
+			return Section{}, false
+		}
+	}
+	if effEnd-start < 2 {
+		return Section{}, false
+	}
+	var barriers []int
+	firstBarrier := -1
+	initStore := false
+	for i := start; i < effEnd; i++ {
+		in := &p.Insts[i]
+		switch in.Op {
+		case isa.OpBar:
+			if firstBarrier < 0 {
+				firstBarrier = i
+			}
+			barriers = append(barriers, i)
+		case isa.OpSt:
+			if firstBarrier < 0 && !in.Guard.Valid() {
+				initStore = true
+			}
+		}
+	}
+	if len(barriers) == 0 || !initStore {
+		return Section{}, false
+	}
+	return Section{Start: start, End: effEnd, Barriers: barriers}, true
+}

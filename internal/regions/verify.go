@@ -1,0 +1,73 @@
+package regions
+
+import (
+	"fmt"
+
+	"flame/internal/analysis"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// VerifyIdempotence checks that a region-annotated program satisfies the
+// invariants idempotent recovery relies on:
+//
+//   - no region contains a memory or predicate anti-dependence (register
+//     anti-dependences are allowed only if allowRegWAR — before the
+//     renaming/checkpointing pass has run);
+//   - every synchronization primitive is isolated by boundaries, except
+//     barriers inside a declared extended section;
+//   - memory anti-dependences inside extended sections only target shared
+//     memory.
+//
+// It returns nil when the program is safely recoverable, or a descriptive
+// error naming the first violated invariant.
+func VerifyIdempotence(p *isa.Program, sections []Section, allowRegWAR bool) error {
+	g := kernel.Build(p)
+	rd := analysis.ComputeReachDefs(g)
+	aa := analysis.NewAddrAnalysis(p, rd)
+	sc := analysis.NewScanner(p, g, aa)
+	boundary := analysis.BoundarySlice(p)
+
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if !in.Op.IsSync() {
+			continue
+		}
+		if in.Op == isa.OpBar && inAnySection(i, sections) {
+			continue
+		}
+		if !boundary[i] {
+			return fmt.Errorf("sync instruction %d (%s) lacks a preceding boundary", i, in)
+		}
+		if i+1 < len(p.Insts) && !boundary[i+1] {
+			return fmt.Errorf("sync instruction %d (%s) lacks a following boundary", i, in)
+		}
+	}
+
+	for _, v := range sc.Scan(boundary) {
+		switch v.Kind {
+		case analysis.MemWAR:
+			if inAnySection(v.At, sections) && inAnySection(v.Load, sections) &&
+				sc.Addr(v.At).Space == isa.SpaceShared {
+				continue // tolerated: collective section recovery
+			}
+			return fmt.Errorf("unresolved %v", v)
+		case analysis.PredWAR:
+			return fmt.Errorf("unresolved %v", v)
+		case analysis.RegWAR:
+			if !allowRegWAR {
+				return fmt.Errorf("unresolved %v", v)
+			}
+		}
+	}
+	return nil
+}
+
+func inAnySection(i int, sections []Section) bool {
+	for _, s := range sections {
+		if s.Contains(i) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+// Package rename implements anti-dependent register renaming (the
+// recovery-enabling pass Flame chooses, Section III-A): every write that
+// would overwrite a live region input is redirected to a fresh register,
+// and the uses it reaches are rewritten. Where simple renaming is unsound
+// (the def's uses are also reached by other defs), the pass falls back to
+// cutting the anti-dependence with an extra region boundary, which is
+// always safe.
+package rename
+
+import (
+	"fmt"
+
+	"flame/internal/analysis"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// Stats reports what the pass did.
+type Stats struct {
+	// Renamed is the number of defs redirected to fresh registers.
+	Renamed int
+	// RewrittenUses is the number of use sites updated.
+	RewrittenUses int
+	// Splits counts read-modify-write instructions (r = f(r, ...)) split
+	// into a fresh-temporary compute plus a copy, the only way to break a
+	// same-instruction anti-dependence.
+	Splits int
+	// FallbackBoundaries counts anti-dependences cut with a boundary
+	// because renaming was unsound at that def.
+	FallbackBoundaries int
+	// AddedRegs is the register-pressure increase (fresh registers).
+	AddedRegs int
+}
+
+// Apply removes all register anti-dependences from a region-annotated
+// program, mutating it. It runs scan → repair rounds to a fixpoint. Each
+// round repairs the first remaining violation with, in order of
+// preference:
+//
+//  1. read-modify-write split (the write also reads its destination —
+//     no boundary can cut a same-instruction anti-dependence);
+//  2. destination renaming, when every use the def reaches is reached
+//     only by this def (otherwise renaming would merge wrong values);
+//  3. a region boundary before the write, which is always sound.
+//
+// A def is renamed at most once; a repeated violation at a renamed def
+// means the anti-dependence is loop-carried through the def itself, which
+// only a boundary fixes.
+func Apply(p *isa.Program) (Stats, error) {
+	var st Stats
+	baseRegs := p.NumRegs
+	// Generous bound: each instruction can be split once, renamed once,
+	// and boundaried once.
+	maxRounds := 3*len(p.Insts) + 8
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return st, fmt.Errorf("rename: did not converge after %d rounds", maxRounds)
+		}
+		g := kernel.Build(p)
+		rd := analysis.ComputeReachDefs(g)
+		sc := analysis.NewScanner(p, g, analysis.NewAddrAnalysis(p, rd))
+		var regWARs []analysis.Violation
+		for _, v := range sc.Scan(analysis.BoundarySlice(p)) {
+			if v.Kind == analysis.RegWAR {
+				regWARs = append(regWARs, v)
+			}
+		}
+		if len(regWARs) == 0 {
+			st.AddedRegs = p.NumRegs - baseRegs
+			return st, nil
+		}
+		// Prefer read-modify-write splits: the boundary a split inserts
+		// often cuts other loop-carried anti-dependences for free, so
+		// handling splits first minimizes total boundaries.
+		v := regWARs[0]
+		for _, cand := range regWARs {
+			if readsOwnDst(&p.Insts[cand.At]) {
+				v = cand
+				break
+			}
+		}
+		in := &p.Insts[v.At]
+		switch {
+		case readsOwnDst(in):
+			splitRMW(p, v.At)
+			st.Splits++
+		case in.Origin != isa.OrigRename && renameDef(p, rd, v.At, v.Reg, &st):
+			st.Renamed++
+		default:
+			in.Boundary = true
+			st.FallbackBoundaries++
+		}
+		if err := p.Finalize(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// readsOwnDst reports whether the instruction reads the register it
+// writes (r = f(r, ...)).
+func readsOwnDst(in *isa.Inst) bool {
+	d := in.Defs()
+	if d == isa.NoReg {
+		return false
+	}
+	var uses [4]isa.Reg
+	for _, r := range in.Uses(uses[:0]) {
+		if r == d {
+			return true
+		}
+	}
+	return false
+}
+
+// splitRMW rewrites "op rD, ...rD..." into "op rT, ...rD...; mov rD, rT"
+// with a region boundary before the copy, breaking the same-instruction
+// anti-dependence. The copy inherits the original guard.
+func splitRMW(p *isa.Program, at int) {
+	in := &p.Insts[at]
+	tmp := isa.Reg(p.NumRegs)
+	d := in.Dst
+	in.Dst = tmp
+	mov := isa.Inst{
+		Op: isa.OpMov, Guard: in.Guard, Dst: d, PDst: isa.NoPred,
+		Origin: isa.OrigRename, Target: -1, Boundary: true,
+	}
+	mov.Src[0] = isa.R(tmp)
+	isa.InsertAt(p, at+1, mov)
+}
+
+// renameDef redirects the def at instruction di from reg r to a fresh
+// register and rewrites the uses it reaches. It returns false (without
+// mutating) when any reached use is also reached by a different def of r,
+// or when the def is predicated (it does not kill prior defs, so its uses
+// necessarily merge values).
+func renameDef(p *isa.Program, rd *analysis.ReachDefs, di int, r isa.Reg, st *Stats) bool {
+	if p.Insts[di].Guard.Valid() {
+		return false
+	}
+	uses := rd.UsesReachedBy(di, r)
+	for _, u := range uses {
+		if len(rd.DefsReaching(u, r)) != 1 {
+			return false
+		}
+	}
+	fresh := isa.Reg(p.NumRegs)
+	p.Insts[di].Dst = fresh
+	p.Insts[di].Origin = isa.OrigRename
+	for _, u := range uses {
+		in := &p.Insts[u]
+		// Rewrite register sources, including memory address bases.
+		for k := range in.Src {
+			if in.Src[k].Kind == isa.OperReg && in.Src[k].Reg == r {
+				in.Src[k].Reg = fresh
+			}
+		}
+		st.RewrittenUses++
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package rename
+
+import (
+	"testing"
+
+	"flame/internal/isa"
+	"flame/internal/regions"
+)
+
+const figure2Src = `
+    ld.param r1, [0]
+    ld.param r6, [4]
+    ld.param r2, [8]
+    ld.global r3, [r1]
+    ld.global r4, [r6]
+    add r4, r4, 1
+    st.global [r6], r4
+    ld.global r5, [r2]
+    add r7, r3, r5
+    mov r3, 9
+    st.global [r2], r3
+    exit
+`
+
+func form(t *testing.T, src string, opts regions.Options) *isa.Program {
+	t.Helper()
+	p := isa.MustParse("t", src)
+	if _, err := regions.Form(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRenameFigure2(t *testing.T) {
+	p := form(t, figure2Src, regions.Options{})
+	before := p.NumRegs
+	st, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Renamed != 1 {
+		t.Fatalf("renamed = %d, want 1 (stats: %+v)", st.Renamed, st)
+	}
+	if st.AddedRegs != 1 || p.NumRegs != before+1 {
+		t.Fatalf("register pressure: added=%d numregs=%d->%d", st.AddedRegs, before, p.NumRegs)
+	}
+	// The mov at inst 9 must now write the fresh register, and the store
+	// at 10 must read it.
+	fresh := isa.Reg(before)
+	if p.Insts[9].Dst != fresh {
+		t.Fatalf("def not renamed: %s", p.Insts[9].String())
+	}
+	if p.Insts[10].Src[1].Reg != fresh {
+		t.Fatalf("use not rewritten: %s", p.Insts[10].String())
+	}
+	// After renaming the program must be fully idempotent.
+	if err := regions.VerifyIdempotence(p, nil, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameLoopCarried(t *testing.T) {
+	// The accumulator pattern: r3 = r3 + x in a loop with a boundary in
+	// the body. Renaming cannot apply (the use at the loop head is
+	// reached by two defs), so a fallback boundary must cut the WAR.
+	src := `
+    mov r3, 0
+    mov r0, 0
+    ld.param r1, [0]
+LOOP:
+    add r2, r1, r0
+    ld.global r4, [r2]
+    add r5, r4, 1
+    st.global [r2], r5
+    add r3, r3, r4
+    add r0, r0, 4
+    setp.lt p0, r0, 256
+@p0 bra LOOP
+    ld.param r6, [4]
+    st.global [r6], r3
+    exit
+`
+	p := form(t, src, regions.Options{})
+	st, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regions.VerifyIdempotence(p, nil, false); err != nil {
+		t.Fatalf("not idempotent after rename: %v (stats %+v)\n%s", err, st, p)
+	}
+}
+
+func TestRenameCleanProgramIsNoop(t *testing.T) {
+	src := `
+    mov r0, %tid.x
+    shl r1, r0, 2
+    ld.param r2, [0]
+    add r3, r2, r1
+    ld.global r4, [r3]
+    fmul r5, r4, 2.0f
+    ld.param r6, [4]
+    add r7, r6, r1
+    st.global [r7], r5
+    exit
+`
+	p := form(t, src, regions.Options{})
+	st, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Renamed != 0 || st.FallbackBoundaries != 0 || st.AddedRegs != 0 {
+		t.Fatalf("expected noop, got %+v", st)
+	}
+}
+
+func TestRenameDiamondMergedUseFallsBack(t *testing.T) {
+	// r1 is written on both arms of a diamond and read at the join, then
+	// r1 is a region input of a later region that overwrites it after
+	// reading: the overwrite's uses merge two defs, forcing a fallback.
+	src := `
+    ld.param r9, [0]
+    ld.global r0, [r9]
+    setp.lt p0, r0, 16
+@!p0 bra ELSE
+    mov r1, 1
+    bra JOIN
+ELSE:
+    mov r1, 2
+JOIN:
+    ld.global r4, [r9+4]
+    add r2, r1, r4
+    st.global [r9+4], r2
+    add r3, r1, 1
+    mov r1, 5
+    add r6, r1, r3
+    st.global [r9+8], r6
+    exit
+`
+	p := form(t, src, regions.Options{})
+	if _, err := Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := regions.VerifyIdempotence(p, nil, false); err != nil {
+		t.Fatalf("not idempotent: %v\n%s", err, p)
+	}
+}
+
+// TestApplyIsIdempotent: a renamed program has no remaining register
+// anti-dependences, so a second Apply must be a no-op.
+func TestApplyIsIdempotent(t *testing.T) {
+	p := form(t, figure2Src, regions.Options{})
+	if _, err := Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	before := p.String()
+	st, err := Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Renamed != 0 || st.Splits != 0 || st.FallbackBoundaries != 0 {
+		t.Fatalf("second Apply did work: %+v", st)
+	}
+	if p.String() != before {
+		t.Fatal("second Apply changed the program")
+	}
+}

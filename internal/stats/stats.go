@@ -1,0 +1,148 @@
+// Package stats provides the numeric helpers and plain-text table/series
+// formatting the experiment harness uses to print paper-style results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (0 for empty input).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs and its index (-1 for empty input).
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	best, bi := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return best, bi
+}
+
+// OverheadPct formats a normalized execution time as a percentage
+// overhead ("+0.60%", "-2.30%").
+func OverheadPct(norm float64) string {
+	return fmt.Sprintf("%+.2f%%", (norm-1)*100)
+}
+
+// Table is a simple aligned plain-text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v, floats with 4 digits.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of labeled values (one line of a figure).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// String renders the series as "name: label=value ...".
+func (s Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i, v := range s.Values {
+		label := ""
+		if i < len(s.Labels) {
+			label = s.Labels[i]
+		}
+		fmt.Fprintf(&b, " %s=%.4g", label, v)
+	}
+	return b.String()
+}

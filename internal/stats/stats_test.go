@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{1, -1}); !math.IsNaN(g) {
+		t.Fatalf("geomean with negative should be NaN, got %v", g)
+	}
+}
+
+func TestGeomeanProperties(t *testing.T) {
+	// Geomean of identical values is the value; scaling inputs scales it.
+	if err := quick.Check(func(a uint8, n uint8) bool {
+		v := 1 + float64(a)/16
+		xs := make([]float64, int(n%8)+1)
+		for i := range xs {
+			xs[i] = v
+		}
+		return math.Abs(Geomean(xs)-v) < 1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a, b uint8) bool {
+		x, y := 1+float64(a)/16, 1+float64(b)/16
+		g1 := Geomean([]float64{x, y})
+		g2 := Geomean([]float64{2 * x, 2 * y})
+		return math.Abs(g2-2*g1) < 1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	v, i := Max([]float64{1, 5, 3})
+	if v != 5 || i != 1 {
+		t.Fatalf("max = %v@%d", v, i)
+	}
+	if _, i := Max(nil); i != -1 {
+		t.Fatal("max(nil) index")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if s := OverheadPct(1.006); s != "+0.60%" {
+		t.Fatalf("pct = %q", s)
+	}
+	if s := OverheadPct(0.977); s != "-2.30%" {
+		t.Fatalf("pct = %q", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("x", 1.5)
+	tb.Add("longer-name", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[2], "1.5000") {
+		t.Fatalf("format:\n%s", out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1.5000") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := Series{Name: "x", Labels: []string{"a", "b"}, Values: []float64{1, 2.5}}
+	if got := s.String(); got != "x: a=1 b=2.5" {
+		t.Fatalf("series = %q", got)
+	}
+}
