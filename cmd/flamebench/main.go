@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"flame/internal/bench"
+	flamehw "flame/internal/flame"
 	"flame/internal/harness"
 )
 
@@ -24,7 +25,7 @@ import (
 var quickSubset = []string{"Triad", "SGEMM", "LUD", "Histogram", "BS", "WT", "BFS", "Hotspot"}
 
 func main() {
-	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,all")
+	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,all")
 	quick := flag.Bool("quick", false, "use an 8-benchmark subset")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	sms := flag.Int("sms", 0, "override SM count (smaller = faster)")
@@ -112,12 +113,16 @@ func main() {
 			return err
 		}
 		for _, r := range rows {
-			if r.Result.SDC > 0 || r.Result.DUE > 0 {
+			if r.Result.SDC > 0 || r.Result.DUE > 0 || r.Result.Hang > 0 {
 				return fmt.Errorf("%s: unrecovered faults: %s", r.Benchmark, r.Result.String())
 			}
 		}
 		fmt.Println("all injected faults recovered; outputs validated")
 		return nil
+	})
+	run("coverage", func() error {
+		_, err := harness.CoverageSummary(cfg, *injectRuns, 0, 2024, flamehw.DataSlice)
+		return err
 	})
 }
 

@@ -34,7 +34,10 @@ func main() {
 	trace := flag.String("trace", "", "trace window \"FROM:TO\" (cycles) to stderr")
 	flag.Parse()
 
-	scheme := parseScheme(*schemeFlag)
+	scheme, err := core.SchemeByName(*schemeFlag)
+	if err != nil {
+		fail("%v (want one of %s)", err, strings.Join(core.SchemeFlagNames(), ", "))
+	}
 	arch, err := gpu.ConfigByName(*archName)
 	if err != nil {
 		fail("%v", err)
@@ -153,21 +156,6 @@ func runTraced(arch gpu.Config, spec *core.KernelSpec, comp *core.Compiled, inj 
 		res.Flame = ctl.Stats
 	}
 	return res, nil
-}
-
-func parseScheme(s string) core.Scheme {
-	m := map[string]core.Scheme{
-		"baseline": core.Baseline, "renaming": core.Renaming,
-		"checkpointing": core.Checkpointing, "flame": core.SensorRenaming,
-		"sensor-renaming": core.SensorRenaming, "sensor-checkpointing": core.SensorCheckpointing,
-		"dup-renaming": core.DupRenaming, "dup-checkpointing": core.DupCheckpointing,
-		"hybrid-renaming": core.HybridRenaming, "hybrid-checkpointing": core.HybridCheckpointing,
-	}
-	sc, ok := m[strings.ToLower(s)]
-	if !ok {
-		fail("unknown scheme %q", s)
-	}
-	return sc
 }
 
 func fail(format string, args ...any) {

@@ -53,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  campaign: %s\n\n", camp)
-		if camp.SDC != 0 || camp.DUE != 0 {
+		if camp.SDC != 0 || camp.DUE != 0 || camp.Hang != 0 {
 			log.Fatalf("%s: unrecovered faults!", name)
 		}
 	}

@@ -1,0 +1,162 @@
+// Package campaign is the statistical fault-injection campaign engine:
+// it runs thousands of classified injection trials (core.RunTrial)
+// across a workload suite on a pool of worker goroutines — each trial on
+// its own gpu.Device — and aggregates Masked / Recovered / SDC / DUE /
+// Hang counts into per-benchmark and fleet-wide coverage rates with
+// Wilson confidence intervals.
+//
+// Every trial's randomness derives from the campaign seed, the
+// benchmark name and the trial index via SplitMix64, so the report is
+// bit-identical regardless of worker count or scheduling order.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+// Config describes a campaign.
+type Config struct {
+	// Arch is the GPU configuration trials run on.
+	Arch gpu.Config
+	// Opt selects the resilience scheme under test. Baseline is allowed:
+	// it measures raw masking with no protection.
+	Opt core.Options
+	// Specs are the workloads; each receives Trials trials.
+	Specs []*core.KernelSpec
+	// Trials is the number of injection trials per workload.
+	Trials int
+	// Parallel is the worker-goroutine count (default GOMAXPROCS). The
+	// report does not depend on it.
+	Parallel int
+	// Seed roots every trial's deterministic randomness.
+	Seed uint64
+	// Model selects the injectable site set (data slice or full site).
+	Model flame.FaultModel
+	// StrikesPerTrial arms this many strikes per trial (default 1).
+	StrikesPerTrial int
+	// HangBudgetMult scales the per-trial cycle budget as a multiple of
+	// the fault-free window (default 8).
+	HangBudgetMult int64
+}
+
+type job struct{ b, t int }
+
+// Run executes the campaign and aggregates the report.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("campaign: no workloads")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("campaign: trials must be positive")
+	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	strikes := cfg.StrikesPerTrial
+	if strikes <= 0 {
+		strikes = 1
+	}
+
+	// Fault-free golden runs, one per workload (sequential: they are few
+	// and their failure should abort the campaign with a clear error).
+	goldens := make([]*core.Golden, len(cfg.Specs))
+	for i, spec := range cfg.Specs {
+		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", spec.Name, err)
+		}
+		goldens[i] = g
+	}
+
+	// Trial fan-out: results land in a fixed [workload][trial] grid so
+	// aggregation order — and therefore the report — is independent of
+	// worker interleaving.
+	results := make([][]core.TrialResult, len(cfg.Specs))
+	roots := make([]uint64, len(cfg.Specs))
+	for i, spec := range cfg.Specs {
+		results[i] = make([]core.TrialResult, cfg.Trials)
+		roots[i] = benchSeed(cfg.Seed, spec.Name)
+	}
+	jobs := make(chan job, parallel)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.b][j.t] = *runOneTrial(&cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
+			}
+		}()
+	}
+	for b := range cfg.Specs {
+		for t := 0; t < cfg.Trials; t++ {
+			jobs <- job{b, t}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	return aggregate(&cfg, goldens, results), nil
+}
+
+// runOneTrial derives trial t's randomness and runs it. The derivation
+// depends only on (campaign seed, workload name, t).
+func runOneTrial(cfg *Config, spec *core.KernelSpec, g *core.Golden, root uint64, t, strikes int) *core.TrialResult {
+	rng := rand.New(rand.NewSource(trialSeed(root, t)))
+	span := g.Window*9/10 + 1
+	arms := make([]int64, strikes)
+	for i := range arms {
+		arms[i] = rng.Int63n(span)
+	}
+	sort.Slice(arms, func(i, j int) bool { return arms[i] < arms[j] })
+	return core.RunTrial(cfg.Arch, spec, g, core.TrialSpec{
+		Arms:      arms,
+		Model:     cfg.Model,
+		Seed:      rng.Int63(),
+		MaxCycles: g.HangBudget(cfg.HangBudgetMult),
+	})
+}
+
+// aggregate folds the trial grid into the report, in index order.
+func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult) *Report {
+	rep := &Report{
+		Arch:            cfg.Arch.Name,
+		Scheme:          cfg.Opt.Scheme.String(),
+		Model:           cfg.Model.String(),
+		WCDL:            goldens[0].Comp.Opt.WCDL,
+		Seed:            cfg.Seed,
+		Trials:          cfg.Trials,
+		StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
+	}
+	for b := range results {
+		br := BenchReport{
+			Benchmark:    cfg.Specs[b].Name,
+			WindowCycles: goldens[b].Window,
+		}
+		for t := range results[b] {
+			br.fold(&results[b][t])
+		}
+		br.finish()
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		rep.Fleet.merge(&br)
+	}
+	rep.Fleet.Benchmark = "fleet"
+	rep.Fleet.finish()
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flame/internal/core"
+	"flame/internal/stats"
+)
+
+// BenchReport aggregates one workload's trials.
+type BenchReport struct {
+	Benchmark string `json:"benchmark"`
+	// Trials counts all trials, NoInjection the ones whose strikes never
+	// fired; Injected = Trials - NoInjection.
+	Trials      int `json:"trials"`
+	NoInjection int `json:"no_injection"`
+	Injected    int `json:"injected"`
+
+	Masked    int `json:"masked"`
+	Recovered int `json:"recovered"`
+	SDC       int `json:"sdc"`
+	DUE       int `json:"due"`
+	Hang      int `json:"hang"`
+
+	// ExcludedStrikes counts strikes that landed in the address/control
+	// slice (reachable only under the full-site model).
+	ExcludedStrikes int `json:"excluded_strikes"`
+
+	// Coverage is the fraction of injected trials ending benignly
+	// (Masked or Recovered), with a Wilson 95% confidence interval.
+	Coverage   float64 `json:"coverage"`
+	CoverageLo float64 `json:"coverage_lo"`
+	CoverageHi float64 `json:"coverage_hi"`
+
+	// WindowCycles is the fault-free execution window (zero in the fleet
+	// aggregate, where windows are not comparable).
+	WindowCycles int64 `json:"window_cycles,omitempty"`
+
+	// ExampleSDC / ExampleHang describe the first strike of the first
+	// trial with that outcome — the debugging breadcrumb.
+	ExampleSDC  string `json:"example_sdc,omitempty"`
+	ExampleHang string `json:"example_hang,omitempty"`
+}
+
+// fold adds one trial.
+func (b *BenchReport) fold(t *core.TrialResult) {
+	b.Trials++
+	switch t.Outcome {
+	case core.OutcomeNoInjection:
+		b.NoInjection++
+	case core.OutcomeMasked:
+		b.Masked++
+	case core.OutcomeRecovered:
+		b.Recovered++
+	case core.OutcomeSDC:
+		b.SDC++
+		if b.ExampleSDC == "" {
+			b.ExampleSDC = t.Description
+		}
+	case core.OutcomeDUE:
+		b.DUE++
+	case core.OutcomeHang:
+		b.Hang++
+		if b.ExampleHang == "" {
+			b.ExampleHang = t.Description
+		}
+	}
+	b.ExcludedStrikes += t.ExcludedStrikes
+}
+
+// merge accumulates another report's counters (fleet aggregation).
+func (b *BenchReport) merge(o *BenchReport) {
+	b.Trials += o.Trials
+	b.NoInjection += o.NoInjection
+	b.Masked += o.Masked
+	b.Recovered += o.Recovered
+	b.SDC += o.SDC
+	b.DUE += o.DUE
+	b.Hang += o.Hang
+	b.ExcludedStrikes += o.ExcludedStrikes
+	if b.ExampleSDC == "" {
+		b.ExampleSDC = o.ExampleSDC
+	}
+	if b.ExampleHang == "" {
+		b.ExampleHang = o.ExampleHang
+	}
+}
+
+// finish computes the derived rates.
+func (b *BenchReport) finish() {
+	b.Injected = b.Trials - b.NoInjection
+	if b.Injected > 0 {
+		b.Coverage = float64(b.Masked+b.Recovered) / float64(b.Injected)
+	}
+	b.CoverageLo, b.CoverageHi = stats.Wilson95(b.Masked+b.Recovered, b.Injected)
+}
+
+// Report is a full campaign summary. Every field is a deterministic
+// function of the campaign Config, so two runs with the same config are
+// bit-identical regardless of worker count.
+type Report struct {
+	Arch            string        `json:"arch"`
+	Scheme          string        `json:"scheme"`
+	Model           string        `json:"model"`
+	WCDL            int           `json:"wcdl"`
+	Seed            uint64        `json:"seed"`
+	Trials          int           `json:"trials_per_benchmark"`
+	StrikesPerTrial int           `json:"strikes_per_trial"`
+	Benchmarks      []BenchReport `json:"benchmarks"`
+	Fleet           BenchReport   `json:"fleet"`
+}
+
+// Table renders the per-benchmark coverage table.
+func (r *Report) Table() *stats.Table {
+	t := &stats.Table{Header: []string{
+		"benchmark", "trials", "injected", "masked", "recovered",
+		"sdc", "due", "hang", "coverage", "95% CI",
+	}}
+	row := func(b *BenchReport) {
+		t.Add(b.Benchmark, b.Trials, b.Injected, b.Masked, b.Recovered,
+			b.SDC, b.DUE, b.Hang,
+			fmt.Sprintf("%.2f%%", b.Coverage*100),
+			fmt.Sprintf("[%.2f%%, %.2f%%]", b.CoverageLo*100, b.CoverageHi*100))
+	}
+	for i := range r.Benchmarks {
+		row(&r.Benchmarks[i])
+	}
+	row(&r.Fleet)
+	return t
+}
+
+// String renders the report header and table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-injection campaign: scheme=%s model=%s arch=%s wcdl=%d trials=%d/bench strikes=%d seed=%d\n",
+		r.Scheme, r.Model, r.Arch, r.WCDL, r.Trials, r.StrikesPerTrial, r.Seed)
+	b.WriteString(r.Table().String())
+	if r.Fleet.SDC == 0 && r.Fleet.Hang == 0 && r.Fleet.DUE == 0 {
+		b.WriteString("every injected fault was masked or detected and recovered\n")
+	} else {
+		fmt.Fprintf(&b, "uncovered outcomes: sdc=%d due=%d hang=%d", r.Fleet.SDC, r.Fleet.DUE, r.Fleet.Hang)
+		if r.Fleet.ExampleSDC != "" {
+			fmt.Fprintf(&b, "\n  first sdc:  %s", r.Fleet.ExampleSDC)
+		}
+		if r.Fleet.ExampleHang != "" {
+			fmt.Fprintf(&b, "\n  first hang: %s", r.Fleet.ExampleHang)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,35 @@
+package campaign
+
+// splitmix64 is the standard SplitMix64 mixer (Steele, Lea & Flood,
+// OOPSLA 2014). The campaign derives every trial's seed from the
+// campaign seed, the benchmark name and the trial index through it, so
+// trial t of benchmark b sees the same randomness no matter which worker
+// runs it, in what order, or how many workers exist — the aggregate
+// report is bit-identical across -parallel settings.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes a string (FNV-1a) to fold benchmark names into the seed
+// stream.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// benchSeed derives the per-benchmark seed stream root.
+func benchSeed(campaignSeed uint64, name string) uint64 {
+	return splitmix64(campaignSeed ^ fnv64(name))
+}
+
+// trialSeed derives trial t's seed from a benchmark stream root.
+func trialSeed(bench uint64, t int) int64 {
+	return int64(splitmix64(bench + uint64(t) + 1))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,12 @@ import (
 	"flame/internal/gpu"
 	"flame/internal/isa"
 )
+
+// ErrValidation is wrapped by run errors caused by the spec's output
+// validation rejecting the final memory state (as opposed to the
+// simulator failing outright). Campaign classifiers match it with
+// errors.Is to tell an SDC from a DUE.
+var ErrValidation = errors.New("output validation failed")
 
 // Step is one additional kernel launch of a multi-kernel application,
 // executed after the main kernel on the same device (global memory
@@ -47,6 +54,22 @@ type Result struct {
 	Flame    flame.Stats
 	// Injection is set when the run carried a fault injector.
 	Injection *flame.Injector
+	// Mem holds the final global memory when RunOpts.KeepMem asked for it
+	// (campaign trials diff it against a golden run).
+	Mem []uint32
+}
+
+// RunOpts tunes a single simulation beyond what the compiled scheme
+// dictates. The zero value reproduces RunCompiled's behaviour.
+type RunOpts struct {
+	// MaxCycles, when positive, bounds each launch of the run (the
+	// campaign hang watchdog). Zero keeps the device-wide default.
+	MaxCycles int64
+	// SkipValidate suppresses the spec's output validation (campaigns
+	// classify by golden-memory diff instead).
+	SkipValidate bool
+	// KeepMem copies the device's final global memory into Result.Mem.
+	KeepMem bool
 }
 
 // Run compiles the spec's kernels for the scheme and simulates them on a
@@ -60,12 +83,20 @@ func Run(cfg gpu.Config, spec *KernelSpec, opt Options) (*Result, error) {
 }
 
 // RunCompiled simulates an already-compiled application, optionally with
-// a fault injector attached. comp is the compilation of the main kernel;
-// follow-on Steps are compiled on demand with the same options (and
-// memoized on the spec's programs would be the caller's concern — steps
-// are small relative to simulation cost). The injector observes the main
-// kernel's launch.
+// a fault injector attached; see RunCompiledOpts.
 func RunCompiled(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.Injector) (*Result, error) {
+	return RunCompiledOpts(cfg, spec, comp, inj, RunOpts{})
+}
+
+// RunCompiledOpts simulates an already-compiled application, optionally
+// with a fault injector attached. comp is the compilation of the main
+// kernel; follow-on Steps are compiled on demand with the same options
+// (and memoized on the spec's programs would be the caller's concern —
+// steps are small relative to simulation cost). The injector observes
+// the main kernel's launch; under a detecting scheme the controller
+// drives its detection, while on an unprotected (Baseline) compilation
+// the strikes land with nothing watching for them.
+func RunCompiledOpts(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.Injector, ro RunOpts) (*Result, error) {
 	dev, err := gpu.NewDevice(cfg, spec.MemBytes)
 	if err != nil {
 		return nil, err
@@ -73,21 +104,29 @@ func RunCompiled(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.In
 	if spec.Setup != nil {
 		spec.Setup(dev.Mem.Words())
 	}
-	if comp.Controller() == nil && inj != nil {
-		return nil, fmt.Errorf("core: scheme %s cannot host an injector", comp.Opt.Scheme)
-	}
 
 	res := &Result{Compiled: comp, Injection: inj}
 	runOne := func(c *Compiled, grid, block isa.Dim3, params []uint32, attachInj bool) error {
 		ctl := c.Controller()
 		var hooks *gpu.Hooks
-		if ctl != nil {
+		switch {
+		case ctl != nil:
 			if attachInj {
 				ctl.Inj = inj
 			}
 			hooks = ctl.Hooks()
+		case attachInj && inj != nil:
+			// Unprotected run: the injector still observes executed
+			// instructions (masking studies, campaign baselines) but no
+			// detection or recovery happens.
+			hooks = &gpu.Hooks{OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+				inj.Observe(d, sm, w, pc)
+			}}
 		}
-		launch := &gpu.Launch{Prog: c.Prog, Grid: grid, Block: block, Params: params}
+		launch := &gpu.Launch{
+			Prog: c.Prog, Grid: grid, Block: block, Params: params,
+			MaxCycles: ro.MaxCycles,
+		}
 		st, err := dev.Run(launch, hooks)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", spec.Name, c.Opt.Scheme, err)
@@ -98,8 +137,14 @@ func RunCompiled(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.In
 		}
 		return nil
 	}
+	keepMem := func() {
+		if ro.KeepMem {
+			res.Mem = append([]uint32(nil), dev.Mem.Words()...)
+		}
+	}
 	if err := runOne(comp, spec.Grid, spec.Block, spec.Params, true); err != nil {
-		return nil, err
+		keepMem()
+		return res, err
 	}
 	for i, step := range spec.Steps {
 		sc, err := Compile(step.Prog, comp.Opt)
@@ -107,12 +152,14 @@ func RunCompiled(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flame.In
 			return nil, fmt.Errorf("%s step %d: %w", spec.Name, i+1, err)
 		}
 		if err := runOne(sc, step.Grid, step.Block, step.Params, false); err != nil {
-			return nil, err
+			keepMem()
+			return res, err
 		}
 	}
-	if spec.Validate != nil {
+	keepMem()
+	if !ro.SkipValidate && spec.Validate != nil {
 		if verr := spec.Validate(dev.Mem.Words()); verr != nil {
-			return nil, fmt.Errorf("%s/%s: output validation: %w", spec.Name, comp.Opt.Scheme, verr)
+			return res, fmt.Errorf("%s/%s: %w: %v", spec.Name, comp.Opt.Scheme, ErrValidation, verr)
 		}
 	}
 	return res, nil
@@ -127,67 +174,86 @@ func Overhead(scheme, baseline *Result) float64 {
 	return float64(scheme.Stats.Cycles) / float64(baseline.Stats.Cycles)
 }
 
-// CampaignResult summarizes a fault-injection campaign.
+// CampaignResult summarizes a fault-injection campaign in the standard
+// masked / detected+recovered / SDC / DUE / hang taxonomy. Counts are of
+// trials (a trial may carry several strikes).
 type CampaignResult struct {
-	Runs      int
-	Injected  int
-	Detected  int
-	Recovered int // injected, detected, and output correct
-	SDC       int // injected but wrong output (silent data corruption)
-	DUE       int // run failed outright (detected unrecoverable error)
-	Benign    int // armed but no eligible instruction was corrupted
+	Runs     int
+	Injected int // trials where at least one strike corrupted state
+	Detected int // trials where every strike was detected
+	// Masked: output bit-identical to the golden run although no
+	// detection fired (the corruption died out on its own).
+	Masked int
+	// Recovered: detected, recovered, and output bit-identical to the
+	// golden run.
+	Recovered int
+	// SDC: run completed with memory differing from the golden run
+	// (silent data corruption).
+	SDC int
+	// DUE: run failed outright (detected unrecoverable error).
+	DUE int
+	// Hang: run exhausted its cycle budget (livelocked control flow).
+	Hang int
+	// Benign: armed but no eligible instruction was corrupted.
+	Benign int
+}
+
+// Add folds one classified trial into the counters.
+func (c *CampaignResult) Add(t *TrialResult) {
+	if t.Strikes > 0 {
+		c.Injected++
+	}
+	if t.Detected {
+		c.Detected++
+	}
+	switch t.Outcome {
+	case OutcomeMasked:
+		c.Masked++
+	case OutcomeRecovered:
+		c.Recovered++
+	case OutcomeSDC:
+		c.SDC++
+	case OutcomeDUE:
+		c.DUE++
+	case OutcomeHang:
+		c.Hang++
+	case OutcomeNoInjection:
+		c.Benign++
+	}
 }
 
 // String summarizes the campaign.
 func (c *CampaignResult) String() string {
-	return fmt.Sprintf("runs=%d injected=%d recovered=%d sdc=%d due=%d benign=%d",
-		c.Runs, c.Injected, c.Recovered, c.SDC, c.DUE, c.Benign)
+	return fmt.Sprintf("runs=%d injected=%d masked=%d recovered=%d sdc=%d due=%d hang=%d benign=%d",
+		c.Runs, c.Injected, c.Masked, c.Recovered, c.SDC, c.DUE, c.Hang, c.Benign)
 }
 
-// Campaign runs n fault-injection trials of the spec under the scheme.
-// Each trial arms the injector at a random cycle within the fault-free
+// Campaign runs n single-strike fault-injection trials of the spec under
+// the scheme, classifying each against a fault-free golden run. Each
+// trial arms the injector at a random cycle within the fault-free
 // execution window. The detection delay is uniform in [1, WCDL] for
-// sensor schemes and immediate for duplication/hybrid detection.
+// sensor schemes and immediate for duplication/hybrid detection. It is a
+// thin sequential wrapper over the trial engine (GoldenRun + RunTrial);
+// the campaign package runs the same trials in parallel with
+// reproducible seeding.
 func Campaign(cfg gpu.Config, spec *KernelSpec, opt Options, n int, seed int64) (*CampaignResult, error) {
 	if opt.Scheme == Baseline || !opt.Scheme.Detects() {
 		return nil, fmt.Errorf("core: scheme %s has no detection; campaign is meaningless", opt.Scheme)
 	}
-	comp, err := Compile(spec.Prog, opt)
+	g, err := GoldenRun(cfg, spec, opt)
 	if err != nil {
 		return nil, err
 	}
-	// Fault-free run to learn the execution window.
-	free, err := RunCompiled(cfg, spec, comp, nil)
-	if err != nil {
-		return nil, err
-	}
-	window := free.Stats.Cycles
 	rng := rand.New(rand.NewSource(seed))
 	out := &CampaignResult{Runs: n}
-	maxDelay := opt.WCDL
-	if !opt.Scheme.UsesSensors() {
-		maxDelay = 0 // DMR detects at the replica; model as immediate
-	}
 	for i := 0; i < n; i++ {
-		arm := rng.Int63n(window*9/10 + 1)
-		inj := flame.NewInjector(arm, maxDelay, rng.Int63())
-		res, err := RunCompiled(cfg, spec, comp, inj)
-		switch {
-		case err != nil && inj.Injected:
-			out.Injected++
-			out.SDC++
-		case err != nil:
-			out.DUE++
-		case !inj.Injected:
-			out.Benign++
-		default:
-			out.Injected++
-			if inj.Detected {
-				out.Detected++
-			}
-			out.Recovered++
-			_ = res
-		}
+		arm := rng.Int63n(g.Window*9/10 + 1)
+		tr := RunTrial(cfg, spec, g, TrialSpec{
+			Arms:      []int64{arm},
+			Seed:      rng.Int63(),
+			MaxCycles: g.HangBudget(0),
+		})
+		out.Add(tr)
 	}
 	return out, nil
 }

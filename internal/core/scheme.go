@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"flame/internal/checkpoint"
 	"flame/internal/dup"
@@ -68,6 +70,36 @@ func (s Scheme) String() string {
 		return schemeNames[s]
 	}
 	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// schemeFlags maps the CLI flag spellings to schemes (shared by
+// flamesim and flameinject).
+var schemeFlags = map[string]Scheme{
+	"baseline": Baseline, "renaming": Renaming,
+	"checkpointing": Checkpointing, "flame": SensorRenaming,
+	"sensor-renaming": SensorRenaming, "sensor-checkpointing": SensorCheckpointing,
+	"dup-renaming": DupRenaming, "dup-checkpointing": DupCheckpointing,
+	"hybrid-renaming": HybridRenaming, "hybrid-checkpointing": HybridCheckpointing,
+}
+
+// SchemeByName parses a CLI scheme spelling ("flame", "dup-renaming",
+// ... — case-insensitive).
+func SchemeByName(s string) (Scheme, error) {
+	sc, ok := schemeFlags[strings.ToLower(s)]
+	if !ok {
+		return Baseline, fmt.Errorf("core: unknown scheme %q", s)
+	}
+	return sc, nil
+}
+
+// SchemeFlagNames lists the accepted CLI spellings, sorted.
+func SchemeFlagNames() []string {
+	out := make([]string, 0, len(schemeFlags))
+	for k := range schemeFlags {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Schemes returns all evaluated schemes in figure order.

@@ -1,0 +1,202 @@
+// Trial engine: the single-injection building block the statistical
+// fault-injection campaigns are made of. A trial simulates the workload
+// with one or more strikes armed and classifies the outcome against a
+// fault-free golden run using the standard taxonomy — Masked,
+// Detected+Recovered, SDC, DUE, Hang — by diffing final global memory
+// rather than trusting the spec's (often sampled) Validate function.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+// Outcome classifies one fault-injection trial.
+type Outcome uint8
+
+const (
+	// OutcomeNoInjection: the injector was armed but no eligible
+	// instruction executed after the arm cycle (late arms on short
+	// kernels). The trial says nothing about coverage.
+	OutcomeNoInjection Outcome = iota
+	// OutcomeMasked: state was corrupted, no detection fired, and the
+	// final memory still matches the golden run bit-for-bit (the
+	// corruption was overwritten, dead, or logically masked).
+	OutcomeMasked
+	// OutcomeRecovered: the corruption was detected, recovery ran, and
+	// the final memory matches the golden run bit-for-bit.
+	OutcomeRecovered
+	// OutcomeSDC: the run completed but final memory differs from the
+	// golden run — a silent data corruption (even if detection fired:
+	// a recovery that does not restore correct state is still an SDC).
+	OutcomeSDC
+	// OutcomeDUE: the simulation failed outright (bad address, fault in
+	// launch machinery) — a detected unrecoverable error.
+	OutcomeDUE
+	// OutcomeHang: the run exhausted its cycle budget (corrupted control
+	// flow livelocked the kernel).
+	OutcomeHang
+
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{
+	OutcomeNoInjection: "no-injection",
+	OutcomeMasked:      "masked",
+	OutcomeRecovered:   "recovered",
+	OutcomeSDC:         "sdc",
+	OutcomeDUE:         "due",
+	OutcomeHang:        "hang",
+}
+
+// String returns the outcome's report name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Golden is the fault-free reference a campaign classifies trials
+// against: the compiled program, its execution window, and the final
+// global memory of a clean run.
+type Golden struct {
+	Comp *Compiled
+	// Window is the fault-free cycle count across all launches.
+	Window int64
+	// Mem is the fault-free final global memory.
+	Mem []uint32
+	// MaxDelay is the scheme's sensor detection delay bound (WCDL for
+	// sensor schemes, 0 = immediate for duplication/hybrid/baseline).
+	MaxDelay int
+}
+
+// GoldenRun compiles the spec for the scheme and performs the fault-free
+// reference run, validating its output. Baseline is allowed: an
+// unprotected golden run anchors masking campaigns.
+func GoldenRun(cfg gpu.Config, spec *KernelSpec, opt Options) (*Golden, error) {
+	comp, err := Compile(spec.Prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunCompiledOpts(cfg, spec, comp, nil, RunOpts{KeepMem: true})
+	if err != nil {
+		return nil, fmt.Errorf("golden run: %w", err)
+	}
+	maxDelay := comp.Opt.WCDL
+	if !opt.Scheme.UsesSensors() {
+		maxDelay = 0 // DMR detects at the replica; model as immediate
+	}
+	return &Golden{Comp: comp, Window: res.Stats.Cycles, Mem: res.Mem, MaxDelay: maxDelay}, nil
+}
+
+// HangBudget returns the per-launch cycle budget for trials against this
+// golden run: mult times the fault-free window plus slack for recovery
+// re-execution (mult <= 0 selects the default of 8). Corrupted control
+// flow then classifies as Hang after milliseconds instead of stalling a
+// campaign worker for the 200M-cycle device guard.
+func (g *Golden) HangBudget(mult int64) int64 {
+	if mult <= 0 {
+		mult = 8
+	}
+	return mult*g.Window + 10_000
+}
+
+// TrialSpec describes one injection trial.
+type TrialSpec struct {
+	// Arms are the strike arm cycles, ascending; most trials use one.
+	Arms []int64
+	// Model selects the injectable site set (data slice or full site).
+	Model flame.FaultModel
+	// Seed drives the injector's lane/bit/delay choices.
+	Seed int64
+	// MaxCycles bounds each launch (the hang watchdog); zero keeps the
+	// device default. Use Golden.HangBudget.
+	MaxCycles int64
+}
+
+// TrialResult is one classified trial.
+type TrialResult struct {
+	Outcome Outcome
+	// Strikes counts the strikes that corrupted state.
+	Strikes int
+	// ExcludedStrikes counts fired strikes in the address/control slice
+	// (nonzero only under the full-site fault model).
+	ExcludedStrikes int
+	// Detected reports that every strike was detected.
+	Detected bool
+	// Detections counts detected strikes.
+	Detections int
+	// Recoveries counts controller recoveries performed.
+	Recoveries int64
+	// Cycles is the trial's simulated cycle count (partial for DUE/Hang).
+	Cycles int64
+	// Err preserves the failure text for DUE/Hang trials.
+	Err string
+	// Description says what the first strike corrupted.
+	Description string
+}
+
+// RunTrial executes one injection trial against a golden run and
+// classifies the outcome. The injector observes the main kernel's launch
+// under the golden compilation's controller (or unprotected for a
+// Baseline golden).
+func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResult {
+	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
+	res, err := RunCompiledOpts(cfg, spec, g.Comp, inj, RunOpts{
+		MaxCycles:    ts.MaxCycles,
+		SkipValidate: true, // classification diffs against the golden memory
+		KeepMem:      true,
+	})
+	tr := &TrialResult{
+		Strikes:         inj.FiredStrikes(),
+		ExcludedStrikes: inj.ExcludedStrikes(),
+		Detected:        inj.Detected,
+		Detections:      inj.Detections,
+		Description:     inj.Description,
+	}
+	if res != nil {
+		tr.Recoveries = res.Flame.Recoveries
+		tr.Cycles = res.Stats.Cycles
+	}
+	switch {
+	case errors.Is(err, gpu.ErrCycleLimit):
+		tr.Outcome = OutcomeHang
+		tr.Err = err.Error()
+	case errors.Is(err, ErrValidation):
+		// Unreachable here (trials skip validation and diff memory), but
+		// kept so the taxonomy holds for any caller: wrong output is an
+		// SDC, not a DUE.
+		tr.Outcome = OutcomeSDC
+		tr.Err = err.Error()
+	case err != nil:
+		tr.Outcome = OutcomeDUE
+		tr.Err = err.Error()
+	case tr.Strikes == 0:
+		tr.Outcome = OutcomeNoInjection
+	case !memEqual(res.Mem, g.Mem):
+		tr.Outcome = OutcomeSDC
+	case tr.Detections > 0:
+		tr.Outcome = OutcomeRecovered
+	default:
+		tr.Outcome = OutcomeMasked
+	}
+	return tr
+}
+
+// memEqual compares two final-memory images.
+func memEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

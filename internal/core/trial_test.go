@@ -1,0 +1,216 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flame/internal/flame"
+	"flame/internal/isa"
+)
+
+// spinTrialSrc counts to 64 with an exact-equality loop exit (setp.ne):
+// a full-site bit flip in the counter that jumps past 64 wraps the
+// 32-bit space before ever matching again — the canonical hang.
+const spinTrialSrc = `
+    mov r0, %tid.x
+    mov r1, %ctaid.x
+    mov r2, %ntid.x
+    mad r3, r1, r2, r0
+    mov r4, 0
+    mov r5, 0
+LOOP:
+    add r5, r5, r4
+    add r4, r4, 1
+    setp.ne p0, r4, 64
+@p0 bra LOOP
+    ld.param r6, [0]
+    shl r7, r3, 2
+    add r8, r6, r7
+    st.global [r8], r5
+    exit
+`
+
+func spinSpec() *KernelSpec {
+	const n = 2 * 64
+	return &KernelSpec{
+		Name:     "spin",
+		Prog:     isa.MustParse("spin", spinTrialSrc),
+		Grid:     isa.Dim3{X: 2},
+		Block:    isa.Dim3{X: 64},
+		Params:   []uint32{0},
+		MemBytes: 1 << 12,
+	}
+}
+
+func TestGoldenRunAndHangBudget(t *testing.T) {
+	g, err := GoldenRun(testCfg(), saxpySpec(), FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Window <= 0 || len(g.Mem) == 0 {
+		t.Fatalf("golden: window=%d mem=%d", g.Window, len(g.Mem))
+	}
+	if g.MaxDelay != 20 {
+		t.Fatalf("sensor golden MaxDelay = %d, want WCDL 20", g.MaxDelay)
+	}
+	if got, want := g.HangBudget(0), 8*g.Window+10_000; got != want {
+		t.Fatalf("default hang budget = %d, want %d", got, want)
+	}
+	if got, want := g.HangBudget(3), 3*g.Window+10_000; got != want {
+		t.Fatalf("hang budget mult 3 = %d, want %d", got, want)
+	}
+	// Baseline goldens model immediate (never firing) detection.
+	bg, err := GoldenRun(testCfg(), spinSpec(), Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.MaxDelay != 0 {
+		t.Fatalf("baseline golden MaxDelay = %d", bg.MaxDelay)
+	}
+}
+
+// TestTrialMaskedNotRecovered is the misclassification regression: a
+// strike that corrupts state but is never detected, with output still
+// matching the golden run, must classify as Masked — never Recovered.
+// Unprotected Baseline runs produce such trials reliably (no detector
+// exists, yet many corruptions die in overwritten or dead registers).
+func TestTrialMaskedNotRecovered(t *testing.T) {
+	cfg, spec := testCfg(), saxpySpec()
+	g, err := GoldenRun(cfg, spec, Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := 0
+	for arm := int64(10); arm < g.Window; arm += g.Window / 40 {
+		tr := RunTrial(cfg, spec, g, TrialSpec{
+			Arms: []int64{arm}, Seed: arm, MaxCycles: g.HangBudget(0),
+		})
+		if tr.Detections == 0 && tr.Outcome == OutcomeRecovered {
+			t.Fatalf("arm %d: undetected trial classified Recovered (%s)", arm, tr.Description)
+		}
+		if tr.Outcome == OutcomeMasked {
+			masked++
+			if tr.Strikes == 0 || tr.Detections != 0 {
+				t.Fatalf("arm %d: masked trial with strikes=%d detections=%d",
+					arm, tr.Strikes, tr.Detections)
+			}
+		}
+	}
+	if masked == 0 {
+		t.Fatal("no masked trial in the sweep; masking on unprotected runs should be common")
+	}
+	t.Logf("masked %d trials in sweep", masked)
+}
+
+// TestTrialNoInjection: an arm beyond the window never fires.
+func TestTrialNoInjection(t *testing.T) {
+	cfg, spec := testCfg(), saxpySpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := RunTrial(cfg, spec, g, TrialSpec{
+		Arms: []int64{g.Window * 4}, Seed: 1, MaxCycles: g.HangBudget(0),
+	})
+	if tr.Outcome != OutcomeNoInjection || tr.Strikes != 0 {
+		t.Fatalf("late arm: outcome=%v strikes=%d", tr.Outcome, tr.Strikes)
+	}
+}
+
+// TestTrialRecovered: a mid-window strike under the full Flame scheme is
+// detected, recovered, and the output matches the golden run.
+func TestTrialRecovered(t *testing.T) {
+	cfg, spec := testCfg(), saxpySpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := RunTrial(cfg, spec, g, TrialSpec{
+		Arms: []int64{g.Window / 2}, Seed: 3, MaxCycles: g.HangBudget(0),
+	})
+	if tr.Outcome != OutcomeRecovered {
+		t.Fatalf("outcome = %v (err=%q desc=%q)", tr.Outcome, tr.Err, tr.Description)
+	}
+	if !tr.Detected || tr.Detections != 1 || tr.Recoveries < 1 {
+		t.Fatalf("detected=%v detections=%d recoveries=%d", tr.Detected, tr.Detections, tr.Recoveries)
+	}
+}
+
+// TestTrialHangClassified is the watchdog test: a full-site strike on an
+// unprotected exact-equality loop livelocks, and the per-launch cycle
+// budget classifies it Hang instead of stalling for the 200M-cycle
+// device guard.
+func TestTrialHangClassified(t *testing.T) {
+	cfg, spec := testCfg(), spinSpec()
+	g, err := GoldenRun(cfg, spec, Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := g.HangBudget(0)
+	var hangs, dues, sdcs int
+	for arm := int64(5); arm <= 100; arm += 5 {
+		for seed := int64(1); seed <= 3; seed++ {
+			tr := RunTrial(cfg, spec, g, TrialSpec{
+				Arms: []int64{arm}, Model: flame.FullSite, Seed: seed, MaxCycles: budget,
+			})
+			switch tr.Outcome {
+			case OutcomeHang:
+				hangs++
+				if tr.Cycles > budget {
+					t.Fatalf("hang trial ran %d cycles past the %d budget", tr.Cycles, budget)
+				}
+				if !strings.Contains(tr.Err, "cycle limit") {
+					t.Fatalf("hang error = %q", tr.Err)
+				}
+			case OutcomeDUE:
+				dues++
+			case OutcomeSDC:
+				sdcs++
+			}
+		}
+	}
+	if hangs == 0 {
+		t.Fatalf("no hang in the sweep (dues=%d sdcs=%d); loop-counter corruption should livelock", dues, sdcs)
+	}
+	t.Logf("full-site on unprotected spin: hangs=%d dues=%d sdcs=%d", hangs, dues, sdcs)
+}
+
+// TestTrialDataSliceNeverHangs: under the paper's fault model with the
+// full Flame scheme, the same sweep yields only benign outcomes.
+func TestTrialDataSliceNeverHangs(t *testing.T) {
+	cfg, spec := testCfg(), spinSpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arm := int64(5); arm <= 100; arm += 5 {
+		tr := RunTrial(cfg, spec, g, TrialSpec{
+			Arms: []int64{arm}, Model: flame.DataSlice, Seed: arm, MaxCycles: g.HangBudget(0),
+		})
+		switch tr.Outcome {
+		case OutcomeSDC, OutcomeDUE, OutcomeHang:
+			t.Fatalf("arm %d: data-slice trial under Flame ended %v (%s)", arm, tr.Outcome, tr.Description)
+		}
+	}
+}
+
+// TestCampaignCounts: the sequential campaign wrapper carries the
+// full taxonomy and its counters add up.
+func TestCampaignCounts(t *testing.T) {
+	res, err := Campaign(testCfg(), saxpySpec(), FlameOptions(), 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 12 {
+		t.Fatalf("runs = %d", res.Runs)
+	}
+	if got := res.Masked + res.Recovered + res.SDC + res.DUE + res.Hang + res.Benign; got != res.Runs {
+		t.Fatalf("outcomes sum to %d, want %d: %s", got, res.Runs, res)
+	}
+	if res.SDC != 0 || res.DUE != 0 || res.Hang != 0 {
+		t.Fatalf("uncovered outcomes under Flame: %s", res)
+	}
+	if res.Recovered == 0 {
+		t.Fatalf("no recoveries in 12 trials: %s", res)
+	}
+}

@@ -41,6 +41,7 @@ func (sm *SM) execute(w *Warp, cycle int64) error {
 			}
 		}
 	}
+	w.lastExec = exec
 
 	advance := true
 	switch in.Op {

@@ -13,6 +13,12 @@ type Launch struct {
 	Grid   isa.Dim3
 	Block  isa.Dim3
 	Params []uint32
+	// MaxCycles, when positive, bounds this launch's simulated cycles,
+	// overriding the device-wide Device.MaxCycles guard. Fault-injection
+	// campaigns set it to a small multiple of the fault-free window so a
+	// corrupted-control livelock is cut off in milliseconds instead of
+	// running to the 200M-cycle device default.
+	MaxCycles int64
 }
 
 // Threads returns the total number of threads in the launch.

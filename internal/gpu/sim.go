@@ -1,10 +1,17 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 
 	"flame/internal/isa"
 )
+
+// ErrCycleLimit is wrapped by Run's error when a launch exhausts its
+// cycle budget (deadlock, livelock or runaway kernel). Campaign
+// classifiers match it with errors.Is to tell a Hang from other
+// simulator failures.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
 
 // Device is a simulated GPU.
 type Device struct {
@@ -97,11 +104,15 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 		sm.dispatch()
 	}
 
+	budget := d.MaxCycles
+	if l.MaxCycles > 0 {
+		budget = l.MaxCycles
+	}
 	total := l.Grid.Count()
 	for d.blocksDone < total {
-		if d.Cyc >= d.MaxCycles {
-			return nil, fmt.Errorf("gpu: %q exceeded %d cycles (deadlock or runaway kernel); %d/%d blocks done",
-				l.Prog.Name, d.MaxCycles, d.blocksDone, total)
+		if d.Cyc >= budget {
+			return nil, fmt.Errorf("gpu: %q: %w after %d cycles; %d/%d blocks done",
+				l.Prog.Name, ErrCycleLimit, budget, d.blocksDone, total)
 		}
 		for _, sm := range d.SMs {
 			if err := sm.step(d.Cyc); err != nil {

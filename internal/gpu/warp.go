@@ -57,6 +57,10 @@ type Warp struct {
 	// Finished is set when every lane has exited.
 	Finished bool
 
+	// lastExec is the lane mask the most recently executed instruction
+	// actually ran with (active mask AND guard predicate, captured
+	// before any reconvergence pop). See LastExecMask.
+	lastExec uint32
 	// LastIssue is the cycle this warp last issued (scheduler bookkeeping).
 	LastIssue int64
 	// Age is the dispatch sequence number (for oldest-first policies).
@@ -76,6 +80,15 @@ func (w *Warp) PC() int {
 // ActiveMask returns the current execution mask (top of stack ∧ alive).
 func (w *Warp) ActiveMask() uint32 {
 	return w.Stack[len(w.Stack)-1].Mask & w.AliveMask
+}
+
+// LastExecMask returns the lane mask the most recently executed
+// instruction ran with. Inside an OnExecuted hook this is the executing
+// instruction's true lane set — unlike ActiveMask, which may already
+// reflect a reconvergence pop or an exit and so include lanes that
+// diverged around the instruction.
+func (w *Warp) LastExecMask() uint32 {
+	return w.lastExec
 }
 
 // setPC updates the top-of-stack PC.

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"flame/internal/campaign"
+	"flame/internal/core"
+	"flame/internal/flame"
+)
+
+// CoverageSummary runs a statistical fault-injection campaign over the
+// configured benchmark suite and prints the per-benchmark and fleet-wide
+// coverage table with Wilson 95% confidence intervals. It is the
+// harness-level entry point to the campaign engine — the paper's
+// "no SDC, no hang under the data-slice fault model" claim, measured.
+func CoverageSummary(cfg Config, trials, parallel int, seed uint64, model flame.FaultModel) (*campaign.Report, error) {
+	cfg.fill()
+	specs := make([]*core.KernelSpec, len(cfg.Benchmarks))
+	for i, b := range cfg.Benchmarks {
+		specs[i] = b.Spec()
+	}
+	rep, err := campaign.Run(campaign.Config{
+		Arch:     cfg.Arch,
+		Opt:      cfg.flameOptions(),
+		Specs:    specs,
+		Trials:   trials,
+		Parallel: parallel,
+		Seed:     seed,
+		Model:    model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.printf("Fault-injection coverage summary\n%s\n", rep)
+	return rep, nil
+}

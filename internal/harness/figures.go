@@ -352,14 +352,14 @@ type InjectionRow struct {
 func InjectionStudy(cfg Config, runsPerBench int, seed int64) ([]InjectionRow, error) {
 	cfg.fill()
 	var out []InjectionRow
-	t := &stats.Table{Header: []string{"benchmark", "injected", "recovered", "sdc", "due"}}
+	t := &stats.Table{Header: []string{"benchmark", "injected", "masked", "recovered", "sdc", "due", "hang"}}
 	for _, b := range cfg.Benchmarks {
 		res, err := core.Campaign(cfg.Arch, b.Spec(), cfg.flameOptions(), runsPerBench, seed)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		out = append(out, InjectionRow{Benchmark: b.Name, Result: *res})
-		t.Add(b.Name, res.Injected, res.Recovered, res.SDC, res.DUE)
+		t.Add(b.Name, res.Injected, res.Masked, res.Recovered, res.SDC, res.DUE, res.Hang)
 		seed++
 	}
 	cfg.printf("Fault-injection validation under Flame\n%s\n", t)

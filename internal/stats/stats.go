@@ -55,6 +55,41 @@ func OverheadPct(norm float64) string {
 	return fmt.Sprintf("%+.2f%%", (norm-1)*100)
 }
 
+// Wilson returns the Wilson score confidence interval for a binomial
+// proportion of k successes in n trials at critical value z (1.96 for
+// 95%). Unlike the normal approximation it stays inside [0, 1] and
+// behaves sanely at the extremes fault-injection campaigns live at
+// (k = n or k = 0 with large n). n = 0 returns the vacuous [0, 1].
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := p + z2/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	// At the boundaries the algebra cancels exactly (hi = 1 when k = n,
+	// lo has no such cancellation); pin the float round-off so campaign
+	// JSON reports 1, not 0.9999999999999999.
+	if k == n {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Wilson95 is Wilson at the conventional 95% level.
+func Wilson95(k, n int) (lo, hi float64) { return Wilson(k, n, 1.959963984540054) }
+
 // Table is a simple aligned plain-text table.
 type Table struct {
 	Header []string

@@ -88,3 +88,48 @@ func TestSeriesString(t *testing.T) {
 		t.Fatalf("series = %q", got)
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Textbook value: 8/10 at 95% is roughly [0.49, 0.94].
+	lo, hi := Wilson95(8, 10)
+	if math.Abs(lo-0.4901) > 0.005 || math.Abs(hi-0.9433) > 0.005 {
+		t.Fatalf("wilson(8,10) = [%v, %v]", lo, hi)
+	}
+	// Extremes stay inside [0,1] and are non-degenerate: k=n gives an
+	// interval whose lower bound rises with n but never reaches 1.
+	lo, hi = Wilson95(100, 100)
+	if hi != 1 || lo <= 0.95 || lo >= 1 {
+		t.Fatalf("wilson(100,100) = [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson95(0, 100)
+	if lo > 1e-12 || hi >= 0.05 || hi <= 0 {
+		t.Fatalf("wilson(0,100) = [%v, %v]", lo, hi)
+	}
+	// n = 0 is vacuous.
+	if lo, hi = Wilson95(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("wilson(0,0) = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	if err := quick.Check(func(k, n uint8) bool {
+		kk, nn := int(k), int(n)
+		if kk > nn {
+			kk, nn = nn, kk
+		}
+		lo, hi := Wilson95(kk, nn)
+		if nn == 0 {
+			return lo == 0 && hi == 1
+		}
+		p := float64(kk) / float64(nn)
+		return 0 <= lo && lo <= p+1e-9 && p <= hi+1e-9 && hi <= 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Tightens with n at fixed proportion.
+	lo1, hi1 := Wilson95(5, 10)
+	lo2, hi2 := Wilson95(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not tighten: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
