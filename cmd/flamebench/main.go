@@ -25,12 +25,14 @@ import (
 var quickSubset = []string{"Triad", "SGEMM", "LUD", "Histogram", "BS", "WT", "BFS", "Hotspot"}
 
 func main() {
-	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,all")
+	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,perf,all")
 	quick := flag.Bool("quick", false, "use an 8-benchmark subset")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	sms := flag.Int("sms", 0, "override SM count (smaller = faster)")
 	wcdl := flag.Int("wcdl", 20, "sensor WCDL")
 	injectRuns := flag.Int("inject-runs", 5, "injection trials per benchmark")
+	perfOut := flag.String("perf-out", "BENCH_sim.json", "output path for the -exp perf report")
+	perfTrials := flag.Int("perf-trials", 50, "campaign trials measured by -exp perf")
 	flag.Parse()
 
 	cfg := harness.Default()
@@ -124,6 +126,13 @@ func main() {
 		_, err := harness.CoverageSummary(cfg, *injectRuns, 0, 2024, flamehw.DataSlice)
 		return err
 	})
+	// perf writes BENCH_sim.json as a side effect, so it only runs when
+	// asked for by name, never as part of -exp all.
+	if want["perf"] {
+		if _, err := harness.PerfBench(cfg, *perfOut, *perfTrials); err != nil {
+			fail("perf: %v", err)
+		}
+	}
 }
 
 func fail(format string, args ...any) {

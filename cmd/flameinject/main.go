@@ -22,6 +22,7 @@ import (
 	"flame/internal/core"
 	"flame/internal/flame"
 	"flame/internal/gpu"
+	"flame/internal/prof"
 )
 
 // quickSuite is a small structurally-diverse subset for fast campaigns:
@@ -46,7 +47,16 @@ func main() {
 	strikes := flag.Int("strikes", 1, "strikes armed per trial")
 	budget := flag.Int64("budget", 8, "hang watchdog: cycle budget as multiple of the fault-free window")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 
 	scheme, err := core.SchemeByName(*schemeFlag)
 	if err != nil {
@@ -56,6 +66,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	arch.NoCycleSkip = *noskip
 	model, err := flame.ParseFaultModel(*modelFlag)
 	if err != nil {
 		fail("%v", err)
@@ -116,6 +127,7 @@ func main() {
 	// model is a failed resilience claim; make it visible to scripts.
 	if model == flame.DataSlice && scheme.Recoverable() && scheme.Detects() &&
 		(rep.Fleet.SDC > 0 || rep.Fleet.Hang > 0) {
+		stopProf() // os.Exit skips the deferred flush
 		os.Exit(2)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"flame/internal/core"
 	"flame/internal/flame"
 	"flame/internal/gpu"
+	"flame/internal/prof"
 )
 
 func main() {
@@ -32,7 +33,16 @@ func main() {
 	arm := flag.Int64("arm", 100, "injection arm cycle")
 	baseline := flag.Bool("baseline", true, "also run the baseline for comparison")
 	trace := flag.String("trace", "", "trace window \"FROM:TO\" (cycles) to stderr")
+	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 
 	scheme, err := core.SchemeByName(*schemeFlag)
 	if err != nil {
@@ -42,6 +52,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	arch.NoCycleSkip = *noskip
 	if *schedName != "" {
 		switch strings.ToUpper(*schedName) {
 		case "GTO":

@@ -1,9 +1,9 @@
 // Package campaign is the statistical fault-injection campaign engine:
-// it runs thousands of classified injection trials (core.RunTrial)
-// across a workload suite on a pool of worker goroutines — each trial on
-// its own gpu.Device — and aggregates Masked / Recovered / SDC / DUE /
-// Hang counts into per-benchmark and fleet-wide coverage rates with
-// Wilson confidence intervals.
+// it runs thousands of classified injection trials across a workload
+// suite on a pool of worker goroutines — each worker reusing pooled
+// devices through a core.Engine — and aggregates Masked / Recovered /
+// SDC / DUE / Hang counts into per-benchmark and fleet-wide coverage
+// rates with Wilson confidence intervals.
 //
 // Every trial's randomness derives from the campaign seed, the
 // benchmark name and the trial index via SplitMix64, so the report is
@@ -92,8 +92,12 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One engine (and so one pooled device per workload) per
+			// worker: trials reuse simulator state instead of
+			// reallocating it, with bit-identical results.
+			eng := core.NewEngine(cfg.Arch)
 			for j := range jobs {
-				results[j.b][j.t] = *runOneTrial(&cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
+				results[j.b][j.t] = *runOneTrial(eng, &cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
 			}
 		}()
 	}
@@ -108,9 +112,11 @@ func Run(cfg Config) (*Report, error) {
 	return aggregate(&cfg, goldens, results), nil
 }
 
-// runOneTrial derives trial t's randomness and runs it. The derivation
-// depends only on (campaign seed, workload name, t).
-func runOneTrial(cfg *Config, spec *core.KernelSpec, g *core.Golden, root uint64, t, strikes int) *core.TrialResult {
+// runOneTrial derives trial t's randomness and runs it on the worker's
+// engine. The derivation depends only on (campaign seed, workload name,
+// t), and the engine's device pooling does not alter results, so the
+// report stays independent of worker count.
+func runOneTrial(eng *core.Engine, cfg *Config, spec *core.KernelSpec, g *core.Golden, root uint64, t, strikes int) *core.TrialResult {
 	rng := rand.New(rand.NewSource(trialSeed(root, t)))
 	span := g.Window*9/10 + 1
 	arms := make([]int64, strikes)
@@ -118,7 +124,7 @@ func runOneTrial(cfg *Config, spec *core.KernelSpec, g *core.Golden, root uint64
 		arms[i] = rng.Int63n(span)
 	}
 	sort.Slice(arms, func(i, j int) bool { return arms[i] < arms[j] })
-	return core.RunTrial(cfg.Arch, spec, g, core.TrialSpec{
+	return eng.RunTrial(spec, g, core.TrialSpec{
 		Arms:      arms,
 		Model:     cfg.Model,
 		Seed:      rng.Int63(),

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+	"flame/internal/isa"
+)
+
+// Engine runs injection trials on pooled devices: one gpu.Device per
+// workload, reused across trials, with global memory restored from the
+// golden run's initial image instead of re-running host setup, and the
+// scheme compilation shared from the golden run instead of recompiled.
+// A campaign worker holds one Engine; trial results are bit-identical to
+// the fresh-device path (RunTrial), which the equivalence suite asserts.
+//
+// An Engine is not safe for concurrent use — give each worker its own.
+type Engine struct {
+	cfg  gpu.Config
+	devs map[*KernelSpec]*gpu.Device
+}
+
+// NewEngine creates a trial engine for one architecture.
+func NewEngine(cfg gpu.Config) *Engine {
+	return &Engine{cfg: cfg, devs: map[*KernelSpec]*gpu.Device{}}
+}
+
+// device returns the pooled device for a workload, creating it on first
+// use. Memory sizing is per-spec, so the pool is keyed by spec.
+func (e *Engine) device(spec *KernelSpec) (*gpu.Device, error) {
+	if dev, ok := e.devs[spec]; ok {
+		return dev, nil
+	}
+	dev, err := gpu.NewDevice(e.cfg, spec.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	e.devs[spec] = dev
+	return dev, nil
+}
+
+// launchOne runs one compiled kernel on the device, optionally with the
+// injector attached, accumulating stats into res. It mirrors
+// RunCompiledOpts' per-launch behaviour (including error text) exactly.
+func launchOne(dev *gpu.Device, spec *KernelSpec, c *Compiled, grid, block isa.Dim3,
+	params []uint32, inj *flame.Injector, maxCycles int64, res *Result) error {
+	ctl := c.Controller()
+	var hooks *gpu.Hooks
+	switch {
+	case ctl != nil:
+		if inj != nil {
+			ctl.Inj = inj
+		}
+		hooks = ctl.Hooks()
+	case inj != nil:
+		hooks = &gpu.Hooks{OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+			inj.Observe(d, sm, w, pc)
+		}}
+	}
+	launch := &gpu.Launch{
+		Prog: c.Prog, Grid: grid, Block: block, Params: params,
+		MaxCycles: maxCycles,
+	}
+	st, err := dev.Run(launch, hooks)
+	if err != nil {
+		return fmt.Errorf("%s/%s: %w", spec.Name, c.Opt.Scheme, err)
+	}
+	res.Stats.Accumulate(st)
+	if ctl != nil {
+		res.Flame.Accumulate(&ctl.Stats)
+	}
+	return nil
+}
+
+// RunTrial executes one injection trial on the pooled device and
+// classifies the outcome exactly as core.RunTrial does, diffing the
+// device's final memory against the golden image in place (no copy).
+func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResult {
+	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
+	tr := &TrialResult{}
+	dev, err := e.device(spec)
+	if err == nil {
+		copy(dev.Mem.Words(), g.InitMem)
+		res := &Result{}
+		// The injector observes only the main kernel's launch, as in
+		// RunCompiledOpts.
+		err = launchOne(dev, spec, g.Comp, spec.Grid, spec.Block, spec.Params,
+			inj, ts.MaxCycles, res)
+		for i := 0; err == nil && i < len(spec.Steps); i++ {
+			step := spec.Steps[i]
+			err = launchOne(dev, spec, g.StepComps[i], step.Grid, step.Block,
+				step.Params, nil, ts.MaxCycles, res)
+		}
+		tr.Recoveries = res.Flame.Recoveries
+		tr.Cycles = res.Stats.Cycles
+	}
+	tr.Strikes = inj.FiredStrikes()
+	tr.ExcludedStrikes = inj.ExcludedStrikes()
+	tr.Detected = inj.Detected
+	tr.Detections = inj.Detections
+	tr.Description = inj.Description
+	classifyTrial(tr, err, func() bool {
+		return memEqual(dev.Mem.Words(), g.Mem)
+	})
+	return tr
+}
+
+// classifyTrial applies the standard outcome taxonomy. matches reports
+// whether final memory equals the golden image; it is only consulted for
+// completed runs.
+func classifyTrial(tr *TrialResult, err error, matches func() bool) {
+	switch {
+	case err != nil:
+		classifyTrialErr(tr, err)
+	case tr.Strikes == 0:
+		tr.Outcome = OutcomeNoInjection
+	case !matches():
+		tr.Outcome = OutcomeSDC
+	case tr.Detections > 0:
+		tr.Outcome = OutcomeRecovered
+	default:
+		tr.Outcome = OutcomeMasked
+	}
+}

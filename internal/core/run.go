@@ -244,11 +244,12 @@ func Campaign(cfg gpu.Config, spec *KernelSpec, opt Options, n int, seed int64) 
 	if err != nil {
 		return nil, err
 	}
+	eng := NewEngine(cfg)
 	rng := rand.New(rand.NewSource(seed))
 	out := &CampaignResult{Runs: n}
 	for i := 0; i < n; i++ {
 		arm := rng.Int63n(g.Window*9/10 + 1)
-		tr := RunTrial(cfg, spec, g, TrialSpec{
+		tr := eng.RunTrial(spec, g, TrialSpec{
 			Arms:      []int64{arm},
 			Seed:      rng.Int63(),
 			MaxCycles: g.HangBudget(0),

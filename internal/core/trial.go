@@ -66,8 +66,15 @@ func (o Outcome) String() string {
 // global memory of a clean run.
 type Golden struct {
 	Comp *Compiled
+	// StepComps are the follow-on Steps compiled once with the same
+	// options, in spec order (trials reuse them instead of recompiling).
+	StepComps []*Compiled
 	// Window is the fault-free cycle count across all launches.
 	Window int64
+	// InitMem is the global-memory image after host setup, before any
+	// launch; pooled-device trials restore it instead of re-running
+	// spec.Setup.
+	InitMem []uint32
 	// Mem is the fault-free final global memory.
 	Mem []uint32
 	// MaxDelay is the scheme's sensor detection delay bound (WCDL for
@@ -83,6 +90,16 @@ func GoldenRun(cfg gpu.Config, spec *KernelSpec, opt Options) (*Golden, error) {
 	if err != nil {
 		return nil, err
 	}
+	steps := make([]*Compiled, len(spec.Steps))
+	for i, step := range spec.Steps {
+		if steps[i], err = Compile(step.Prog, comp.Opt); err != nil {
+			return nil, fmt.Errorf("%s step %d: %w", spec.Name, i+1, err)
+		}
+	}
+	initMem := make([]uint32, (spec.MemBytes+3)/4)
+	if spec.Setup != nil {
+		spec.Setup(initMem)
+	}
 	res, err := RunCompiledOpts(cfg, spec, comp, nil, RunOpts{KeepMem: true})
 	if err != nil {
 		return nil, fmt.Errorf("golden run: %w", err)
@@ -91,7 +108,10 @@ func GoldenRun(cfg gpu.Config, spec *KernelSpec, opt Options) (*Golden, error) {
 	if !opt.Scheme.UsesSensors() {
 		maxDelay = 0 // DMR detects at the replica; model as immediate
 	}
-	return &Golden{Comp: comp, Window: res.Stats.Cycles, Mem: res.Mem, MaxDelay: maxDelay}, nil
+	return &Golden{
+		Comp: comp, StepComps: steps, Window: res.Stats.Cycles,
+		InitMem: initMem, Mem: res.Mem, MaxDelay: maxDelay,
+	}, nil
 }
 
 // HangBudget returns the per-launch cycle budget for trials against this
@@ -144,7 +164,9 @@ type TrialResult struct {
 // RunTrial executes one injection trial against a golden run and
 // classifies the outcome. The injector observes the main kernel's launch
 // under the golden compilation's controller (or unprotected for a
-// Baseline golden).
+// Baseline golden). It is the fresh-device reference path; campaigns use
+// Engine.RunTrial, which reuses devices across trials with bit-identical
+// results.
 func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResult {
 	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
 	res, err := RunCompiledOpts(cfg, spec, g.Comp, inj, RunOpts{
@@ -163,29 +185,24 @@ func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) *TrialR
 		tr.Recoveries = res.Flame.Recoveries
 		tr.Cycles = res.Stats.Cycles
 	}
+	classifyTrial(tr, err, func() bool { return memEqual(res.Mem, g.Mem) })
+	return tr
+}
+
+// classifyTrialErr maps a run error onto the taxonomy: a cycle-limit
+// exhaustion is a Hang, a validation rejection an SDC (unreachable from
+// trials, which diff memory instead, but kept so the taxonomy holds for
+// any caller), anything else a DUE.
+func classifyTrialErr(tr *TrialResult, err error) {
+	tr.Err = err.Error()
 	switch {
 	case errors.Is(err, gpu.ErrCycleLimit):
 		tr.Outcome = OutcomeHang
-		tr.Err = err.Error()
 	case errors.Is(err, ErrValidation):
-		// Unreachable here (trials skip validation and diff memory), but
-		// kept so the taxonomy holds for any caller: wrong output is an
-		// SDC, not a DUE.
 		tr.Outcome = OutcomeSDC
-		tr.Err = err.Error()
-	case err != nil:
-		tr.Outcome = OutcomeDUE
-		tr.Err = err.Error()
-	case tr.Strikes == 0:
-		tr.Outcome = OutcomeNoInjection
-	case !memEqual(res.Mem, g.Mem):
-		tr.Outcome = OutcomeSDC
-	case tr.Detections > 0:
-		tr.Outcome = OutcomeRecovered
 	default:
-		tr.Outcome = OutcomeMasked
+		tr.Outcome = OutcomeDUE
 	}
-	return tr
 }
 
 // memEqual compares two final-memory images.

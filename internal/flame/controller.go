@@ -54,11 +54,6 @@ type ckKey struct {
 	reg  isa.Reg
 }
 
-type rbqKey struct {
-	sm    *gpu.SM
-	sched int
-}
-
 type undoEntry struct {
 	w      *gpu.Warp
 	space  isa.Space
@@ -84,8 +79,11 @@ type Controller struct {
 	nextFP         int
 
 	// rbqs holds one verification conveyor per (SM, warp scheduler), as
-	// in the paper's hardware (Section III-D2).
-	rbqs    map[rbqKey]*RBQ
+	// in the paper's hardware (Section III-D2), indexed
+	// smID*SchedulersPerSM+sched and grown on first use (a flat slice:
+	// onCycle and onAdvance walk every conveyor every cycle, and map
+	// probes there were a measurable share of campaign time).
+	rbqs    []*RBQ
 	rpt     map[*gpu.Warp]Snapshot
 	cleared map[*gpu.Warp]int
 
@@ -106,7 +104,6 @@ func NewController(mode Mode) *Controller {
 	}
 	return &Controller{
 		Mode:           mode,
-		rbqs:           map[rbqKey]*RBQ{},
 		rpt:            map[*gpu.Warp]Snapshot{},
 		cleared:        map[*gpu.Warp]int{},
 		pendCkpt:       map[*gpu.Warp]map[ckKey]uint32{},
@@ -118,22 +115,62 @@ func NewController(mode Mode) *Controller {
 // Hooks returns the simulator hooks realizing this controller.
 func (c *Controller) Hooks() *gpu.Hooks {
 	return &gpu.Hooks{
-		BeforeIssue: c.beforeIssue,
-		OnExecuted:  c.onExecuted,
-		OnAtomic:    c.onAtomic,
-		OnCycle:     c.onCycle,
-		OnBlockDone: c.onBlockDone,
+		BeforeIssue:    c.beforeIssue,
+		OnExecuted:     c.onExecuted,
+		OnAtomic:       c.onAtomic,
+		OnCycle:        c.onCycle,
+		OnAdvance:      c.onAdvance,
+		OnBlockDone:    c.onBlockDone,
+		OnWarpDispatch: c.onWarpDispatch,
 	}
 }
 
-func (c *Controller) rbqOf(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) *RBQ {
-	k := rbqKey{sm: sm, sched: w.ID % d.Cfg.SchedulersPerSM}
-	q, ok := c.rbqs[k]
-	if !ok {
-		q = &RBQ{Depth: c.Mode.WCDL}
-		c.rbqs[k] = q
+// onAdvance bounds event-driven fast-forwarding: while every scheduler
+// is stalled this controller's onCycle only acts at discrete pending
+// events — a sensor detection coming due, a scheduled false positive, or
+// an RBQ entry reaching its pop cycle (which may in turn complete a
+// collective section, in the same onCycle). New strikes, enqueues and
+// section completions all require an executed instruction, which cannot
+// happen inside the skipped span, so the earliest of those pending
+// events is an exact bound. This is a pure query; it mutates nothing.
+func (c *Controller) onAdvance(d *gpu.Device, from, to int64) int64 {
+	t := to
+	if c.Inj != nil {
+		if due := c.Inj.NextDetection(); due >= 0 && due < t {
+			t = due
+		}
 	}
-	return q
+	if c.nextFP < len(c.FalsePositives) && c.FalsePositives[c.nextFP] < t {
+		t = c.FalsePositives[c.nextFP]
+	}
+	for _, q := range c.rbqs {
+		if q != nil && q.Len() > 0 {
+			if r := q.NextReady(); r < t {
+				t = r
+			}
+		}
+	}
+	if t < from {
+		t = from
+	}
+	return t
+}
+
+// onWarpDispatch seeds the warp's recovery point with its launch state,
+// so the per-issue path never has to probe for a missing RPT entry.
+func (c *Controller) onWarpDispatch(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) {
+	c.rpt[w] = snapshotOf(w)
+}
+
+func (c *Controller) rbqOf(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) *RBQ {
+	idx := sm.ID*d.Cfg.SchedulersPerSM + w.ID%d.Cfg.SchedulersPerSM
+	for idx >= len(c.rbqs) {
+		c.rbqs = append(c.rbqs, nil)
+	}
+	if c.rbqs[idx] == nil {
+		c.rbqs[idx] = &RBQ{Depth: c.Mode.WCDL}
+	}
+	return c.rbqs[idx]
 }
 
 // boundaryAt reports whether issuing pc crosses a region boundary that
@@ -146,10 +183,6 @@ func boundaryAt(prog *isa.Program, pc int) bool {
 
 func (c *Controller) beforeIssue(d *gpu.Device, sm *gpu.SM, w *gpu.Warp) bool {
 	pc := w.PC()
-	if _, ok := c.rpt[w]; !ok {
-		// First sight of this warp: its recovery point is its launch state.
-		c.rpt[w] = snapshotOf(w)
-	}
 	if !boundaryAt(d.Kernel(), pc) {
 		return true
 	}
@@ -247,13 +280,12 @@ func (c *Controller) onCycle(d *gpu.Device) {
 		c.Recover(d)
 		c.nextFP++
 	}
-	for _, sm := range d.SMs {
-		for sched := 0; sched < d.Cfg.SchedulersPerSM; sched++ {
-			q, ok := c.rbqs[rbqKey{sm: sm, sched: sched}]
-			if !ok {
-				continue
-			}
-			c.popOne(d, sm, q)
+	// Conveyor order matches (SM, scheduler) index order by construction
+	// of rbqOf's flat indexing.
+	nsched := d.Cfg.SchedulersPerSM
+	for idx, q := range c.rbqs {
+		if q != nil {
+			c.popOne(d, d.SMs[idx/nsched], q)
 		}
 	}
 	c.applyCompleteSections(d)
@@ -396,7 +428,9 @@ func (c *Controller) forgetWarp(w *gpu.Warp) {
 func (c *Controller) Recover(d *gpu.Device) {
 	c.Stats.Recoveries++
 	for _, q := range c.rbqs {
-		c.Stats.Flushed += int64(len(q.Flush()))
+		if q != nil {
+			c.Stats.Flushed += int64(len(q.Flush()))
+		}
 	}
 	// Revert unverified atomics, newest first.
 	for i := len(c.undo) - 1; i >= 0; i-- {

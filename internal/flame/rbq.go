@@ -90,6 +90,11 @@ func (q *RBQ) Flush() []rbqEntry {
 // Len returns the current occupancy.
 func (q *RBQ) Len() int { return len(q.entries) }
 
+// NextReady returns the cycle the front entry pops. The queue is a
+// FIFO with monotonically increasing readyAt, so the head is the
+// earliest pending event. Call only when Len() > 0.
+func (q *RBQ) NextReady() int64 { return q.entries[0].readyAt }
+
 // BitsPerEntry returns the hardware width of one RBQ entry for a given
 // number of warps per scheduler (warp id bits + valid bit), Section VI-A2.
 func BitsPerEntry(warpsPerScheduler int) int {

@@ -13,6 +13,8 @@ func (sm *SM) execute(w *Warp, cycle int64) error {
 	pc := w.PC()
 	in := &prog.Insts[pc]
 
+	d.issued = true
+	w.invalidateDeps()
 	d.Stats.Issued++
 	switch in.Origin {
 	case isa.OrigDup:
@@ -98,26 +100,40 @@ func (sm *SM) execute(w *Warp, cycle int64) error {
 			lat = int64(d.Cfg.SFULat)
 			sm.sfuBusyUntil = cycle + 2
 		}
-		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
-			if exec&(1<<lane) == 0 {
-				continue
-			}
-			var v uint32
-			if in.Op == isa.OpSelp {
-				a := sm.operand(w, lane, in.Src[0])
-				b := sm.operand(w, lane, in.Src[1])
-				if w.Preds[lane]&(1<<in.Src[2].Pred) != 0 {
-					v = a
-				} else {
-					v = b
+		s0, s1, s2 := &in.Src[0], &in.Src[1], &in.Src[2]
+		if in.Op != isa.OpSelp && s0.Kind != isa.OperSpecial &&
+			s1.Kind != isa.OperSpecial && s2.Kind != isa.OperSpecial {
+			// Register/immediate sources only — the overwhelmingly common
+			// case; resolve operands without per-lane function calls.
+			for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+				if exec&(1<<lane) == 0 {
+					continue
 				}
-			} else {
-				a := sm.operand(w, lane, in.Src[0])
-				b := sm.operand(w, lane, in.Src[1])
-				c := sm.operand(w, lane, in.Src[2])
-				v = isa.EvalALU(in.Op, a, b, c)
+				regs := w.Regs[lane]
+				regs[in.Dst] = isa.EvalALU(in.Op, opVal(regs, s0), opVal(regs, s1), opVal(regs, s2))
 			}
-			w.Regs[lane][in.Dst] = v
+		} else {
+			for lane := 0; lane < d.Cfg.WarpSize; lane++ {
+				if exec&(1<<lane) == 0 {
+					continue
+				}
+				var v uint32
+				if in.Op == isa.OpSelp {
+					a := sm.operand(w, lane, *s0)
+					b := sm.operand(w, lane, *s1)
+					if w.Preds[lane]&(1<<s2.Pred) != 0 {
+						v = a
+					} else {
+						v = b
+					}
+				} else {
+					a := sm.operand(w, lane, *s0)
+					b := sm.operand(w, lane, *s1)
+					c := sm.operand(w, lane, *s2)
+					v = isa.EvalALU(in.Op, a, b, c)
+				}
+				w.Regs[lane][in.Dst] = v
+			}
 		}
 		if in.Dst != isa.NoReg {
 			w.regReady[in.Dst] = cycle + lat
@@ -151,7 +167,9 @@ func (sm *SM) branch(w *Warp, in *isa.Inst, pc int, taken, mask uint32) {
 	}
 }
 
-// operand evaluates a source operand for one lane.
+// operand evaluates a source operand for one lane. The register and
+// immediate cases are kept small enough to inline into execute's
+// per-lane loops; operandSlow must stay out of the inlining budget.
 func (sm *SM) operand(w *Warp, lane int, o isa.Operand) uint32 {
 	switch o.Kind {
 	case isa.OperReg:
@@ -163,6 +181,16 @@ func (sm *SM) operand(w *Warp, lane int, o isa.Operand) uint32 {
 	default:
 		return 0
 	}
+}
+
+// opVal is operand's register/immediate subset, small enough to inline
+// into execute's per-lane ALU loop (OperNone's zero Imm yields 0, as
+// operand does).
+func opVal(regs []uint32, o *isa.Operand) uint32 {
+	if o.Kind == isa.OperReg {
+		return regs[o.Reg]
+	}
+	return uint32(o.Imm)
 }
 
 // special evaluates a special register for one lane.
@@ -358,7 +386,7 @@ func (sm *SM) memLatency(w *Warp, space isa.Space, addrs []uint32, exec uint32, 
 	case isa.SpaceShared:
 		// Bank conflicts: count distinct addresses per bank.
 		var bankCount [64]int8
-		var seen []uint32
+		seen := sm.memScratch[:0]
 		degree := int8(1)
 		for lane := 0; lane < cfg.WarpSize; lane++ {
 			if exec&(1<<lane) == 0 {
@@ -390,7 +418,7 @@ func (sm *SM) memLatency(w *Warp, space isa.Space, addrs []uint32, exec uint32, 
 
 	case isa.SpaceGlobal:
 		// Coalesce into cache-line transactions.
-		var lines []uint32
+		lines := sm.memScratch[:0]
 		for lane := 0; lane < cfg.WarpSize; lane++ {
 			if exec&(1<<lane) == 0 {
 				continue
@@ -439,7 +467,7 @@ func (sm *SM) memLatency(w *Warp, space isa.Space, addrs []uint32, exec uint32, 
 					lat = dstart - cycle + int64(cfg.DRAMLat)
 				}
 				if !isStore {
-					sm.mshrRelease = append(sm.mshrRelease, cycle+lat)
+					sm.mshrPush(cycle + lat)
 				}
 			}
 			if lat > worst {

@@ -21,10 +21,35 @@ type Hooks struct {
 	OnAtomic func(d *Device, sm *SM, w *Warp, space isa.Space, addr, old uint32, lane int)
 
 	// OnCycle runs once per device cycle, after all SMs stepped.
+	//
+	// Attaching OnCycle disables event-driven cycle skipping unless
+	// OnAdvance is also provided: the simulator cannot know which idle
+	// cycles a per-cycle consumer cares about.
 	OnCycle func(d *Device)
+
+	// OnAdvance makes an OnCycle consumer fast-forward safe. When every
+	// scheduler is stalled, the simulator proposes advancing the clock
+	// from cycle `from` directly to cycle `to` (skipping the OnCycle
+	// calls for cycles from..to-1, which are credited as stall cycles).
+	// The hook returns the earliest cycle in [from, to] at which its
+	// OnCycle stops being a no-op — d.Cyc jumps there and per-cycle
+	// simulation resumes. Returning `from` vetoes the skip entirely.
+	//
+	// OnAdvance is a bound query, not a notification: it may be invoked
+	// with a larger `to` than the clock finally advances by (another
+	// hook or SM may clamp harder), so it must not mutate state based on
+	// the proposed range. Observe the actual position via d.Cyc at the
+	// next callback.
+	OnAdvance func(d *Device, from, to int64) int64
 
 	// OnBlockDone runs when a thread block retires from an SM.
 	OnBlockDone func(d *Device, sm *SM, globalBlock int)
+
+	// OnWarpDispatch runs when a warp is placed on an SM, after its
+	// state is fully initialized and before it can issue. Schemes that
+	// keep per-warp state (e.g. a recovery-point table) seed it here
+	// once instead of probing a map on every issued instruction.
+	OnWarpDispatch func(d *Device, sm *SM, w *Warp)
 }
 
 func (h *Hooks) beforeIssue(d *Device, sm *SM, w *Warp) bool {
@@ -56,4 +81,34 @@ func (h *Hooks) onBlockDone(d *Device, sm *SM, gb int) {
 	if h != nil && h.OnBlockDone != nil {
 		h.OnBlockDone(d, sm, gb)
 	}
+}
+
+func (h *Hooks) onWarpDispatch(d *Device, sm *SM, w *Warp) {
+	if h != nil && h.OnWarpDispatch != nil {
+		h.OnWarpDispatch(d, sm, w)
+	}
+}
+
+// onAdvance resolves the hook set's fast-forward bound for a proposed
+// jump from cycle `from` to cycle `to`: the hook's answer clamped into
+// [from, to], `from` (no skip) for an OnCycle consumer without an
+// OnAdvance contract, and `to` (no objection) otherwise.
+func (h *Hooks) onAdvance(d *Device, from, to int64) int64 {
+	if h == nil {
+		return to
+	}
+	if h.OnAdvance != nil {
+		t := h.OnAdvance(d, from, to)
+		if t < from {
+			return from
+		}
+		if t > to {
+			return to
+		}
+		return t
+	}
+	if h.OnCycle != nil {
+		return from
+	}
+	return to
 }

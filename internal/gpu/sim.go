@@ -29,6 +29,10 @@ type Device struct {
 	nextBlock   int
 	blocksDone  int
 	ageSeq      int64
+	// issued is set by any SM executing an instruction this cycle; a
+	// cycle that ends with it clear is fully stalled and eligible for
+	// event-driven fast-forwarding.
+	issued bool
 
 	// MaxCycles bounds a run (deadlock/livelock detection).
 	MaxCycles int64
@@ -82,8 +86,17 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 			l.Prog.Name, l.Prog.NumRegs, l.Prog.SharedBytes)
 	}
 
-	// Reset per-run microarchitectural state.
+	// Reset per-run microarchitectural state, recycling warp and block
+	// objects (and their register-file backing) into the SM pools.
 	for _, sm := range d.SMs {
+		for _, w := range sm.Warps {
+			if w != nil {
+				sm.warpPool = append(sm.warpPool, w)
+			}
+		}
+		for _, b := range sm.Blocks {
+			sm.blockPool = append(sm.blockPool, b)
+		}
 		sm.Warps = sm.Warps[:0]
 		sm.Blocks = sm.Blocks[:0]
 		sm.liveWarps = 0
@@ -109,11 +122,13 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 		budget = l.MaxCycles
 	}
 	total := l.Grid.Count()
+	skip := !d.Cfg.NoCycleSkip
 	for d.blocksDone < total {
 		if d.Cyc >= budget {
 			return nil, fmt.Errorf("gpu: %q: %w after %d cycles; %d/%d blocks done",
 				l.Prog.Name, ErrCycleLimit, budget, d.blocksDone, total)
 		}
+		d.issued = false
 		for _, sm := range d.SMs {
 			if err := sm.step(d.Cyc); err != nil {
 				return nil, fmt.Errorf("cycle %d: %w", d.Cyc, err)
@@ -121,9 +136,43 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 		}
 		d.hooks.onCycle(d)
 		d.Cyc++
+		if skip && !d.issued && d.blocksDone < total {
+			d.fastForward(budget)
+		}
 	}
 	d.Stats.Cycles = d.Cyc
 	return &d.Stats, nil
+}
+
+// fastForward advances the clock over cycles that are provably identical
+// no-ops: no SM issued this cycle, so nothing can change until the
+// earliest pending wake event (a scoreboard release, a busy unit or MSHR
+// freeing, or a hook-side event such as an RBQ pop or fault detection).
+// The skipped span's statistics are credited exactly as the naive loop
+// would have booked them, so every reported number is bit-identical with
+// skipping on or off. The wake scan runs after hooks' OnCycle (pops and
+// detections may have just unsuspended warps); a warp that is ready now
+// yields wake == from and the skip degenerates to nothing.
+func (d *Device) fastForward(budget int64) {
+	from := d.Cyc
+	wake := budget
+	for _, sm := range d.SMs {
+		if t := sm.nextWake(from); t < wake {
+			wake = t
+		}
+	}
+	if wake <= from {
+		return
+	}
+	wake = d.hooks.onAdvance(d, from, wake)
+	if wake <= from {
+		return
+	}
+	span := wake - from
+	for _, sm := range d.SMs {
+		sm.creditIdle(span, &d.Stats)
+	}
+	d.Cyc = wake
 }
 
 // WarpsOfBlock returns the live warps of a block slot on an SM.

@@ -32,33 +32,85 @@ type SM struct {
 	// the cycle its next line transaction can start service.
 	dramFree int64
 	l2Free   int64
-	// mshrRelease holds completion cycles of outstanding L1 misses.
+	// mshrRelease holds completion cycles of outstanding L1 misses as a
+	// min-heap on release cycle. Entries at or before the current cycle
+	// are drained once per cycle (step), so availability probes are
+	// O(1) reads instead of a compacting scan per ready-check.
 	mshrRelease []int64
+
+	// warpPool / blockPool recycle retired warp and block state (and the
+	// register-file backing inside them) across placeBlock calls.
+	warpPool  []*Warp
+	blockPool []*BlockState
+	// readyScratch is step's ready-warp buffer. It must live on the SM:
+	// a stack array would escape to the heap through the scheduler
+	// interface call, costing an allocation per SM per cycle.
+	readyScratch []int
+	// memScratch is memLatency's dedup buffer (bank conflicts, line
+	// coalescing); at most one entry per lane, so the capacity is final.
+	memScratch []uint32
 
 	liveWarps int
 }
 
 // mshrAvailable reports whether an L1 miss slot is free at the cycle.
+// mshrDrain has already evicted entries released at or before the
+// current cycle, and in-cycle pushes always release in the future, so
+// the heap size is exactly the outstanding-miss count: the probe is
+// non-mutating and O(1) where it used to compact the whole list on
+// every ready-scan of every warp.
 func (sm *SM) mshrAvailable(cycle int64) bool {
 	limit := sm.dev.Cfg.MSHRs
-	if limit <= 0 {
-		return true
+	return limit <= 0 || len(sm.mshrRelease) < limit
+}
+
+// mshrPush records an outstanding L1 miss completing at the cycle.
+func (sm *SM) mshrPush(release int64) {
+	h := append(sm.mshrRelease, release)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
 	}
-	n := 0
-	kept := sm.mshrRelease[:0]
-	for _, r := range sm.mshrRelease {
-		if r > cycle {
-			kept = append(kept, r)
-			n++
+	sm.mshrRelease = h
+}
+
+// mshrDrain pops every miss released at or before the cycle (called
+// once per cycle at the top of step).
+func (sm *SM) mshrDrain(cycle int64) {
+	h := sm.mshrRelease
+	for len(h) > 0 && h[0] <= cycle {
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && h[c+1] < h[c] {
+				c++
+			}
+			if h[i] <= h[c] {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
 		}
 	}
-	sm.mshrRelease = kept
-	return n < limit
+	sm.mshrRelease = h
 }
 
 func newSM(id int, d *Device) *SM {
 	cfg := &d.Cfg
-	sm := &SM{ID: id, dev: d, l1: newCache(cfg.L1Sets, cfg.L1Ways, cfg.LineBytes)}
+	sm := &SM{
+		ID: id, dev: d, l1: newCache(cfg.L1Sets, cfg.L1Ways, cfg.LineBytes),
+		readyScratch: make([]int, 0, cfg.MaxWarpsPerSM),
+		memScratch:   make([]uint32, 0, cfg.WarpSize),
+	}
 	for i := 0; i < cfg.SchedulersPerSM; i++ {
 		sm.scheds = append(sm.scheds, newScheduler(cfg.Scheduler, cfg.TwoLevelGroup))
 	}
@@ -81,7 +133,9 @@ func (sm *SM) dispatch() {
 		}
 		if slot == -1 {
 			if len(sm.Blocks) < d.blocksPerSM {
-				sm.Blocks = append(sm.Blocks, &BlockState{Slot: len(sm.Blocks), GlobalID: -1})
+				b := sm.getBlock()
+				b.Slot, b.GlobalID = len(sm.Blocks), -1
+				sm.Blocks = append(sm.Blocks, b)
 				slot = len(sm.Blocks) - 1
 			} else {
 				return
@@ -113,16 +167,16 @@ func (sm *SM) placeBlock(b *BlockState, gb int) {
 
 	nregs := l.Prog.NumRegs
 	localWords := (l.Prog.LocalBytes + 3) / 4
+	warpSize := d.Cfg.WarpSize
 	for wi := 0; wi < warpsPerBlock; wi++ {
-		w := &Warp{
-			ID:          len(sm.Warps),
-			BlockSlot:   b.Slot,
-			GlobalBlock: gb,
-			WarpInBlock: wi,
-			Age:         d.ageSeq,
-		}
+		w := sm.getWarp()
+		w.ID = len(sm.Warps)
+		w.BlockSlot = b.Slot
+		w.GlobalBlock = gb
+		w.WarpInBlock = wi
+		w.Age = d.ageSeq
 		d.ageSeq++
-		// Reuse a retired warp object slot if available.
+		// Reuse a retired warp ID slot if available.
 		reused := false
 		for i, old := range sm.Warps {
 			if old == nil {
@@ -137,29 +191,126 @@ func (sm *SM) placeBlock(b *BlockState, gb int) {
 		}
 		b.WarpIdx = append(b.WarpIdx, w.ID)
 
+		// Per-lane register files and local memory are carved from one
+		// flat backing slice per warp; dead lanes stay nil.
+		w.laneThread = resizeInt(w.laneThread, warpSize)
+		w.Preds = resizeU8(w.Preds, warpSize)
+		w.Regs = resizeU32Slices(w.Regs, warpSize)
+		w.local = resizeU32Slices(w.local, warpSize)
+		w.regData = resizeU32(w.regData, warpSize*nregs)
+		w.localData = resizeU32(w.localData, warpSize*localWords)
+		w.regReady = resizeI64(w.regReady, nregs)
+
 		var mask uint32
-		w.laneThread = make([]int, d.Cfg.WarpSize)
-		w.Regs = make([][]uint32, d.Cfg.WarpSize)
-		w.Preds = make([]uint8, d.Cfg.WarpSize)
-		w.local = make([][]uint32, d.Cfg.WarpSize)
-		for lane := 0; lane < d.Cfg.WarpSize; lane++ {
-			t := wi*d.Cfg.WarpSize + lane
+		for lane := 0; lane < warpSize; lane++ {
+			t := wi*warpSize + lane
 			if t < threads {
 				mask |= 1 << lane
 				w.laneThread[lane] = t
-				w.Regs[lane] = make([]uint32, nregs)
+				w.Regs[lane] = w.regData[lane*nregs : (lane+1)*nregs : (lane+1)*nregs]
 				if localWords > 0 {
-					w.local[lane] = make([]uint32, localWords)
+					w.local[lane] = w.localData[lane*localWords : (lane+1)*localWords : (lane+1)*localWords]
 				}
 			} else {
 				w.laneThread[lane] = -1
 			}
 		}
 		w.AliveMask = mask
-		w.Stack = SIMTStack{{PC: 0, RPC: len(l.Prog.Insts), Mask: mask}}
-		w.regReady = make([]int64, nregs)
+		w.Stack = append(w.Stack[:0], SIMTEntry{PC: 0, RPC: len(l.Prog.Insts), Mask: mask})
 		sm.liveWarps++
+		d.hooks.onWarpDispatch(d, sm, w)
 	}
+}
+
+// getWarp takes a warp from the retirement pool (or allocates one) and
+// resets every scalar field to launch state; placeBlock overwrites the
+// identity fields and slices.
+func (sm *SM) getWarp() *Warp {
+	var w *Warp
+	if n := len(sm.warpPool); n > 0 {
+		w, sm.warpPool = sm.warpPool[n-1], sm.warpPool[:n-1]
+	} else {
+		w = &Warp{}
+	}
+	w.AliveMask = 0
+	w.AtBarrier = false
+	w.BarGen = 0
+	w.Suspended = false
+	w.Finished = false
+	w.lastExec = 0
+	w.LastIssue = 0
+	w.predReady = [isa.NumPredRegs]int64{}
+	w.invalidateDeps()
+	return w
+}
+
+// getBlock takes a block from the retirement pool or allocates one.
+func (sm *SM) getBlock() *BlockState {
+	if n := len(sm.blockPool); n > 0 {
+		b := sm.blockPool[n-1]
+		sm.blockPool = sm.blockPool[:n-1]
+		b.BarGen = 0
+		b.WarpIdx = b.WarpIdx[:0]
+		b.liveWarps = 0
+		return b
+	}
+	return &BlockState{}
+}
+
+// resizeInt returns s resized to n elements, zeroed to the launch value.
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeU32Slices(s [][]uint32, n int) [][]uint32 {
+	if cap(s) < n {
+		return make([][]uint32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
 }
 
 // retireWarp handles a warp that just finished.
@@ -174,6 +325,10 @@ func (sm *SM) retireWarp(w *Warp) {
 		gb := b.GlobalID
 		b.GlobalID = -1
 		for _, wi := range b.WarpIdx {
+			// Recycle into the pool; reuse cannot happen before the
+			// onBlockDone hook below has dropped any *Warp-keyed state
+			// (dispatch is the only getWarp caller).
+			sm.warpPool = append(sm.warpPool, sm.Warps[wi])
 			sm.Warps[wi] = nil
 		}
 		b.WarpIdx = b.WarpIdx[:0]
@@ -247,6 +402,7 @@ func (sm *SM) ResetBarrierGen(b *BlockState) {
 
 // step runs one cycle of this SM. It returns the first simulation error.
 func (sm *SM) step(cycle int64) error {
+	sm.mshrDrain(cycle)
 	if sm.liveWarps == 0 {
 		sm.dispatch()
 		if sm.liveWarps == 0 {
@@ -256,10 +412,9 @@ func (sm *SM) step(cycle int64) error {
 	d := sm.dev
 	prog := d.launch.Prog
 	nsched := len(sm.scheds)
-	var readyBuf [64]int
 	for si, sched := range sm.scheds {
 		// Partition: warp i belongs to scheduler i%nsched.
-		ready := readyBuf[:0]
+		ready := sm.readyScratch[:0]
 		havework := false
 		for wi := si; wi < len(sm.Warps); wi += nsched {
 			w := sm.Warps[wi]
@@ -275,7 +430,7 @@ func (sm *SM) step(cycle int64) error {
 				d.Stats.BarrierWaits++
 				continue
 			}
-			if !w.depsReady(&prog.Insts[w.PC()], cycle) {
+			if w.depsAtFor(prog) > cycle {
 				continue
 			}
 			// Structural hazards.
@@ -318,4 +473,78 @@ func (sm *SM) step(cycle int64) error {
 		}
 	}
 	return nil
+}
+
+// nextWake returns the earliest cycle >= from at which any of this SM's
+// warps could clear the hazards that blocked issue, mirroring step's
+// ready-scan: scoreboard dependencies, the LSU/SFU structural hazards,
+// and a full MSHR file. A warp whose hazards are already clear (it was
+// blocked only by something unpredictable — a BeforeIssue veto, a
+// scheduler policy hole) pins the wake to `from`, vetoing any skip.
+// Suspended and barrier-parked warps wake through other warps' progress
+// or through hook events, which the hooks' OnAdvance bound covers.
+func (sm *SM) nextWake(from int64) int64 {
+	if sm.liveWarps == 0 {
+		return int64(1<<63 - 1)
+	}
+	d := sm.dev
+	prog := d.launch.Prog
+	wake := int64(1<<63 - 1)
+	for _, w := range sm.Warps {
+		if w == nil || w.Finished || w.Suspended || w.AtBarrier {
+			continue
+		}
+		in := &prog.Insts[w.PC()]
+		t := w.depsAtFor(prog)
+		if in.Op.IsMemory() {
+			if sm.lsuBusyUntil > t {
+				t = sm.lsuBusyUntil
+			}
+			if in.Space == isa.SpaceGlobal && d.Cfg.MSHRs > 0 &&
+				len(sm.mshrRelease) >= d.Cfg.MSHRs && sm.mshrRelease[0] > t {
+				t = sm.mshrRelease[0]
+			}
+		}
+		if in.Op.IsSFU() && sm.sfuBusyUntil > t {
+			t = sm.sfuBusyUntil
+		}
+		if t <= from {
+			return from
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	return wake
+}
+
+// creditIdle books the statistics step would have accumulated over span
+// fully-stalled cycles: per scheduler partition with unfinished warps,
+// span stall cycles, plus per-warp barrier/RBQ wait cycles — exactly
+// what the naive loop books when nothing is ready.
+func (sm *SM) creditIdle(span int64, st *Stats) {
+	if sm.liveWarps == 0 {
+		return
+	}
+	nsched := len(sm.scheds)
+	for si := range sm.scheds {
+		havework := false
+		for wi := si; wi < len(sm.Warps); wi += nsched {
+			w := sm.Warps[wi]
+			if w == nil || w.Finished {
+				continue
+			}
+			havework = true
+			if w.Suspended {
+				st.RBQWaitCycles += span
+				continue
+			}
+			if w.AtBarrier {
+				st.BarrierWaits += span
+			}
+		}
+		if havework {
+			st.StallCycles += span
+		}
+	}
 }

@@ -32,9 +32,23 @@ func CombineHooks(a, b *Hooks) *Hooks {
 			a.onCycle(d)
 			b.onCycle(d)
 		},
+		// The combined bound is the tighter of the two; a constituent
+		// with OnCycle but no OnAdvance degrades the pair to no-skip
+		// through the onAdvance helper.
+		OnAdvance: func(d *Device, from, to int64) int64 {
+			t := a.onAdvance(d, from, to)
+			if t <= from {
+				return from
+			}
+			return b.onAdvance(d, from, t)
+		},
 		OnBlockDone: func(d *Device, sm *SM, gb int) {
 			a.onBlockDone(d, sm, gb)
 			b.onBlockDone(d, sm, gb)
+		},
+		OnWarpDispatch: func(d *Device, sm *SM, w *Warp) {
+			a.onWarpDispatch(d, sm, w)
+			b.onWarpDispatch(d, sm, w)
 		},
 	}
 }

@@ -70,6 +70,21 @@ type Warp struct {
 	laneThread []int
 	// local[lane] is per-thread local memory (spills, checkpoints).
 	local [][]uint32
+
+	// regData and localData are the flat backing stores Regs and local
+	// are carved from, one contiguous span per live lane. Keeping a
+	// single allocation per warp (instead of one per lane) is what lets
+	// the SM's warp pool recycle register files across placeBlock calls
+	// without churning the heap.
+	regData   []uint32
+	localData []uint32
+
+	// depsAt memoizes depsReadyAt for the instruction at depsPC. The
+	// scoreboard and PC only change when this warp executes or its
+	// pipeline resets, both of which set depsPC to -1, so between issues
+	// the per-cycle ready-scan is one compare instead of an operand walk.
+	depsAt int64
+	depsPC int
 }
 
 // PC returns the warp's current program counter.
@@ -146,13 +161,56 @@ func (w *Warp) depsReady(in *isa.Inst, cycle int64) bool {
 	return true
 }
 
+// depsReadyAt returns the earliest cycle at which depsReady holds for
+// the instruction: the latest pending-write completion among the
+// registers depsReady consults (which may be in the past). Must mirror
+// depsReady exactly — the fast-forward path relies on
+// depsReady(in, c) == (depsReadyAt(in) <= c).
+func (w *Warp) depsReadyAt(in *isa.Inst) int64 {
+	var t int64
+	var uses [4]isa.Reg
+	for _, r := range in.Uses(uses[:0]) {
+		if w.regReady[r] > t {
+			t = w.regReady[r]
+		}
+	}
+	if d := in.Defs(); d != isa.NoReg && w.regReady[d] > t {
+		t = w.regReady[d]
+	}
+	if g := in.Guard; g.Valid() && w.predReady[g.Pred] > t {
+		t = w.predReady[g.Pred]
+	}
+	if in.Op == isa.OpSelp && in.Src[2].Kind == isa.OperPred &&
+		w.predReady[in.Src[2].Pred] > t {
+		t = w.predReady[in.Src[2].Pred]
+	}
+	if pd := in.DefsPred(); pd != isa.NoPred && w.predReady[pd] > t {
+		t = w.predReady[pd]
+	}
+	return t
+}
+
+// depsAtFor returns depsReadyAt for the warp's current instruction,
+// memoized until the warp next executes or its pipeline resets.
+func (w *Warp) depsAtFor(prog *isa.Program) int64 {
+	if pc := w.PC(); w.depsPC != pc {
+		w.depsAt = w.depsReadyAt(&prog.Insts[pc])
+		w.depsPC = pc
+	}
+	return w.depsAt
+}
+
+// invalidateDeps discards the memoized scoreboard bound (call after any
+// scoreboard write or control-flow change).
+func (w *Warp) invalidateDeps() { w.depsPC = -1 }
+
 // Schedulable reports whether the warp could issue this cycle, ignoring
 // structural (unit) hazards.
 func (w *Warp) Schedulable(prog *isa.Program, cycle int64) bool {
 	if w.Finished || w.AtBarrier || w.Suspended {
 		return false
 	}
-	return w.depsReady(&prog.Insts[w.PC()], cycle)
+	return w.depsAtFor(prog) <= cycle
 }
 
 // ResetPipeline clears pending-write tracking (used at recovery: the
@@ -164,6 +222,7 @@ func (w *Warp) ResetPipeline(cycle int64) {
 	for i := range w.predReady {
 		w.predReady[i] = cycle
 	}
+	w.invalidateDeps()
 }
 
 // Restore rewinds the warp's control state to a recovery snapshot.

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"flame/internal/bench"
+	"flame/internal/campaign"
+	"flame/internal/core"
+)
+
+// PerfReport is the repo's performance trajectory record, written to
+// BENCH_sim.json by `flamebench -exp perf` and uploaded by CI so every
+// PR's throughput can be compared against its predecessors. All rates
+// are wall-clock and therefore machine-dependent; the Host fields exist
+// so cross-machine numbers are never compared blindly.
+type PerfReport struct {
+	// Host identifies the measuring machine class.
+	Host struct {
+		OS     string `json:"os"`
+		Arch   string `json:"arch"`
+		CPUs   int    `json:"cpus"`
+		GoVer  string `json:"go"`
+		Commit string `json:"commit,omitempty"`
+	} `json:"host"`
+	// SimCyclesPerSec is Device.Run throughput on a memory-bound
+	// benchmark with event-driven cycle skipping on (the default) and
+	// off (the naive per-cycle loop).
+	SimCyclesPerSec      float64 `json:"sim_cycles_per_sec"`
+	SimCyclesPerSecNaive float64 `json:"sim_cycles_per_sec_naive"`
+	SkipSpeedup          float64 `json:"skip_speedup"`
+	// TrialsPerSec is end-to-end campaign throughput (mini-campaign,
+	// all workers) and AllocsPerTrial / BytesPerTrial the per-trial
+	// allocation cost measured single-threaded on one pooled engine.
+	CampaignTrials int     `json:"campaign_trials"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	BytesPerTrial  float64 `json:"bytes_per_trial"`
+	Benchmark      string  `json:"benchmark"`
+}
+
+// PerfBench measures simulator and campaign throughput and writes the
+// report to outPath (BENCH_sim.json). The workload choices mirror the
+// micro-benchmarks in internal/gpu and internal/core but run through
+// the public entry points, so the numbers track what users of flamesim
+// and flameinject actually experience.
+func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
+	cfg.fill()
+	if trials <= 0 {
+		trials = 50
+	}
+	rep := &PerfReport{Benchmark: "Triad"}
+	rep.Host.OS = runtime.GOOS
+	rep.Host.Arch = runtime.GOARCH
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GoVer = runtime.Version()
+
+	b, err := bench.ByName(rep.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	spec := b.Spec()
+
+	// Device.Run throughput, skip on vs off. Repeat runs until a
+	// minimum wall-clock budget is spent so short kernels still give a
+	// stable rate on noisy machines.
+	measure := func(noSkip bool) (float64, error) {
+		arch := cfg.Arch
+		arch.NoCycleSkip = noSkip
+		var cycles int64
+		start := time.Now()
+		for time.Since(start) < 300*time.Millisecond {
+			res, err := core.Run(arch, spec, core.Options{Scheme: core.Baseline})
+			if err != nil {
+				return 0, err
+			}
+			cycles += res.Stats.Cycles
+		}
+		return float64(cycles) / time.Since(start).Seconds(), nil
+	}
+	if rep.SimCyclesPerSec, err = measure(false); err != nil {
+		return nil, err
+	}
+	if rep.SimCyclesPerSecNaive, err = measure(true); err != nil {
+		return nil, err
+	}
+	rep.SkipSpeedup = rep.SimCyclesPerSec / rep.SimCyclesPerSecNaive
+
+	// Per-trial allocation cost: single goroutine, one pooled engine,
+	// Mallocs/TotalAlloc deltas across `trials` trials.
+	g, err := core.GoldenRun(cfg.Arch, spec, core.FlameOptions())
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(cfg.Arch)
+	ts := core.TrialSpec{Seed: 1, MaxCycles: g.HangBudget(0)}
+	ts.Arms = []int64{g.Window / 3}
+	eng.RunTrial(spec, g, ts) // warm the device cache before measuring
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < trials; i++ {
+		ts.Arms[0] = (int64(i) * g.Window) / int64(trials)
+		ts.Seed = int64(i) + 7
+		eng.RunTrial(spec, g, ts)
+	}
+	runtime.ReadMemStats(&after)
+	rep.AllocsPerTrial = float64(after.Mallocs-before.Mallocs) / float64(trials)
+	rep.BytesPerTrial = float64(after.TotalAlloc-before.TotalAlloc) / float64(trials)
+
+	// End-to-end campaign throughput with the default worker count.
+	ccfg := campaign.Config{
+		Arch:   cfg.Arch,
+		Opt:    core.FlameOptions(),
+		Specs:  []*core.KernelSpec{spec},
+		Trials: trials,
+		Seed:   1,
+	}
+	start := time.Now()
+	if _, err := campaign.Run(ccfg); err != nil {
+		return nil, err
+	}
+	rep.CampaignTrials = trials
+	rep.TrialsPerSec = float64(trials) / time.Since(start).Seconds()
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	cfg.printf("perf: %.0f simcycles/s (%.2fx over naive), %.1f trials/s, %.0f allocs/trial\n",
+		rep.SimCyclesPerSec, rep.SkipSpeedup, rep.TrialsPerSec, rep.AllocsPerTrial)
+	return rep, nil
+}

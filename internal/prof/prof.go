@@ -1,0 +1,53 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags
+// of a command to runtime/pprof. See EXPERIMENTS.md ("Performance
+// methodology") for the analysis recipe.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memFile (when non-empty). The stop function is idempotent, so callers
+// can both defer it and invoke it explicitly before an os.Exit path.
+func Start(cpuFile, memFile string) (func(), error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			if memFile == "" {
+				return
+			}
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		})
+	}, nil
+}
