@@ -25,7 +25,7 @@ import (
 var quickSubset = []string{"Triad", "SGEMM", "LUD", "Histogram", "BS", "WT", "BFS", "Hotspot"}
 
 func main() {
-	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,perf,all")
+	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,telemetry,perf,all")
 	quick := flag.Bool("quick", false, "use an 8-benchmark subset")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	sms := flag.Int("sms", 0, "override SM count (smaller = faster)")
@@ -126,6 +126,7 @@ func main() {
 		_, err := harness.CoverageSummary(cfg, *injectRuns, 0, 2024, flamehw.DataSlice)
 		return err
 	})
+	run("telemetry", func() error { _, err := harness.TelemetryStudy(cfg); return err })
 	// perf writes BENCH_sim.json as a side effect, so it only runs when
 	// asked for by name, never as part of -exp all.
 	if want["perf"] {

@@ -9,11 +9,13 @@
 //	flameinject -trials 1000 -parallel 8
 //	flameinject -bench SGEMM,LUD -scheme flame -model full -json report.json
 //	flameinject -suite quick -trials 125 -strikes 2
+//	flameinject -trials 200 -events campaign.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -47,6 +49,7 @@ func main() {
 	strikes := flag.Int("strikes", 1, "strikes armed per trial")
 	budget := flag.Int64("budget", 8, "hang watchdog: cycle budget as multiple of the fault-free window")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	events := flag.String("events", "", "stream JSONL progress events to this file (- for stderr); replayable with campaign.Replay")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -94,6 +97,18 @@ func main() {
 		specs[i] = b.Spec()
 	}
 
+	var eventsW io.Writer
+	if *events == "-" {
+		eventsW = os.Stderr
+	} else if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		eventsW = f
+	}
+
 	rep, err := campaign.Run(campaign.Config{
 		Arch:            arch,
 		Opt:             core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend},
@@ -104,6 +119,7 @@ func main() {
 		Model:           model,
 		StrikesPerTrial: *strikes,
 		HangBudgetMult:  *budget,
+		Events:          eventsW,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -6,11 +6,13 @@
 //
 //	flamesim -bench Histogram -scheme flame
 //	flamesim -bench SGEMM -scheme flame -arch GV100 -inject -seed 7
+//	flamesim -bench Triad -telemetry -trace-out trace.json -interval 1000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,6 +21,7 @@ import (
 	"flame/internal/flame"
 	"flame/internal/gpu"
 	"flame/internal/prof"
+	"flame/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +37,11 @@ func main() {
 	baseline := flag.Bool("baseline", true, "also run the baseline for comparison")
 	trace := flag.String("trace", "", "trace window \"FROM:TO\" (cycles) to stderr")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
+	telem := flag.Bool("telemetry", false, "print per-SM stall-attribution breakdown")
+	telemOut := flag.String("telemetry-out", "", "write per-SM stall-attribution CSV to this file")
+	traceOut := flag.String("trace-out", "", "write a Perfetto trace_event JSON timeline to this file")
+	interval := flag.Int64("interval", 0, "sample cumulative counters every N cycles")
+	intervalOut := flag.String("interval-out", "", "write the interval series to this file (.json for JSON, else CSV; default stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -100,7 +108,26 @@ func main() {
 		}
 		inj = flame.NewInjector(*arm, delay, *seed)
 	}
-	var res *core.Result
+
+	// Observer hooks are strictly opt-in: with no telemetry flag the run
+	// passes nil extra hooks and keeps the zero-overhead fast path.
+	var hooks *gpu.Hooks
+	var col *telemetry.Collector
+	if *telem || *telemOut != "" {
+		col = telemetry.NewCollector(&arch)
+		hooks = gpu.CombineHooks(hooks, col.Hooks())
+	}
+	var tw *telemetry.TraceWriter
+	if *traceOut != "" {
+		tw = telemetry.NewTraceWriter()
+		hooks = gpu.CombineHooks(hooks, tw.Hooks())
+	}
+	var smp *telemetry.Sampler
+	if *interval > 0 {
+		smp = telemetry.NewSampler(*interval)
+		smp.Collector = col
+		hooks = gpu.CombineHooks(hooks, smp.Hooks())
+	}
 	if *trace != "" {
 		var from, to int64
 		if _, err := fmt.Sscanf(*trace, "%d:%d", &from, &to); err != nil {
@@ -108,10 +135,10 @@ func main() {
 		}
 		tr := gpu.NewTracer(os.Stderr)
 		tr.FromCycle, tr.ToCycle = from, to
-		res, err = runTraced(arch, spec, comp, inj, tr)
-	} else {
-		res, err = core.RunCompiled(arch, spec, comp, inj)
+		hooks = gpu.CombineHooks(hooks, tr.Hooks())
 	}
+
+	res, err := core.RunCompiledOpts(arch, spec, comp, inj, core.RunOpts{Hooks: hooks})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -134,39 +161,47 @@ func main() {
 			fmt.Println("injection: no eligible instruction was corrupted")
 		}
 	}
-}
 
-// runTraced mirrors core.RunCompiled with a tracer chained in.
-func runTraced(arch gpu.Config, spec *core.KernelSpec, comp *core.Compiled, inj *flame.Injector, tr *gpu.Tracer) (*core.Result, error) {
-	dev, err := gpu.NewDevice(arch, spec.MemBytes)
-	if err != nil {
-		return nil, err
+	if col != nil && *telem {
+		fmt.Print(col.Table())
 	}
-	if spec.Setup != nil {
-		spec.Setup(dev.Mem.Words())
+	if col != nil && *telemOut != "" {
+		writeFileWith(*telemOut, col.WriteCSV)
+		fmt.Printf("telemetry: stall-attribution CSV written to %s\n", *telemOut)
 	}
-	ctl := comp.Controller()
-	var hooks *gpu.Hooks
-	if ctl != nil {
-		ctl.Inj = inj
-		hooks = ctl.Hooks()
-	}
-	hooks = gpu.CombineHooks(hooks, tr.Hooks())
-	launch := &gpu.Launch{Prog: comp.Prog, Grid: spec.Grid, Block: spec.Block, Params: spec.Params}
-	st, err := dev.Run(launch, hooks)
-	if err != nil {
-		return nil, err
-	}
-	if spec.Validate != nil {
-		if verr := spec.Validate(dev.Mem.Words()); verr != nil {
-			return nil, verr
+	if tw != nil {
+		writeFileWith(*traceOut, tw.Write)
+		fmt.Printf("telemetry: %d trace events written to %s (open in ui.perfetto.dev)\n",
+			tw.Events(), *traceOut)
+		if tw.Truncated > 0 {
+			fmt.Printf("telemetry: %d issue events dropped by the event cap\n", tw.Truncated)
 		}
 	}
-	res := &core.Result{Compiled: comp, Stats: *st, Injection: inj}
-	if ctl != nil {
-		res.Flame = ctl.Stats
+	if smp != nil {
+		if *intervalOut != "" {
+			writeFileWith(*intervalOut, func(w io.Writer) error {
+				return smp.Export(w, strings.HasSuffix(*intervalOut, ".json"))
+			})
+		} else if err := smp.WriteCSV(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(smp.Summary())
 	}
-	return res, nil
+}
+
+// writeFileWith creates path and streams through the writer function.
+func writeFileWith(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail("%s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%s: %v", path, err)
+	}
 }
 
 func fail(format string, args ...any) {

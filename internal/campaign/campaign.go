@@ -12,6 +12,7 @@ package campaign
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -45,6 +46,12 @@ type Config struct {
 	// HangBudgetMult scales the per-trial cycle budget as a multiple of
 	// the fault-free window (default 8).
 	HangBudgetMult int64
+	// Events, when set, receives the campaign's JSONL progress stream
+	// (see stream.go): campaign_start, golden, trial_start, trial,
+	// progress and campaign_done records, one JSON object per line.
+	// Replay rebuilds the Report from a finished stream. Event order
+	// across workers is nondeterministic; the replayed report is not.
+	Events io.Writer
 }
 
 type job struct{ b, t int }
@@ -66,6 +73,11 @@ func Run(cfg Config) (*Report, error) {
 		strikes = 1
 	}
 
+	var str *streamer
+	if cfg.Events != nil {
+		str = newStreamer(cfg.Events, len(cfg.Specs)*cfg.Trials)
+	}
+
 	// Fault-free golden runs, one per workload (sequential: they are few
 	// and their failure should abort the campaign with a clear error).
 	goldens := make([]*core.Golden, len(cfg.Specs))
@@ -75,6 +87,12 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("campaign: %s: %w", spec.Name, err)
 		}
 		goldens[i] = g
+	}
+	if str != nil {
+		str.campaignStart(&cfg, parallel, goldens[0].Comp.Opt.WCDL)
+		for i, spec := range cfg.Specs {
+			str.golden(spec.Name, goldens[i].Window)
+		}
 	}
 
 	// Trial fan-out: results land in a fixed [workload][trial] grid so
@@ -97,7 +115,15 @@ func Run(cfg Config) (*Report, error) {
 			// reallocating it, with bit-identical results.
 			eng := core.NewEngine(cfg.Arch)
 			for j := range jobs {
-				results[j.b][j.t] = *runOneTrial(eng, &cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
+				name := cfg.Specs[j.b].Name
+				if str != nil {
+					str.trialStart(name, j.t)
+				}
+				res := runOneTrial(eng, &cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
+				results[j.b][j.t] = *res
+				if str != nil {
+					str.trial(name, j.t, res)
+				}
 			}
 		}()
 	}
@@ -109,7 +135,14 @@ func Run(cfg Config) (*Report, error) {
 	close(jobs)
 	wg.Wait()
 
-	return aggregate(&cfg, goldens, results), nil
+	rep := aggregate(&cfg, goldens, results)
+	if str != nil {
+		str.campaignDone(rep)
+		if err := str.err(); err != nil {
+			return nil, fmt.Errorf("campaign: event stream: %w", err)
+		}
+	}
+	return rep, nil
 }
 
 // runOneTrial derives trial t's randomness and runs it on the worker's

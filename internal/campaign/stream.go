@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"flame/internal/core"
+)
+
+// Campaign event streaming: when Config.Events is set, Run emits one
+// JSON object per line (JSONL) describing the campaign's progress —
+// campaign_start, one golden per workload, trial_start/trial per trial,
+// periodic progress records with throughput and ETA, and campaign_done.
+// The stream is safe to tail while the campaign runs; Replay rebuilds
+// the full Report from a finished stream, and the tests assert the
+// replayed report is byte-identical to the one Run returned.
+
+// startEvent opens a stream and carries everything a replayer needs to
+// reconstruct the report skeleton (workload order included).
+type startEvent struct {
+	Event           string   `json:"event"` // "campaign_start"
+	Arch            string   `json:"arch"`
+	Scheme          string   `json:"scheme"`
+	Model           string   `json:"model"`
+	WCDL            int      `json:"wcdl"`
+	Seed            uint64   `json:"seed"`
+	TrialsPerBench  int      `json:"trials_per_benchmark"`
+	StrikesPerTrial int      `json:"strikes_per_trial"`
+	Parallel        int      `json:"parallel"`
+	Benchmarks      []string `json:"benchmarks"`
+	TotalTrials     int      `json:"total_trials"`
+}
+
+// goldenEvent reports one workload's fault-free reference run.
+type goldenEvent struct {
+	Event        string `json:"event"` // "golden"
+	Benchmark    string `json:"benchmark"`
+	WindowCycles int64  `json:"window_cycles"`
+}
+
+// trialStartEvent marks a trial handed to a worker.
+type trialStartEvent struct {
+	Event     string `json:"event"` // "trial_start"
+	Benchmark string `json:"benchmark"`
+	Trial     int    `json:"trial"`
+}
+
+// trialEvent reports one classified trial. It carries every per-trial
+// field the report aggregation consumes, so a stream replays exactly.
+type trialEvent struct {
+	Event           string `json:"event"` // "trial"
+	Benchmark       string `json:"benchmark"`
+	Trial           int    `json:"trial"`
+	Outcome         string `json:"outcome"`
+	Detected        bool   `json:"detected"`
+	Strikes         int    `json:"strikes"`
+	ExcludedStrikes int    `json:"excluded_strikes"`
+	Cycles          int64  `json:"cycles"`
+	Description     string `json:"description,omitempty"`
+}
+
+// progressEvent summarizes throughput; emitted every ~2% of trials.
+type progressEvent struct {
+	Event        string          `json:"event"` // "progress"
+	Done         int             `json:"done"`
+	Total        int             `json:"total"`
+	ElapsedSec   float64         `json:"elapsed_sec"`
+	TrialsPerSec float64         `json:"trials_per_sec"`
+	EtaSec       float64         `json:"eta_sec"`
+	Tallies      map[string]int  `json:"tallies"`
+}
+
+// doneEvent closes a stream with the fleet summary.
+type doneEvent struct {
+	Event        string  `json:"event"` // "campaign_done"
+	Trials       int     `json:"trials"`
+	Injected     int     `json:"injected"`
+	Masked       int     `json:"masked"`
+	Recovered    int     `json:"recovered"`
+	SDC          int     `json:"sdc"`
+	DUE          int     `json:"due"`
+	Hang         int     `json:"hang"`
+	Coverage     float64 `json:"coverage"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// streamer serializes events from concurrent workers onto one writer.
+type streamer struct {
+	mu       sync.Mutex
+	enc      *json.Encoder
+	start    time.Time
+	done     int
+	total    int
+	every    int
+	tally    [core.NumOutcomes]int
+	firstErr error
+}
+
+func newStreamer(w io.Writer, total int) *streamer {
+	every := total / 50
+	if every < 1 {
+		every = 1
+	}
+	return &streamer{enc: json.NewEncoder(w), start: time.Now(), total: total, every: every}
+}
+
+func (s *streamer) emit(v any) {
+	if err := s.enc.Encode(v); err != nil && s.firstErr == nil {
+		s.firstErr = err
+	}
+}
+
+func (s *streamer) emitLocked(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(v)
+}
+
+func (s *streamer) campaignStart(cfg *Config, parallel, wcdl int) {
+	benches := make([]string, len(cfg.Specs))
+	for i, sp := range cfg.Specs {
+		benches[i] = sp.Name
+	}
+	s.emitLocked(startEvent{
+		Event: "campaign_start", Arch: cfg.Arch.Name, Scheme: cfg.Opt.Scheme.String(),
+		Model: cfg.Model.String(), WCDL: wcdl, Seed: cfg.Seed,
+		TrialsPerBench: cfg.Trials, StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
+		Parallel: parallel, Benchmarks: benches, TotalTrials: s.total,
+	})
+}
+
+func (s *streamer) golden(bench string, window int64) {
+	s.emitLocked(goldenEvent{Event: "golden", Benchmark: bench, WindowCycles: window})
+}
+
+func (s *streamer) trialStart(bench string, t int) {
+	s.emitLocked(trialStartEvent{Event: "trial_start", Benchmark: bench, Trial: t})
+}
+
+func (s *streamer) trial(bench string, t int, r *core.TrialResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	s.tally[r.Outcome]++
+	s.emit(trialEvent{
+		Event: "trial", Benchmark: bench, Trial: t,
+		Outcome: r.Outcome.String(), Detected: r.Detected,
+		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
+		Cycles: r.Cycles, Description: r.Description,
+	})
+	if s.done%s.every != 0 && s.done != s.total {
+		return
+	}
+	elapsed := time.Since(s.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(s.done) / elapsed
+	}
+	eta := 0.0
+	if rate > 0 {
+		eta = float64(s.total-s.done) / rate
+	}
+	tallies := make(map[string]int, core.NumOutcomes)
+	for o := core.Outcome(0); o < core.NumOutcomes; o++ {
+		if s.tally[o] > 0 {
+			tallies[o.String()] = s.tally[o]
+		}
+	}
+	s.emit(progressEvent{
+		Event: "progress", Done: s.done, Total: s.total,
+		ElapsedSec: elapsed, TrialsPerSec: rate, EtaSec: eta, Tallies: tallies,
+	})
+}
+
+func (s *streamer) campaignDone(rep *Report) {
+	elapsed := time.Since(s.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(s.done) / elapsed
+	}
+	f := &rep.Fleet
+	s.emitLocked(doneEvent{
+		Event: "campaign_done", Trials: f.Trials, Injected: f.Injected,
+		Masked: f.Masked, Recovered: f.Recovered, SDC: f.SDC, DUE: f.DUE,
+		Hang: f.Hang, Coverage: f.Coverage, ElapsedSec: elapsed, TrialsPerSec: rate,
+	})
+}
+
+func (s *streamer) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// outcomeByName inverts core.Outcome.String for replay.
+var outcomeByName = func() map[string]core.Outcome {
+	m := make(map[string]core.Outcome, core.NumOutcomes)
+	for o := core.Outcome(0); o < core.NumOutcomes; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+// Replay rebuilds a campaign Report from a finished JSONL event stream.
+// Trial events are folded in (benchmark, trial) order — the same grid
+// order Run aggregates in — so the replayed report matches the original
+// byte-for-byte, regardless of how workers interleaved the stream.
+func Replay(r io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var start *startEvent
+	windows := map[string]int64{}
+	var trials []trialEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+		}
+		switch probe.Event {
+		case "campaign_start":
+			var e startEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+			}
+			start = &e
+		case "golden":
+			var e goldenEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+			}
+			windows[e.Benchmark] = e.WindowCycles
+		case "trial":
+			var e trialEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+			}
+			trials = append(trials, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: replay: %w", err)
+	}
+	if start == nil {
+		return nil, fmt.Errorf("campaign: replay: no campaign_start event")
+	}
+
+	order := make(map[string]int, len(start.Benchmarks))
+	for i, b := range start.Benchmarks {
+		order[b] = i
+	}
+	sort.Slice(trials, func(i, j int) bool {
+		if bi, bj := order[trials[i].Benchmark], order[trials[j].Benchmark]; bi != bj {
+			return bi < bj
+		}
+		return trials[i].Trial < trials[j].Trial
+	})
+
+	rep := &Report{
+		Arch: start.Arch, Scheme: start.Scheme, Model: start.Model,
+		WCDL: start.WCDL, Seed: start.Seed, Trials: start.TrialsPerBench,
+		StrikesPerTrial: start.StrikesPerTrial,
+	}
+	k := 0
+	for _, bench := range start.Benchmarks {
+		br := BenchReport{Benchmark: bench, WindowCycles: windows[bench]}
+		for ; k < len(trials) && trials[k].Benchmark == bench; k++ {
+			e := &trials[k]
+			o, ok := outcomeByName[e.Outcome]
+			if !ok {
+				return nil, fmt.Errorf("campaign: replay: unknown outcome %q", e.Outcome)
+			}
+			br.fold(&core.TrialResult{
+				Outcome: o, ExcludedStrikes: e.ExcludedStrikes, Description: e.Description,
+			})
+		}
+		br.finish()
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		rep.Fleet.merge(&br)
+	}
+	rep.Fleet.Benchmark = "fleet"
+	rep.Fleet.finish()
+	return rep, nil
+}

@@ -70,6 +70,12 @@ type RunOpts struct {
 	SkipValidate bool
 	// KeepMem copies the device's final global memory into Result.Mem.
 	KeepMem bool
+	// Hooks are extra observer hooks (telemetry collectors, tracers,
+	// samplers) combined after the scheme's own hooks on every launch of
+	// the run, main kernel and Steps alike. Combining after the scheme
+	// matters for cycle-exact observation: a telemetry OnCycle then sees
+	// RBQ pops the controller performed in the same cycle.
+	Hooks *gpu.Hooks
 }
 
 // Run compiles the spec's kernels for the scheme and simulates them on a
@@ -127,7 +133,7 @@ func RunCompiledOpts(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flam
 			Prog: c.Prog, Grid: grid, Block: block, Params: params,
 			MaxCycles: ro.MaxCycles,
 		}
-		st, err := dev.Run(launch, hooks)
+		st, err := dev.Run(launch, gpu.CombineHooks(hooks, ro.Hooks))
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", spec.Name, c.Opt.Scheme, err)
 		}

@@ -50,6 +50,14 @@ type Hooks struct {
 	// keep per-warp state (e.g. a recovery-point table) seed it here
 	// once instead of probing a map on every issued instruction.
 	OnWarpDispatch func(d *Device, sm *SM, w *Warp)
+
+	// Slots receives scheduler-slot attribution (see SlotSink). Unlike
+	// OnCycle, attaching a sink keeps event-driven cycle skipping
+	// enabled: the simulator bulk-credits skipped spans through the same
+	// classification the per-cycle scan uses, clamping each skip to the
+	// first cycle any warp could reclassify, so sink totals are
+	// bit-identical with and without skipping.
+	Slots SlotSink
 }
 
 func (h *Hooks) beforeIssue(d *Device, sm *SM, w *Warp) bool {

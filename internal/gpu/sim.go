@@ -25,6 +25,10 @@ type Device struct {
 	launch      *Launch
 	kern        *compiledKernel
 	hooks       *Hooks
+	// slots is the attached scheduler-slot attribution sink (Hooks.Slots),
+	// cached here so the per-cycle scan pays one pointer load when no
+	// telemetry is attached.
+	slots       SlotSink
 	blocksPerSM int
 	nextBlock   int
 	blocksDone  int
@@ -75,6 +79,10 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 	d.launch = l
 	d.kern = compileKernel(l.Prog)
 	d.hooks = hooks
+	d.slots = nil
+	if hooks != nil {
+		d.slots = hooks.Slots
+	}
 	d.Stats = Stats{}
 	d.Cyc = 0
 	d.nextBlock = 0
@@ -168,9 +176,19 @@ func (d *Device) fastForward(budget int64) {
 	if wake <= from {
 		return
 	}
+	if d.slots != nil {
+		// Slot attribution must match the naive loop cycle for cycle: a
+		// blocked warp's classification can change mid-span (e.g. its
+		// scoreboard clears while the LSU stays busy, scoreboard→memory),
+		// so stop the jump at the first threshold any warp crosses and
+		// let the next fastForward pass re-classify from there.
+		for _, sm := range d.SMs {
+			wake = sm.nextSlotChange(from, wake)
+		}
+	}
 	span := wake - from
 	for _, sm := range d.SMs {
-		sm.creditIdle(span, &d.Stats)
+		sm.creditIdle(from, span, &d.Stats)
 	}
 	d.Cyc = wake
 }

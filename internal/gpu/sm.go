@@ -403,9 +403,15 @@ func (sm *SM) ResetBarrierGen(b *BlockState) {
 // step runs one cycle of this SM. It returns the first simulation error.
 func (sm *SM) step(cycle int64) error {
 	sm.mshrDrain(cycle)
+	sink := sm.dev.slots
 	if sm.liveWarps == 0 {
 		sm.dispatch()
 		if sm.liveWarps == 0 {
+			if sink != nil {
+				for si := range sm.scheds {
+					sink.CreditSlot(sm.ID, si, -1, SlotDrained, cycle, 1)
+				}
+			}
 			return nil
 		}
 	}
@@ -416,54 +422,74 @@ func (sm *SM) step(cycle int64) error {
 		// Partition: warp i belongs to scheduler i%nsched.
 		ready := sm.readyScratch[:0]
 		havework := false
+		// With a slot sink attached, track the blocked warp closest to
+		// issuing: the lowest-valued SlotReason wins, first warp in scan
+		// order breaks ties (see SlotReason).
+		stallReason := NumSlotReasons
+		stallWarp := -1
 		for wi := si; wi < len(sm.Warps); wi += nsched {
 			w := sm.Warps[wi]
 			if w == nil || w.Finished {
 				continue
 			}
 			havework = true
+			var blocked SlotReason
 			if w.Suspended {
 				d.Stats.RBQWaitCycles++
-				continue
-			}
-			if w.AtBarrier {
+				blocked = SlotRBQ
+			} else if w.AtBarrier {
 				d.Stats.BarrierWaits++
+				blocked = SlotBarrier
+			} else if w.depsAtFor(prog) > cycle {
+				blocked = SlotScoreboard
+			} else if in := &prog.Insts[w.PC()]; in.Op.IsMemory() &&
+				(sm.lsuBusyUntil > cycle ||
+					(in.Space == isa.SpaceGlobal && !sm.mshrAvailable(cycle))) {
+				blocked = SlotMemory
+			} else if in.Op.IsSFU() && sm.sfuBusyUntil > cycle {
+				blocked = SlotMemory
+			} else if !d.hooks.beforeIssue(d, sm, w) {
+				blocked = SlotRBQ
+			} else {
+				ready = append(ready, wi)
 				continue
 			}
-			if w.depsAtFor(prog) > cycle {
-				continue
+			if sink != nil && blocked < stallReason {
+				stallReason, stallWarp = blocked, wi
 			}
-			// Structural hazards.
-			in := &prog.Insts[w.PC()]
-			if in.Op.IsMemory() {
-				if sm.lsuBusyUntil > cycle {
-					continue
-				}
-				if in.Space == isa.SpaceGlobal && !sm.mshrAvailable(cycle) {
-					continue
-				}
-			}
-			if in.Op.IsSFU() && sm.sfuBusyUntil > cycle {
-				continue
-			}
-			if !d.hooks.beforeIssue(d, sm, w) {
-				continue
-			}
-			ready = append(ready, wi)
 		}
 		if len(ready) == 0 {
 			if havework {
 				d.Stats.StallCycles++
+				if sink != nil {
+					sink.CreditSlot(sm.ID, si, stallWarp, stallReason, cycle, 1)
+				}
+			} else if sink != nil {
+				sink.CreditSlot(sm.ID, si, -1, SlotEmpty, cycle, 1)
 			}
 			continue
 		}
 		pick := sched.pick(sm.Warps, ready, cycle)
 		if pick < 0 {
 			d.Stats.StallCycles++
+			if sink != nil {
+				// A policy hole (two-level active set saturated by
+				// recently-issued stalled warps) with ready warps waiting:
+				// charge the blocked warp that clogs the active set, or
+				// fall back to the first bypassed ready warp.
+				if stallWarp >= 0 {
+					sink.CreditSlot(sm.ID, si, stallWarp, stallReason, cycle, 1)
+				} else {
+					sink.CreditSlot(sm.ID, si, ready[0], SlotScoreboard, cycle, 1)
+				}
+			}
 			continue
 		}
 		w := sm.Warps[pick]
 		w.LastIssue = cycle
+		if sink != nil {
+			sink.CreditSlot(sm.ID, si, pick, SlotIssued, cycle, 1)
+		}
 		if err := sm.execute(w, cycle); err != nil {
 			return err
 		}
@@ -519,32 +545,63 @@ func (sm *SM) nextWake(from int64) int64 {
 }
 
 // creditIdle books the statistics step would have accumulated over span
-// fully-stalled cycles: per scheduler partition with unfinished warps,
-// span stall cycles, plus per-warp barrier/RBQ wait cycles — exactly
-// what the naive loop books when nothing is ready.
-func (sm *SM) creditIdle(span int64, st *Stats) {
+// fully-stalled cycles starting at from: per scheduler partition with
+// unfinished warps, span stall cycles, plus per-warp barrier/RBQ wait
+// cycles — exactly what the naive loop books when nothing is ready.
+// With a slot sink attached it also bulk-credits the span's scheduler
+// slots with the same classification step computes; fastForward has
+// clamped the span to the first cycle any warp could reclassify
+// (nextSlotChange), so the classification at `from` holds throughout.
+func (sm *SM) creditIdle(from, span int64, st *Stats) {
+	sink := sm.dev.slots
 	if sm.liveWarps == 0 {
+		if sink != nil {
+			for si := range sm.scheds {
+				sink.CreditSlot(sm.ID, si, -1, SlotDrained, from, span)
+			}
+		}
 		return
 	}
+	prog := sm.dev.launch.Prog
 	nsched := len(sm.scheds)
 	for si := range sm.scheds {
 		havework := false
+		stallReason := NumSlotReasons
+		stallWarp := -1
 		for wi := si; wi < len(sm.Warps); wi += nsched {
 			w := sm.Warps[wi]
 			if w == nil || w.Finished {
 				continue
 			}
 			havework = true
+			var blocked SlotReason
 			if w.Suspended {
 				st.RBQWaitCycles += span
-				continue
-			}
-			if w.AtBarrier {
+				blocked = SlotRBQ
+			} else if w.AtBarrier {
 				st.BarrierWaits += span
+				blocked = SlotBarrier
+			} else if sink == nil {
+				continue
+			} else if w.depsAtFor(prog) > from {
+				blocked = SlotScoreboard
+			} else {
+				// A hazard-clear warp pins nextWake to `from` and no skip
+				// happens, so the only class left inside a skipped span is
+				// a structural (LSU/SFU/MSHR) hazard.
+				blocked = SlotMemory
+			}
+			if sink != nil && blocked < stallReason {
+				stallReason, stallWarp = blocked, wi
 			}
 		}
 		if havework {
 			st.StallCycles += span
+			if sink != nil {
+				sink.CreditSlot(sm.ID, si, stallWarp, stallReason, from, span)
+			}
+		} else if sink != nil {
+			sink.CreditSlot(sm.ID, si, -1, SlotEmpty, from, span)
 		}
 	}
 }

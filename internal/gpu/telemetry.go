@@ -1,0 +1,145 @@
+package gpu
+
+import "flame/internal/isa"
+
+// Scheduler-slot attribution: every cycle, each warp scheduler of each
+// SM owns exactly one issue slot, and that slot is credited to exactly
+// one SlotReason. Summed over a run, the credits therefore partition
+// the machine's issue capacity — they add up to
+// Cycles × Σ_SM SchedulersPerSM — which is what makes the breakdown an
+// attribution rather than a sampling: a cycle cannot be double-counted
+// or lost, and the equivalence suite asserts the totals are
+// bit-identical with event-driven cycle skipping on or off.
+//
+// The simulator does no attribution work unless a SlotSink is attached
+// through Hooks.Slots (see internal/telemetry for the standard
+// collector); with a nil sink the only cost is one pointer test per
+// scheduler scan.
+
+// SlotReason classifies one scheduler slot of one cycle.
+//
+// A stalled slot (no warp issued although unfinished warps exist) is
+// credited to the blocked warp *closest to issuing*, in the fixed
+// priority order Scoreboard > Memory > Barrier > RBQ. The consequence
+// is deliberate: a slot is credited SlotRBQ only when region-boundary
+// suspension was the sole reason nothing could issue, so the RBQ share
+// directly measures the detection latency the WCDL-aware scheduler
+// failed to hide behind other warps' work.
+type SlotReason uint8
+
+const (
+	// SlotIssued: the scheduler issued an instruction this cycle.
+	SlotIssued SlotReason = iota
+	// SlotScoreboard: blocked on pending register/predicate writes.
+	SlotScoreboard
+	// SlotMemory: blocked on a structural hazard — LSU or SFU busy, or
+	// the MSHR file full.
+	SlotMemory
+	// SlotBarrier: every otherwise-runnable warp waits at a block barrier.
+	SlotBarrier
+	// SlotRBQ: every otherwise-runnable warp is suspended by a
+	// resilience hook (region-boundary queue / WCDL wait), or was vetoed
+	// by BeforeIssue this cycle (conveyor full).
+	SlotRBQ
+	// SlotEmpty: the scheduler's warp partition has no unfinished warps,
+	// but other partitions of the SM still do.
+	SlotEmpty
+	// SlotDrained: the whole SM has no resident live warps (grid tail).
+	SlotDrained
+
+	NumSlotReasons
+)
+
+var slotReasonNames = [NumSlotReasons]string{
+	SlotIssued:     "issued",
+	SlotScoreboard: "scoreboard",
+	SlotMemory:     "memory",
+	SlotBarrier:    "barrier",
+	SlotRBQ:        "rbq",
+	SlotEmpty:      "empty",
+	SlotDrained:    "drained",
+}
+
+// String returns the reason's report name.
+func (r SlotReason) String() string {
+	if int(r) < len(slotReasonNames) {
+		return slotReasonNames[r]
+	}
+	return "reason(?)"
+}
+
+// SlotSink receives scheduler-slot attribution credits. CreditSlot
+// books `span` consecutive slots of scheduler (smID, sched), starting
+// at `cycle`, all carrying the same classification: reason r caused by
+// the SM-local warp slot `warp` (the issuing warp for SlotIssued, the
+// closest-to-issue blocked warp for stall reasons, -1 when no warp is
+// implicated — SlotEmpty and SlotDrained).
+//
+// span > 1 happens only on the event-driven fast-forward path, which
+// bounds every skip to the next cycle at which any warp's
+// classification could change (Device.fastForward), so bulk credits
+// are exactly the per-cycle credits the naive loop would have issued.
+//
+// Implementations must not mutate simulator state; they are called
+// mid-cycle from the scheduler scan.
+type SlotSink interface {
+	CreditSlot(smID, sched, warp int, r SlotReason, cycle, span int64)
+}
+
+// teeSlots fans credits out to two sinks (CombineHooks).
+type teeSlots struct{ a, b SlotSink }
+
+func (t teeSlots) CreditSlot(smID, sched, warp int, r SlotReason, cycle, span int64) {
+	t.a.CreditSlot(smID, sched, warp, r, cycle, span)
+	t.b.CreditSlot(smID, sched, warp, r, cycle, span)
+}
+
+// combineSlots merges two optional sinks into one.
+func combineSlots(a, b SlotSink) SlotSink {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return teeSlots{a, b}
+}
+
+// nextSlotChange returns the earliest cycle in (from, to) at which any
+// of this SM's warps could change stall classification, or `to` if none
+// can. Within a fully-stalled span a warp's class depends on the cycle
+// only through fixed thresholds — its scoreboard release, the LSU/SFU
+// busy horizons, the earliest MSHR release — so stopping at the first
+// threshold makes bulk slot crediting exact. Suspended and
+// barrier-parked warps reclassify only through hook events or issues,
+// which already bound the skip elsewhere.
+func (sm *SM) nextSlotChange(from, to int64) int64 {
+	if sm.liveWarps == 0 {
+		return to
+	}
+	prog := sm.dev.launch.Prog
+	bound := to
+	clamp := func(t int64) {
+		if t > from && t < bound {
+			bound = t
+		}
+	}
+	for _, w := range sm.Warps {
+		if w == nil || w.Finished || w.Suspended || w.AtBarrier {
+			continue
+		}
+		clamp(w.depsAtFor(prog))
+		in := &prog.Insts[w.PC()]
+		if in.Op.IsMemory() {
+			clamp(sm.lsuBusyUntil)
+			if in.Space == isa.SpaceGlobal && sm.dev.Cfg.MSHRs > 0 &&
+				len(sm.mshrRelease) >= sm.dev.Cfg.MSHRs {
+				clamp(sm.mshrRelease[0])
+			}
+		}
+		if in.Op.IsSFU() {
+			clamp(sm.sfuBusyUntil)
+		}
+	}
+	return bound
+}

@@ -50,6 +50,7 @@ func CombineHooks(a, b *Hooks) *Hooks {
 			a.onWarpDispatch(d, sm, w)
 			b.onWarpDispatch(d, sm, w)
 		},
+		Slots: combineSlots(a.Slots, b.Slots),
 	}
 }
 
@@ -75,9 +76,23 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{W: w, SM: -1, Warp: -1}
 }
 
-// Hooks returns simulator hooks that emit the trace.
+// Hooks returns simulator hooks that emit the trace. The OnAdvance
+// bound keeps event-driven cycle skipping compatible with windowed
+// tracing: instructions never execute inside a skipped span, so the
+// tracer has nothing to observe there, and the bound only stops a
+// single jump from crossing the window start so windowed traces line
+// up cycle-for-cycle with -noskip runs.
 func (t *Tracer) Hooks() *Hooks {
-	return &Hooks{OnExecuted: t.onExecuted}
+	return &Hooks{OnExecuted: t.onExecuted, OnAdvance: t.onAdvance}
+}
+
+// onAdvance lands skips on the trace-window start and is a no-op bound
+// (full permission) elsewhere.
+func (t *Tracer) onAdvance(d *Device, from, to int64) int64 {
+	if t.FromCycle > from && t.FromCycle < to {
+		return t.FromCycle
+	}
+	return to
 }
 
 func (t *Tracer) onExecuted(d *Device, sm *SM, w *Warp, pc int) {

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"flame/internal/bench"
@@ -17,6 +20,9 @@ import (
 // are wall-clock and therefore machine-dependent; the Host fields exist
 // so cross-machine numbers are never compared blindly.
 type PerfReport struct {
+	// Timestamp is when the measurement ran (UTC, RFC 3339). Together
+	// with Host.Commit it keys the run in the BENCH_sim.json history.
+	Timestamp string `json:"timestamp,omitempty"`
 	// Host identifies the measuring machine class.
 	Host struct {
 		OS     string `json:"os"`
@@ -52,10 +58,12 @@ func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
 		trials = 50
 	}
 	rep := &PerfReport{Benchmark: "Triad"}
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	rep.Host.OS = runtime.GOOS
 	rep.Host.Arch = runtime.GOARCH
 	rep.Host.CPUs = runtime.NumCPU()
 	rep.Host.GoVer = runtime.Version()
+	rep.Host.Commit = headCommit()
 
 	b, err := bench.ByName(rep.Benchmark)
 	if err != nil {
@@ -126,15 +134,65 @@ func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
 	rep.TrialsPerSec = float64(trials) / time.Since(start).Seconds()
 
 	if outPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		if err := AppendPerfHistory(outPath, rep); err != nil {
 			return nil, err
 		}
 	}
 	cfg.printf("perf: %.0f simcycles/s (%.2fx over naive), %.1f trials/s, %.0f allocs/trial\n",
 		rep.SimCyclesPerSec, rep.SkipSpeedup, rep.TrialsPerSec, rep.AllocsPerTrial)
 	return rep, nil
+}
+
+// headCommit identifies the measured revision: CI's GITHUB_SHA when set,
+// otherwise a best-effort `git rev-parse`; empty when neither works.
+func headCommit() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// AppendPerfHistory appends the report to the JSON history at path, so
+// BENCH_sim.json accumulates the performance trajectory across commits
+// instead of only remembering the latest run. The file is a JSON array
+// in time order; a legacy single-object file (the pre-history format) is
+// migrated into a one-element array before appending. Unreadable or
+// corrupt existing content is an error — history is never silently
+// discarded.
+func AppendPerfHistory(path string, rep *PerfReport) error {
+	var history []json.RawMessage
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 {
+			if trimmed[0] == '{' {
+				// Legacy format: one bare report object.
+				var legacy json.RawMessage
+				if err := json.Unmarshal(trimmed, &legacy); err != nil {
+					return err
+				}
+				history = append(history, legacy)
+			} else if err := json.Unmarshal(trimmed, &history); err != nil {
+				return err
+			}
+		}
+	case os.IsNotExist(err):
+		// First run: start a fresh history.
+	default:
+		return err
+	}
+	entry, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	history = append(history, entry)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendPerfHistory pins the BENCH_sim.json history semantics:
+// fresh files start a one-element array, repeated runs append in order,
+// a legacy single-object file is migrated rather than clobbered, and a
+// corrupt file errors instead of silently erasing the trajectory.
+func TestAppendPerfHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	mk := func(commit string, rate float64) *PerfReport {
+		r := &PerfReport{Timestamp: "2026-08-05T00:00:00Z", SimCyclesPerSec: rate}
+		r.Host.Commit = commit
+		return r
+	}
+	read := func() []PerfReport {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist []PerfReport
+		if err := json.Unmarshal(data, &hist); err != nil {
+			t.Fatalf("history is not a JSON array: %v\n%s", err, data)
+		}
+		return hist
+	}
+
+	if err := AppendPerfHistory(path, mk("aaa", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if h := read(); len(h) != 1 || h[0].Host.Commit != "aaa" {
+		t.Fatalf("after first append: %+v", h)
+	}
+	if err := AppendPerfHistory(path, mk("bbb", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if h := read(); len(h) != 2 || h[0].Host.Commit != "aaa" || h[1].Host.Commit != "bbb" {
+		t.Fatalf("after second append: %+v", h)
+	}
+
+	t.Run("legacy-migration", func(t *testing.T) {
+		legacy := filepath.Join(t.TempDir(), "BENCH_sim.json")
+		one, err := json.MarshalIndent(mk("old", 9), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(legacy, one, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := AppendPerfHistory(legacy, mk("new", 10)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist []PerfReport
+		if err := json.Unmarshal(data, &hist); err != nil {
+			t.Fatalf("migrated file is not an array: %v", err)
+		}
+		if len(hist) != 2 || hist[0].Host.Commit != "old" || hist[1].Host.Commit != "new" {
+			t.Fatalf("migration lost entries: %+v", hist)
+		}
+	})
+
+	t.Run("corrupt-file-errors", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "BENCH_sim.json")
+		if err := os.WriteFile(bad, []byte("{truncated"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := AppendPerfHistory(bad, mk("x", 1)); err == nil {
+			t.Fatal("append over corrupt history should fail")
+		}
+	})
+}
