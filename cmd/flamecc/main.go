@@ -19,6 +19,7 @@ import (
 	"flame/internal/core"
 	"flame/internal/isa"
 	"flame/internal/regions"
+	"flame/internal/vet"
 )
 
 var schemeByFlag = map[string]core.Scheme{
@@ -42,6 +43,7 @@ func main() {
 	extend := flag.Bool("extend", true, "enable the Section III-E region extension (sensor schemes)")
 	dump := flag.Bool("dump", true, "dump the compiled program")
 	verify := flag.Bool("verify", true, "check idempotence invariants of the result")
+	runVet := flag.Bool("vet", false, "run the full flamevet static analysis on the result (exit 1 on errors)")
 	flag.Parse()
 
 	scheme, ok := schemeByFlag[strings.ToLower(*schemeFlag)]
@@ -109,6 +111,14 @@ func main() {
 	if *dump {
 		fmt.Println()
 		fmt.Print(comp.Prog.String())
+	}
+	if *runVet {
+		rep := vet.Compiled(comp, vet.Config{WCDL: *wcdl})
+		fmt.Println()
+		rep.WriteText(os.Stdout, vet.Info)
+		if rep.Errors() > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

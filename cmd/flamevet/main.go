@@ -1,0 +1,235 @@
+// Command flamevet is the whole-program static verifier for Flame
+// compilations. It runs the ISA well-formedness pass, the Flame
+// invariant pass (sync isolation, idempotence anti-dependences,
+// checkpoint completeness, WCDL budgets), and — optionally — the dynamic
+// re-execution oracle that commits and replays every region of a real
+// launch, cross-checking the static verdict.
+//
+// Usage:
+//
+//	flamevet -bench all -scheme all -oracle        # the CI gate
+//	flamevet -bench LUD,SGEMM -scheme flame -json findings.json
+//	flamevet -in kernel.fasm -scheme dup-checkpointing
+//	flamevet -list                                 # the check registry
+//
+// Exit status: 0 when no finding reaches the -fail-on severity (default
+// error), 1 when one does, 2 on usage or harness errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/isa"
+	"flame/internal/vet"
+)
+
+var schemeByFlag = map[string]core.Scheme{
+	"baseline":             core.Baseline,
+	"renaming":             core.Renaming,
+	"checkpointing":        core.Checkpointing,
+	"flame":                core.SensorRenaming,
+	"sensor-renaming":      core.SensorRenaming,
+	"sensor-checkpointing": core.SensorCheckpointing,
+	"dup-renaming":         core.DupRenaming,
+	"dup-checkpointing":    core.DupCheckpointing,
+	"hybrid-renaming":      core.HybridRenaming,
+	"hybrid-checkpointing": core.HybridCheckpointing,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	in := flag.String("in", "", "verify a kernel assembly file")
+	benchFlag := flag.String("bench", "", "comma-separated benchmark names, or \"all\"")
+	schemeFlag := flag.String("scheme", "all", "comma-separated schemes, or \"all\": "+schemeList())
+	wcdl := flag.Int("wcdl", 20, "sensor worst-case detection latency budget (instructions)")
+	extend := flag.Bool("extend", true, "enable the Section III-E region extension (sensor schemes)")
+	oracle := flag.Bool("oracle", false, "run the dynamic re-execution oracle (needs -bench: launches real inputs)")
+	oracleSteps := flag.Int("oracle-steps", 0, "per-launch oracle step budget (0 = default)")
+	checks := flag.String("checks", "", "run only these checks (comma-separated; see -list)")
+	disable := flag.String("disable", "", "disable these checks (comma-separated)")
+	jsonOut := flag.String("json", "", "also write the findings as JSON to this file (\"-\" for stdout)")
+	failOn := flag.String("fail-on", "error", "lowest severity that fails the run: info, warning, error")
+	quiet := flag.Bool("q", false, "suppress per-target progress lines")
+	list := flag.Bool("list", false, "print the check registry and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range vet.Checks() {
+			fmt.Printf("%-20s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	failSev, err := vet.ParseSeverity(*failOn)
+	if err != nil {
+		return usage("%v", err)
+	}
+	cfg := vet.Config{WCDL: *wcdl, OracleSteps: *oracleSteps}
+	if cfg.Enable, err = vet.ParseCheckList(*checks); err != nil {
+		return usage("%v", err)
+	}
+	if cfg.Disable, err = vet.ParseCheckList(*disable); err != nil {
+		return usage("%v", err)
+	}
+
+	schemes, err := parseSchemes(*schemeFlag)
+	if err != nil {
+		return usage("%v", err)
+	}
+
+	rep := vet.NewReport(cfg)
+	targets := 0
+
+	switch {
+	case *in != "":
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			return usage("%v", err)
+		}
+		prog, err := isa.Parse(*in, string(src))
+		if err != nil {
+			// A parse failure is itself the finding for raw files.
+			fmt.Fprintf(os.Stderr, "flamevet: %v\n", err)
+			return 1
+		}
+		for _, s := range schemes {
+			if verifyProgram(prog, s, *wcdl, *extend, cfg, rep, *quiet) != nil {
+				targets++
+			}
+		}
+
+	case *benchFlag != "":
+		benches, err := parseBenches(*benchFlag)
+		if err != nil {
+			return usage("%v", err)
+		}
+		for _, b := range benches {
+			for _, s := range schemes {
+				spec := b.Spec()
+				comp := verifyProgram(spec.Prog, s, *wcdl, *extend, cfg, rep, *quiet)
+				if comp == nil {
+					continue
+				}
+				if *oracle {
+					st, err := vet.OracleSpec(spec, comp, cfg, rep)
+					if err != nil {
+						return usage("%v", err)
+					}
+					if !*quiet {
+						fmt.Printf("oracle %s/%s: %d commits, %d replays, %d collective replays\n",
+							spec.Name, s, st.Commits, st.Replays, st.Collectives)
+					}
+				}
+				targets++
+			}
+		}
+
+	default:
+		return usage("need -in FILE or -bench NAME[,NAME...]|all")
+	}
+
+	rep.Sort()
+	rep.WriteText(os.Stdout, vet.Info)
+	fmt.Printf("flamevet: %d target(s) verified\n", targets)
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return usage("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			return usage("%v", err)
+		}
+	}
+
+	if max, any := rep.Max(); any && max >= failSev {
+		return 1
+	}
+	return 0
+}
+
+// verifyProgram compiles prog for the scheme and runs the static passes.
+// It returns nil when compilation itself failed (reported as a structure
+// finding so the gate still trips).
+func verifyProgram(prog *isa.Program, s core.Scheme, wcdl int, extend bool, cfg vet.Config, rep *vet.Report, quiet bool) *core.Compiled {
+	comp, err := core.Compile(prog, core.Options{Scheme: s, WCDL: wcdl, ExtendRegions: extend})
+	if err != nil {
+		rep.Add(vet.Diagnostic{
+			Check: "structure", Severity: vet.Error, Kernel: prog.Name,
+			Scheme: s.String(), Inst: -1, Region: -1, Section: -1,
+			Msg: fmt.Sprintf("scheme compilation failed: %v", err),
+		})
+		return nil
+	}
+	if !quiet {
+		fmt.Printf("vet %s/%s: %d instructions\n", prog.Name, s, comp.Prog.Len())
+	}
+	vet.Check(vet.TargetOf(comp), cfg, rep)
+	return comp
+}
+
+func parseSchemes(s string) ([]core.Scheme, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "all" {
+		return core.Schemes(), nil
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, ok := schemeByFlag[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q; choose from %s", name, schemeList())
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func parseBenches(s string) ([]*bench.Benchmark, error) {
+	s = strings.TrimSpace(s)
+	if s == "all" {
+		return bench.All(), nil
+	}
+	var out []*bench.Benchmark
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func schemeList() string {
+	names := make([]string, 0, len(schemeByFlag))
+	for k := range schemeByFlag {
+		names = append(names, k)
+	}
+	return strings.Join(names, ", ")
+}
+
+func usage(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "flamevet: "+format+"\n", args...)
+	return 2
+}

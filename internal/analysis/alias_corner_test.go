@@ -1,0 +1,117 @@
+package analysis
+
+import "testing"
+
+// TestAliasNegativeOffsets walks an address backwards with sub: the
+// symbolic constants go negative and disambiguation must still compare
+// them exactly.
+func TestAliasNegativeOffsets(t *testing.T) {
+	p, g := build(t, "neg", `
+    ld.param r1, [0]
+    mov r2, %tid.x
+    shl r3, r2, 2
+    add r4, r1, r3
+    sub r5, r4, 8
+    ld.global r6, [r5]
+    ld.global r7, [r4-8]
+    st.global [r4], r6
+    st.global [r5+8], r7
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	ldSub := aa.AddrOf(5)   // param0 + tid*4 - 8 via sub
+	ldOff := aa.AddrOf(6)   // param0 + tid*4 - 8 via negative ld offset
+	stBase := aa.AddrOf(7)  // param0 + tid*4
+	stRound := aa.AddrOf(8) // (param0 + tid*4 - 8) + 8 == base
+
+	if ldSub.Const != -8 {
+		t.Fatalf("sub-derived const = %d, want -8 (%v)", ldSub.Const, ldSub)
+	}
+	if got := Alias(ldSub, ldOff); got != MustAlias {
+		t.Errorf("sub vs negative offset, same address: %v, want must", got)
+	}
+	if got := Alias(ldSub, stBase); got != NoAlias {
+		t.Errorf("base-8 vs base: %v, want no", got)
+	}
+	if got := Alias(stRound, stBase); got != MustAlias {
+		t.Errorf("(base-8)+8 vs base: %v, want must", got)
+	}
+}
+
+// TestAliasDistinctParamChains checks that parameter roots survive long
+// arithmetic chains: two arrays indexed through different scalings still
+// disambiguate by root, and the same root with an unrelated dynamic
+// index stays MayAlias.
+func TestAliasDistinctParamChains(t *testing.T) {
+	p, g := build(t, "roots", `
+    ld.param r1, [0]
+    ld.param r2, [8]
+    mov r3, %tid.x
+    mov r4, %ctaid.x
+    mad r5, r4, 64, r3
+    shl r6, r5, 2
+    add r7, r1, r6
+    shl r8, r5, 3
+    add r9, r2, r8
+    ld.global r10, [r7]
+    st.global [r9], r10
+    ld.global r11, [r9+4]
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	ldA := aa.AddrOf(9)  // param0 + idx*4
+	stB := aa.AddrOf(10) // param8 + idx*8
+	ldB := aa.AddrOf(11) // param8 + idx*8 + 4
+
+	if ldA.ParamSlot != 0 || stB.ParamSlot != 8 {
+		t.Fatalf("param roots lost: %v / %v", ldA, stB)
+	}
+	if got := Alias(ldA, stB); got != NoAlias {
+		t.Errorf("distinct param roots: %v, want no", got)
+	}
+	if got := Alias(stB, ldB); got != NoAlias {
+		t.Errorf("same root, offsets 0 vs 4: %v, want no", got)
+	}
+}
+
+// TestAliasSameRootUnknownIndex checks the conservative corner: two
+// references off the same parameter root through different unknown
+// scalings must stay MayAlias (different VarKeys, same root), and a
+// data-dependent (loaded) index is Unknown against everything in its
+// space but disjoint from other spaces.
+func TestAliasSameRootUnknownIndex(t *testing.T) {
+	p, g := build(t, "unk", `
+    ld.param r1, [0]
+    mov r2, %tid.x
+    shl r3, r2, 2
+    add r4, r1, r3
+    ld.global r5, [r4]
+    mul r6, r5, 4
+    add r7, r1, r6
+    st.global [r7], r5
+    ld.shared r8, [r6]
+    st.global [r4+4], r8
+    exit
+`)
+	rd := ComputeReachDefs(g)
+	aa := NewAddrAnalysis(p, rd)
+	ldTid := aa.AddrOf(4)  // param0 + tid*4
+	stVar := aa.AddrOf(7)  // param0 + loaded*4 — dynamic index, same root
+	ldSh := aa.AddrOf(8)   // shared[loaded*4]
+	stTid4 := aa.AddrOf(9) // param0 + tid*4 + 4
+
+	if got := Alias(ldTid, stVar); got != MayAlias {
+		t.Errorf("same root, unknown index vs tid index: %v, want may", got)
+	}
+	if got := Alias(stVar, stTid4); got != MayAlias {
+		t.Errorf("same root, unknown index vs tid+4: %v, want may", got)
+	}
+	if got := Alias(ldSh, stVar); got != NoAlias {
+		t.Errorf("shared vs global must stay disjoint: %v, want no", got)
+	}
+	if got := Alias(stVar, stVar); got != MustAlias {
+		t.Errorf("identical dynamic term: %v, want must", got)
+	}
+}

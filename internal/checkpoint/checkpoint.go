@@ -57,11 +57,13 @@ const (
 // checkpoints (recovery restores the inputs), so unlike renaming this
 // pass leaves the register WARs in place.
 func Apply(p *isa.Program) (*Result, error) {
-	return ApplyPlaced(p, AtDef)
+	return ApplyPlaced(p, AtDef, nil)
 }
 
-// ApplyPlaced is Apply with an explicit checkpoint placement policy.
-func ApplyPlaced(p *isa.Program, place Placement) (*Result, error) {
+// ApplyPlaced is Apply with an explicit checkpoint placement policy. The
+// inserted stores are recorded into tr (which may be nil) so callers can
+// remap instruction-indexed metadata such as extended-section spans.
+func ApplyPlaced(p *isa.Program, place Placement, tr *isa.EditTrace) (*Result, error) {
 	g := kernel.Build(p)
 	lv := analysis.ComputeLiveness(g)
 
@@ -163,7 +165,7 @@ func ApplyPlaced(p *isa.Program, place Placement) (*Result, error) {
 		plan.Add(at, st)
 		res.Stores++
 	}
-	if err := plan.Apply(p); err != nil {
+	if err := plan.ApplyInto(p, tr); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	p.LocalBytes = int(res.SlotBase) + 4*len(res.Slots)

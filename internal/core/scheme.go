@@ -209,22 +209,24 @@ func Compile(src *isa.Program, opt Options) (*Compiled, error) {
 	c.Form = form
 	c.Sections = form.Sections
 
+	// The remaining passes insert instructions; the trace lets us remap
+	// the section spans (instruction index ranges) afterwards so they
+	// keep covering the same code.
+	tr := new(isa.EditTrace)
+
 	switch {
 	case opt.Scheme.UsesRenaming():
-		st, err := rename.Apply(c.Prog)
+		st, err := rename.Apply(c.Prog, tr)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
 		}
 		c.RenameStat = st
-		if err := regions.VerifyIdempotence(c.Prog, c.Sections, false); err != nil {
-			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
-		}
 	case opt.Scheme.UsesCheckpointing():
 		place := checkpoint.AtDef
 		if opt.CkptAtRegionEnd {
 			place = checkpoint.AtRegionEnd
 		}
-		ck, err := checkpoint.ApplyPlaced(c.Prog, place)
+		ck, err := checkpoint.ApplyPlaced(c.Prog, place, tr)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
 		}
@@ -234,17 +236,31 @@ func Compile(src *isa.Program, opt Options) (*Compiled, error) {
 
 	switch opt.Scheme {
 	case DupRenaming, DupCheckpointing:
-		st, err := dup.Full(c.Prog)
+		st, err := dup.Full(c.Prog, tr)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
 		}
 		c.DupStat = st
 	case HybridRenaming, HybridCheckpointing:
-		st, err := dup.Tail(c.Prog, opt.WCDL)
+		st, err := dup.Tail(c.Prog, opt.WCDL, tr)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
 		}
 		c.DupStat = st
+	}
+
+	if len(c.Sections) > 0 {
+		remapped := make([]regions.Section, len(c.Sections))
+		for i, s := range c.Sections {
+			remapped[i] = regions.Section{Start: tr.Remap(s.Start), End: tr.Remap(s.End)}
+		}
+		c.Sections = remapped
+	}
+
+	if opt.Scheme.UsesRenaming() {
+		if err := regions.VerifyIdempotence(c.Prog, c.Sections, false); err != nil {
+			return nil, fmt.Errorf("%s: %w", opt.Scheme, err)
+		}
 	}
 	return c, nil
 }

@@ -24,8 +24,8 @@ type Stats struct {
 
 // Full duplicates every eligible instruction in the program (the
 // Duplication+X schemes). It mutates the program.
-func Full(p *isa.Program) (Stats, error) {
-	return apply(p, func(int) bool { return true })
+func Full(p *isa.Program, tr *isa.EditTrace) (Stats, error) {
+	return apply(p, tr, func(int) bool { return true })
 }
 
 // Tail implements tail-DMR: within each region, only the trailing
@@ -38,7 +38,7 @@ func Full(p *isa.Program) (Stats, error) {
 // approximates WCDL issue cycles: each replicated instruction adds one
 // issue slot, so the last ceil(wcdl/2) instructions of each region are
 // marked (capped at the region length).
-func Tail(p *isa.Program, wcdl int) (Stats, error) {
+func Tail(p *isa.Program, wcdl int, tr *isa.EditTrace) (Stats, error) {
 	if wcdl < 0 {
 		wcdl = 0
 	}
@@ -58,10 +58,10 @@ func Tail(p *isa.Program, wcdl int) (Stats, error) {
 			inTail[i] = true
 		}
 	}
-	return apply(p, func(i int) bool { return inTail[i] })
+	return apply(p, tr, func(i int) bool { return inTail[i] })
 }
 
-func apply(p *isa.Program, want func(int) bool) (Stats, error) {
+func apply(p *isa.Program, tr *isa.EditTrace, want func(int) bool) (Stats, error) {
 	var st Stats
 	shadow := isa.Reg(p.NumRegs) // one shadow destination for all replicas
 	var plan isa.InsertPlan
@@ -92,7 +92,7 @@ func apply(p *isa.Program, want func(int) bool) (Stats, error) {
 		plan.Add(i+1, rep)
 		st.Replicas++
 	}
-	if err := plan.Apply(p); err != nil {
+	if err := plan.ApplyInto(p, tr); err != nil {
 		return st, err
 	}
 	return st, nil

@@ -26,7 +26,7 @@ func TestFullDuplication(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := p.Len()
-	st, err := Full(p)
+	st, err := Full(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +75,13 @@ LOOP:
 		t.Fatal(err)
 	}
 	full := p.Clone()
-	fs, err := Full(full)
+	fs, err := Full(full, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	small := p.Clone()
-	ss, err := Tail(small, 4) // tail of 2 insts per region
+	ss, err := Tail(small, 4, nil) // tail of 2 insts per region
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ LOOP:
 	}
 
 	big := p.Clone()
-	bs, err := Tail(big, 1000) // tail covers whole regions
+	bs, err := Tail(big, 1000, nil) // tail covers whole regions
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ LOOP:
 
 func TestTailZeroWCDL(t *testing.T) {
 	p := isa.MustParse("z", src)
-	st, err := Tail(p, 0)
+	st, err := Tail(p, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ LOOP:
     exit
 `
 	p := isa.MustParse("br", loop)
-	if _, err := Full(p); err != nil {
+	if _, err := Full(p, nil); err != nil {
 		t.Fatal(err)
 	}
 	var bra *isa.Inst

@@ -114,7 +114,7 @@ func compile(t *testing.T, src string, s scheme, extend bool) (*isa.Program, *re
 	var slots map[isa.Reg]int32
 	switch s {
 	case schemeRename:
-		if _, err := rename.Apply(p); err != nil {
+		if _, err := rename.Apply(p, nil); err != nil {
 			t.Fatal(err)
 		}
 		if err := regions.VerifyIdempotence(p, res.Sections, false); err != nil {

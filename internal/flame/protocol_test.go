@@ -217,7 +217,7 @@ func compileFor(t *testing.T, p *isa.Program) compiledForTest {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rename.Apply(p); err != nil {
+	if _, err := rename.Apply(p, nil); err != nil {
 		t.Fatal(err)
 	}
 	return compiledForTest{prog: p, sections: res.Sections}
@@ -267,7 +267,7 @@ func TestExhaustiveInjectionSweep(t *testing.T) {
 			}
 			slots = ck.Slots
 		} else {
-			if _, err := rename.Apply(p); err != nil {
+			if _, err := rename.Apply(p, nil); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -28,6 +28,44 @@ func InsertAt(p *Program, at int, ins ...Inst) {
 	p.Insts = out
 }
 
+// EditTrace records instruction insertions so that index-based metadata
+// maintained outside the program (extended-section spans, debug maps) can
+// be remapped after a pass reshapes the instruction stream. Positions are
+// recorded in the coordinates current at the time of each insertion;
+// Remap composes them in order.
+type EditTrace struct {
+	edits []traceEdit
+}
+
+type traceEdit struct {
+	at, n int
+}
+
+// Record notes that n instructions were inserted before (then-current)
+// index at.
+func (tr *EditTrace) Record(at, n int) {
+	if tr == nil || n == 0 {
+		return
+	}
+	tr.edits = append(tr.edits, traceEdit{at, n})
+}
+
+// Remap translates an instruction index from before the recorded edits to
+// the current program. An instruction keeps code inserted at its own
+// index in front of it (insertions are reached by fall-through, so they
+// belong to the preceding span).
+func (tr *EditTrace) Remap(i int) int {
+	if tr == nil {
+		return i
+	}
+	for _, e := range tr.edits {
+		if e.at <= i {
+			i += e.n
+		}
+	}
+	return i
+}
+
 // InsertPlan batches insertions at multiple positions. Positions refer to
 // the original instruction indices; instructions inserted at the same
 // position keep their plan order.
@@ -50,7 +88,11 @@ func (pl *InsertPlan) Add(at int, in Inst) {
 func (pl *InsertPlan) Len() int { return len(pl.entries) }
 
 // Apply performs all scheduled insertions and re-finalizes the program.
-func (pl *InsertPlan) Apply(p *Program) error {
+func (pl *InsertPlan) Apply(p *Program) error { return pl.ApplyInto(p, nil) }
+
+// ApplyInto is Apply with the insertions recorded into tr (which may be
+// nil).
+func (pl *InsertPlan) ApplyInto(p *Program, tr *EditTrace) error {
 	if len(pl.entries) == 0 {
 		return nil
 	}
@@ -72,6 +114,7 @@ func (pl *InsertPlan) Apply(p *Program) error {
 			group = append(group, es[k].in)
 		}
 		InsertAt(p, es[i].at, group...)
+		tr.Record(es[i].at, len(group))
 		i = j
 	}
 	return p.Finalize()

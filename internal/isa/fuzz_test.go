@@ -1,0 +1,53 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"flame/internal/bench"
+	"flame/internal/isa"
+)
+
+// FuzzParse throws mutated kernel sources at the assembler. Whatever the
+// input, Parse must either return a program that survives Finalize-level
+// invariants (valid branch targets, register bounds) or a descriptive
+// error — never panic. The corpus is seeded with every shipped benchmark
+// kernel so mutations start from realistic programs.
+func FuzzParse(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.Src)
+	}
+	f.Add(".shared 64\n.local 8\n    mov r0, %tid.x\n    bar.sync\n    exit\n")
+	f.Add("L:\n    @!p7 bra L\n    exit\n")
+	f.Add("    atom.global.add r1, [r0], 1\n    exit\n")
+	f.Add("    setp.lt p0, r0, 4\n    selp r1, r2, r3, p0\n    exit\n")
+	f.Add("    ld.param r1, [0] // trailing comment\n    st.global [r1+4], r1\n    exit")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := isa.Parse("fuzz", src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fuzz") {
+				t.Fatalf("parse error lost the source name: %v", err)
+			}
+			return
+		}
+		// A parsed program must uphold the structural invariants every
+		// consumer (compiler passes, simulator, verifier) relies on.
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a program Validate rejects: %v\nsource:\n%s", verr, src)
+		}
+		for i := range p.Insts {
+			in := &p.Insts[i]
+			if in.Op == isa.OpBra && (in.Target < 0 || in.Target >= len(p.Insts)) {
+				t.Fatalf("inst %d: branch target %d out of range", i, in.Target)
+			}
+			if d := in.Defs(); d != isa.NoReg && int(d) >= p.NumRegs {
+				t.Fatalf("inst %d: dest r%d >= NumRegs %d", i, d, p.NumRegs)
+			}
+		}
+		// Round-trip: the printed form must parse back.
+		if _, err := isa.Parse("roundtrip", p.String()); err != nil {
+			t.Fatalf("printed program does not re-parse: %v\nprinted:\n%s", err, p.String())
+		}
+	})
+}

@@ -98,6 +98,10 @@ var opNames = [numOpcodes]string{
 	OpBra: "bra", OpBar: "bar.sync", OpMembar: "membar", OpExit: "exit",
 }
 
+// NumOpcodes returns the number of defined opcodes; valid opcodes lie in
+// [0, NumOpcodes).
+func NumOpcodes() int { return int(numOpcodes) }
+
 // String returns the assembly mnemonic of the opcode.
 func (op Opcode) String() string {
 	if int(op) < len(opNames) && opNames[op] != "" {

@@ -1,0 +1,138 @@
+package regions
+
+import (
+	"fmt"
+
+	"flame/internal/analysis"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// ProblemKind classifies an idempotence problem found by CheckIdempotence.
+type ProblemKind uint8
+
+// Problem kinds. The anti-dependence kinds mirror analysis.ViolationKind;
+// the sync kinds are boundary-placement problems the scanner cannot see.
+const (
+	// ProblemMemWAR is an unresolved memory anti-dependence.
+	ProblemMemWAR ProblemKind = iota
+	// ProblemRegWAR is an unresolved register anti-dependence.
+	ProblemRegWAR
+	// ProblemPredWAR is an unresolved predicate anti-dependence.
+	ProblemPredWAR
+	// ProblemSyncBefore is a synchronization primitive lacking a preceding
+	// region boundary.
+	ProblemSyncBefore
+	// ProblemSyncAfter is a synchronization primitive lacking a following
+	// region boundary.
+	ProblemSyncAfter
+)
+
+// String returns a short name for the problem kind.
+func (k ProblemKind) String() string {
+	switch k {
+	case ProblemMemWAR:
+		return "mem-war"
+	case ProblemRegWAR:
+		return "reg-war"
+	case ProblemPredWAR:
+		return "pred-war"
+	case ProblemSyncBefore:
+		return "sync-before"
+	case ProblemSyncAfter:
+		return "sync-after"
+	}
+	return "?"
+}
+
+// Problem is one violated idempotence invariant.
+type Problem struct {
+	Kind ProblemKind
+	// Inst is the offending instruction index.
+	Inst int
+	// V is the underlying anti-dependence for the WAR kinds.
+	V analysis.Violation
+}
+
+// String renders the problem for diagnostics.
+func (p Problem) String() string {
+	switch p.Kind {
+	case ProblemSyncBefore:
+		return fmt.Sprintf("sync instruction %d lacks a preceding boundary", p.Inst)
+	case ProblemSyncAfter:
+		return fmt.Sprintf("sync instruction %d lacks a following boundary", p.Inst)
+	default:
+		return "unresolved " + p.V.String()
+	}
+}
+
+// CheckIdempotence checks every invariant idempotent recovery relies on
+// and returns all violations instead of stopping at the first:
+//
+//   - no region contains a memory or predicate anti-dependence (register
+//     anti-dependences are allowed only if allowRegWAR — before the
+//     renaming/checkpointing pass has run);
+//   - every synchronization primitive is isolated by boundaries, except
+//     barriers inside a declared extended section;
+//   - memory anti-dependences inside extended sections only target shared
+//     memory.
+//
+// An empty result means the program is safely recoverable.
+func CheckIdempotence(p *isa.Program, sections []Section, allowRegWAR bool) []Problem {
+	g := kernel.Build(p)
+	rd := analysis.ComputeReachDefs(g)
+	aa := analysis.NewAddrAnalysis(p, rd)
+	sc := analysis.NewScanner(p, g, aa)
+	boundary := analysis.BoundarySlice(p)
+
+	var out []Problem
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if !in.Op.IsSync() {
+			continue
+		}
+		if in.Op == isa.OpBar && inAnySection(i, sections) {
+			continue
+		}
+		if !boundary[i] {
+			out = append(out, Problem{Kind: ProblemSyncBefore, Inst: i})
+		}
+		if i+1 < len(p.Insts) && !boundary[i+1] {
+			out = append(out, Problem{Kind: ProblemSyncAfter, Inst: i})
+		}
+	}
+
+	for _, v := range sc.Scan(boundary) {
+		switch v.Kind {
+		case analysis.MemWAR:
+			if inAnySection(v.At, sections) && inAnySection(v.Load, sections) &&
+				sc.Addr(v.At).Space == isa.SpaceShared {
+				continue // tolerated: collective section recovery
+			}
+			if p.Insts[v.At].Origin == isa.OrigCheckpoint {
+				// Checkpoint stores target slots the pass allocates past the
+				// original local-memory footprint, which no in-bounds load of
+				// the source program can address — the alias analysis just
+				// cannot see the partition when the load's offset is dynamic.
+				continue
+			}
+			out = append(out, Problem{Kind: ProblemMemWAR, Inst: v.At, V: v})
+		case analysis.PredWAR:
+			out = append(out, Problem{Kind: ProblemPredWAR, Inst: v.At, V: v})
+		case analysis.RegWAR:
+			if !allowRegWAR {
+				out = append(out, Problem{Kind: ProblemRegWAR, Inst: v.At, V: v})
+			}
+		}
+	}
+	return out
+}
+
+func inAnySection(i int, sections []Section) bool {
+	for _, s := range sections {
+		if s.Contains(i) {
+			return true
+		}
+	}
+	return false
+}

@@ -2,72 +2,30 @@ package regions
 
 import (
 	"fmt"
+	"strings"
 
-	"flame/internal/analysis"
 	"flame/internal/isa"
-	"flame/internal/kernel"
 )
 
 // VerifyIdempotence checks that a region-annotated program satisfies the
-// invariants idempotent recovery relies on:
-//
-//   - no region contains a memory or predicate anti-dependence (register
-//     anti-dependences are allowed only if allowRegWAR — before the
-//     renaming/checkpointing pass has run);
-//   - every synchronization primitive is isolated by boundaries, except
-//     barriers inside a declared extended section;
-//   - memory anti-dependences inside extended sections only target shared
-//     memory.
-//
-// It returns nil when the program is safely recoverable, or a descriptive
-// error naming the first violated invariant.
+// invariants idempotent recovery relies on (see CheckIdempotence for the
+// invariant list). It returns nil when the program is safely recoverable,
+// or an error naming every violated invariant and the total count — it is
+// a thin wrapper over the accumulate-all CheckIdempotence, kept for
+// callers that want a pass/fail verdict.
 func VerifyIdempotence(p *isa.Program, sections []Section, allowRegWAR bool) error {
-	g := kernel.Build(p)
-	rd := analysis.ComputeReachDefs(g)
-	aa := analysis.NewAddrAnalysis(p, rd)
-	sc := analysis.NewScanner(p, g, aa)
-	boundary := analysis.BoundarySlice(p)
-
-	for i := range p.Insts {
-		in := &p.Insts[i]
-		if !in.Op.IsSync() {
-			continue
-		}
-		if in.Op == isa.OpBar && inAnySection(i, sections) {
-			continue
-		}
-		if !boundary[i] {
-			return fmt.Errorf("sync instruction %d (%s) lacks a preceding boundary", i, in)
-		}
-		if i+1 < len(p.Insts) && !boundary[i+1] {
-			return fmt.Errorf("sync instruction %d (%s) lacks a following boundary", i, in)
-		}
+	problems := CheckIdempotence(p, sections, allowRegWAR)
+	if len(problems) == 0 {
+		return nil
 	}
-
-	for _, v := range sc.Scan(boundary) {
-		switch v.Kind {
-		case analysis.MemWAR:
-			if inAnySection(v.At, sections) && inAnySection(v.Load, sections) &&
-				sc.Addr(v.At).Space == isa.SpaceShared {
-				continue // tolerated: collective section recovery
-			}
-			return fmt.Errorf("unresolved %v", v)
-		case analysis.PredWAR:
-			return fmt.Errorf("unresolved %v", v)
-		case analysis.RegWAR:
-			if !allowRegWAR {
-				return fmt.Errorf("unresolved %v", v)
-			}
+	const maxListed = 8
+	msgs := make([]string, 0, maxListed)
+	for i, pr := range problems {
+		if i == maxListed {
+			msgs = append(msgs, fmt.Sprintf("... and %d more", len(problems)-maxListed))
+			break
 		}
+		msgs = append(msgs, pr.String())
 	}
-	return nil
-}
-
-func inAnySection(i int, sections []Section) bool {
-	for _, s := range sections {
-		if s.Contains(i) {
-			return true
-		}
-	}
-	return false
+	return fmt.Errorf("%d idempotence violation(s): %s", len(problems), strings.Join(msgs, "; "))
 }

@@ -46,7 +46,7 @@ type Stats struct {
 // A def is renamed at most once; a repeated violation at a renamed def
 // means the anti-dependence is loop-carried through the def itself, which
 // only a boundary fixes.
-func Apply(p *isa.Program) (Stats, error) {
+func Apply(p *isa.Program, tr *isa.EditTrace) (Stats, error) {
 	var st Stats
 	baseRegs := p.NumRegs
 	// Generous bound: each instruction can be split once, renamed once,
@@ -82,7 +82,7 @@ func Apply(p *isa.Program) (Stats, error) {
 		in := &p.Insts[v.At]
 		switch {
 		case readsOwnDst(in):
-			splitRMW(p, v.At)
+			splitRMW(p, v.At, tr)
 			st.Splits++
 		case in.Origin != isa.OrigRename && renameDef(p, rd, v.At, v.Reg, &st):
 			st.Renamed++
@@ -115,7 +115,7 @@ func readsOwnDst(in *isa.Inst) bool {
 // splitRMW rewrites "op rD, ...rD..." into "op rT, ...rD...; mov rD, rT"
 // with a region boundary before the copy, breaking the same-instruction
 // anti-dependence. The copy inherits the original guard.
-func splitRMW(p *isa.Program, at int) {
+func splitRMW(p *isa.Program, at int, tr *isa.EditTrace) {
 	in := &p.Insts[at]
 	tmp := isa.Reg(p.NumRegs)
 	d := in.Dst
@@ -126,6 +126,7 @@ func splitRMW(p *isa.Program, at int) {
 	}
 	mov.Src[0] = isa.R(tmp)
 	isa.InsertAt(p, at+1, mov)
+	tr.Record(at+1, 1)
 }
 
 // renameDef redirects the def at instruction di from reg r to a fresh

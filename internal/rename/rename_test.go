@@ -34,7 +34,7 @@ func form(t *testing.T, src string, opts regions.Options) *isa.Program {
 func TestRenameFigure2(t *testing.T) {
 	p := form(t, figure2Src, regions.Options{})
 	before := p.NumRegs
-	st, err := Apply(p)
+	st, err := Apply(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ LOOP:
     exit
 `
 	p := form(t, src, regions.Options{})
-	st, err := Apply(p)
+	st, err := Apply(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRenameCleanProgramIsNoop(t *testing.T) {
     exit
 `
 	p := form(t, src, regions.Options{})
-	st, err := Apply(p)
+	st, err := Apply(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ JOIN:
     exit
 `
 	p := form(t, src, regions.Options{})
-	if _, err := Apply(p); err != nil {
+	if _, err := Apply(p, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := regions.VerifyIdempotence(p, nil, false); err != nil {
@@ -149,11 +149,11 @@ JOIN:
 // anti-dependences, so a second Apply must be a no-op.
 func TestApplyIsIdempotent(t *testing.T) {
 	p := form(t, figure2Src, regions.Options{})
-	if _, err := Apply(p); err != nil {
+	if _, err := Apply(p, nil); err != nil {
 		t.Fatal(err)
 	}
 	before := p.String()
-	st, err := Apply(p)
+	st, err := Apply(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

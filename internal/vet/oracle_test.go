@@ -1,0 +1,171 @@
+package vet
+
+import (
+	"bytes"
+	"testing"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/isa"
+)
+
+// oracleOver compiles and runs the oracle over a named benchmark.
+func oracleOver(t *testing.T, name string, scheme core.Scheme) (OracleStats, *Report) {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compile(b.Prog(), core.Options{Scheme: scheme, WCDL: 20, ExtendRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(Config{})
+	st, err := OracleSpec(b.Spec(), comp, Config{}, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, rep
+}
+
+func failOnErrors(t *testing.T, rep *Report, what string) {
+	t.Helper()
+	if rep.Errors() != 0 {
+		var buf bytes.Buffer
+		rep.WriteText(&buf, Info)
+		t.Fatalf("%s:\n%s", what, buf.String())
+	}
+}
+
+// TestOracleSoloReplay checks the per-thread replay path on a
+// barrier-free benchmark: every committed region must be replayed and
+// diffed, and the compiled suite must come out clean.
+func TestOracleSoloReplay(t *testing.T) {
+	for _, s := range []core.Scheme{core.Renaming, core.Checkpointing, core.DupCheckpointing} {
+		st, rep := oracleOver(t, "BS", s)
+		failOnErrors(t, rep, "BS/"+s.String())
+		if st.Commits == 0 || st.Replays == 0 {
+			t.Fatalf("BS/%s: oracle verified nothing: %+v", s, st)
+		}
+		if st.Collectives != 0 {
+			t.Fatalf("BS/%s: unexpected collective replays: %+v", s, st)
+		}
+	}
+}
+
+// TestOracleCollectiveReplay checks the whole-block section replay on a
+// barrier-heavy benchmark compiled with region extension.
+func TestOracleCollectiveReplay(t *testing.T) {
+	for _, s := range []core.Scheme{core.SensorRenaming, core.SensorCheckpointing} {
+		st, rep := oracleOver(t, "LUD", s)
+		failOnErrors(t, rep, "LUD/"+s.String())
+		if st.Collectives == 0 {
+			t.Fatalf("LUD/%s: no collective section replays ran: %+v", s, st)
+		}
+	}
+}
+
+// TestOracleAtomicRegions checks that atomic-bearing regions commit via
+// the undo-log path (no replay) without findings.
+func TestOracleAtomicRegions(t *testing.T) {
+	src := `
+    mov r0, %tid.x
+    ld.param r1, [0]
+    atom.global.add r2, [r1], 1
+    shl r3, r0, 2
+    ld.param r4, [4]
+    add r5, r4, r3
+    st.global [r5], r2
+    exit
+`
+	p, err := isa.Parse("atomic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compile(p, core.Options{Scheme: core.Renaming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(Config{})
+	gmem := make([]uint32, 64)
+	st, ok := Oracle(TargetOf(comp), isa.Dim3{X: 1}, isa.Dim3{X: 8}, []uint32{0, 16}, gmem, Config{}, rep)
+	if !ok {
+		var buf bytes.Buffer
+		rep.WriteText(&buf, Info)
+		t.Fatalf("oracle aborted:\n%s", buf.String())
+	}
+	failOnErrors(t, rep, "atomic kernel")
+	if st.Commits == 0 {
+		t.Fatalf("no commits: %+v", st)
+	}
+	if gmem[0] != 8 {
+		t.Fatalf("atomic counter = %d, want 8 (each thread adds once)", gmem[0])
+	}
+}
+
+// TestOracleBudget checks that an exhausted step budget is a warning,
+// not an error.
+func TestOracleBudget(t *testing.T) {
+	b, err := bench.ByName("BS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compile(b.Prog(), core.Options{Scheme: core.Renaming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{OracleSteps: 100}
+	rep := NewReport(cfg)
+	if _, err := OracleSpec(b.Spec(), comp, cfg, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("budget exhaustion produced errors: %+v", rep.Diags)
+	}
+	if rep.Count(Warning) == 0 {
+		t.Fatal("budget exhaustion produced no warning")
+	}
+}
+
+// TestOracleMatchesSimulator cross-checks the oracle's functional
+// semantics against the event-driven simulator: after a full oracle run
+// the benchmark's own output validator must accept global memory.
+func TestOracleMatchesSimulator(t *testing.T) {
+	for _, name := range []string{"BS", "LUD", "WT"} {
+		b, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Validate == nil {
+			t.Fatalf("%s has no validator", name)
+		}
+		comp, err := core.Compile(b.Prog(), core.Options{Scheme: core.SensorRenaming, WCDL: 20, ExtendRegions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := b.Spec()
+		gmem := make([]uint32, (spec.MemBytes+3)/4)
+		if spec.Setup != nil {
+			spec.Setup(gmem)
+		}
+		rep := NewReport(Config{})
+		if _, ok := Oracle(TargetOf(comp), spec.Grid, spec.Block, spec.Params, gmem, Config{}, rep); !ok {
+			var buf bytes.Buffer
+			rep.WriteText(&buf, Info)
+			t.Fatalf("%s: oracle aborted:\n%s", name, buf.String())
+		}
+		for i, step := range spec.Steps {
+			sc, err := core.Compile(step.Prog, comp.Opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := Oracle(TargetOf(sc), step.Grid, step.Block, step.Params, gmem, Config{}, rep); !ok {
+				t.Fatalf("%s step %d: oracle aborted", name, i+1)
+			}
+		}
+		failOnErrors(t, rep, name)
+		if err := b.Validate(gmem); err != nil {
+			t.Fatalf("%s: oracle-executed output fails golden validation: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package vet
+
+import "flame/internal/isa"
+
+// unifLevel is the three-point uniformity lattice: uniform (all threads
+// of a block provably hold the same value) < unknown (cannot tell) <
+// variant (provably thread-dependent, e.g. derived from %tid).
+type unifLevel uint8
+
+const (
+	unifUniform unifLevel = iota
+	unifUnknown
+	unifVariant
+)
+
+func (u unifLevel) String() string {
+	switch u {
+	case unifUniform:
+		return "uniform"
+	case unifUnknown:
+		return "unknown"
+	}
+	return "thread-variant"
+}
+
+func joinUnif(a, b unifLevel) unifLevel {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// uniformity holds flow-insensitive per-register uniformity levels: the
+// join over every definition of the register. Flow-insensitivity is
+// conservative (a register's level is its most-variant def anywhere), which
+// is exactly what the barrier-divergence check needs — a barrier guarded
+// by a branch that is variant on any path is a deadlock hazard.
+type uniformity struct {
+	reg  []unifLevel
+	pred []unifLevel
+}
+
+func specUnif(s isa.Special) unifLevel {
+	switch s {
+	case isa.SpecTidX, isa.SpecTidY, isa.SpecTidZ, isa.SpecLaneID, isa.SpecWarpID:
+		return unifVariant
+	default:
+		// Block and grid geometry (%ntid, %ctaid, %nctaid) is identical for
+		// every thread of a block — the scope barriers synchronize over.
+		return unifUniform
+	}
+}
+
+func (u *uniformity) operand(o isa.Operand) unifLevel {
+	switch o.Kind {
+	case isa.OperImm:
+		return unifUniform
+	case isa.OperReg:
+		return u.reg[o.Reg]
+	case isa.OperSpecial:
+		return specUnif(o.Spec)
+	case isa.OperPred:
+		return u.pred[o.Pred]
+	}
+	return unifUniform
+}
+
+// computeUniformity runs the fixpoint. Registers start uniform (hardware
+// zero-initializes them) and only climb the lattice, so the iteration
+// terminates.
+func computeUniformity(p *isa.Program) *uniformity {
+	nr := p.NumRegs
+	if nr == 0 {
+		nr = 1
+	}
+	u := &uniformity{
+		reg:  make([]unifLevel, nr),
+		pred: make([]unifLevel, isa.NumPredRegs),
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Insts {
+			in := &p.Insts[i]
+			lvl := unifUniform
+			if in.Guard.Valid() {
+				// A predicated def merges the old value with the new one
+				// depending on a possibly divergent guard.
+				lvl = u.pred[in.Guard.Pred]
+			}
+			switch in.Op {
+			case isa.OpLd:
+				addr := u.operand(in.Src[0])
+				if in.Space == isa.SpaceParam {
+					// Params are launch-uniform; the loaded value varies only
+					// as much as the slot address does.
+					lvl = joinUnif(lvl, addr)
+				} else {
+					// Data loaded from memory is unknown even at a uniform
+					// address (another thread may have written it), and
+					// variant at a variant address.
+					lvl = joinUnif(lvl, joinUnif(unifUnknown, addr))
+				}
+			case isa.OpAtom:
+				// Atomics return per-thread distinct old values.
+				lvl = unifVariant
+			default:
+				for k := 0; k < in.Op.NumSrcs(); k++ {
+					lvl = joinUnif(lvl, u.operand(in.Src[k]))
+				}
+			}
+			if d := in.Defs(); d != isa.NoReg {
+				if joinUnif(u.reg[d], lvl) != u.reg[d] {
+					u.reg[d] = joinUnif(u.reg[d], lvl)
+					changed = true
+				}
+			}
+			if pd := in.DefsPred(); pd != isa.NoPred {
+				l := lvl
+				l = joinUnif(l, u.operand(in.Src[0]))
+				l = joinUnif(l, u.operand(in.Src[1]))
+				if joinUnif(u.pred[pd], l) != u.pred[pd] {
+					u.pred[pd] = joinUnif(u.pred[pd], l)
+					changed = true
+				}
+			}
+		}
+	}
+	return u
+}

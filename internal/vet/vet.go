@@ -1,0 +1,81 @@
+package vet
+
+import (
+	"flame/internal/core"
+	"flame/internal/isa"
+	"flame/internal/regions"
+)
+
+// Target is one verification subject: a program plus the scheme context
+// needed to interpret its annotations. File-only verification uses a
+// Target with the scheme fields zeroed.
+type Target struct {
+	Prog *isa.Program
+	// Sections are the extended shared-memory sections (collective
+	// verification spans), if any.
+	Sections []regions.Section
+	// SchemeName labels diagnostics ("" for raw files).
+	SchemeName string
+	// Regions marks the program as region-annotated (any non-baseline
+	// compilation); pass-2 checks only run when set.
+	Regions bool
+	// Renaming means register WARs must have been removed by renaming.
+	Renaming bool
+	// Checkpointing means register WARs are tolerated but every
+	// boundary-live clobber must carry a checkpoint save.
+	Checkpointing bool
+	// WCDL is the sensor worst-case detection latency budget (0 disables
+	// the wcdl-budget check).
+	WCDL int
+	// CkptSlots is the compiled register->slot map (checkpointing only).
+	CkptSlots map[isa.Reg]int32
+}
+
+// TargetOf derives the verification target of a scheme compilation.
+func TargetOf(c *core.Compiled) *Target {
+	s := c.Opt.Scheme
+	t := &Target{
+		Prog:          c.Prog,
+		Sections:      c.Sections,
+		SchemeName:    s.String(),
+		Regions:       s != core.Baseline,
+		Renaming:      s.UsesRenaming(),
+		Checkpointing: s.UsesCheckpointing(),
+		CkptSlots:     c.CkptSlots,
+	}
+	if s.UsesSensors() {
+		t.WCDL = c.Opt.WCDL
+	}
+	return t
+}
+
+// File runs the pass-1 well-formedness checks on a raw program into a
+// fresh report.
+func File(p *isa.Program, cfg Config) *Report {
+	rep := NewReport(cfg)
+	wellFormed(p, "", rep)
+	rep.Sort()
+	return rep
+}
+
+// Check runs both static passes on a target, appending to rep. It returns
+// false when structural errors stopped the CFG-based checks.
+func Check(t *Target, cfg Config, rep *Report) bool {
+	if t.WCDL == 0 && cfg.WCDL > 0 && t.Regions {
+		t.WCDL = cfg.WCDL
+	}
+	if !wellFormed(t.Prog, t.SchemeName, rep) {
+		return false
+	}
+	flameInvariants(t, rep)
+	return true
+}
+
+// Compiled runs both static passes on a compiled kernel into a fresh
+// report.
+func Compiled(c *core.Compiled, cfg Config) *Report {
+	rep := NewReport(cfg)
+	Check(TargetOf(c), cfg, rep)
+	rep.Sort()
+	return rep
+}

@@ -1,0 +1,422 @@
+package vet
+
+import (
+	"fmt"
+
+	"flame/internal/analysis"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// wellFormed runs the scheme-independent pass-1 checks on a program:
+// structure, use-before-def, unreachable-code, mem-bounds, and
+// barrier-divergence. It returns false when structural errors make the
+// program unsafe to analyze further (CFG construction would be invalid).
+func wellFormed(p *isa.Program, scheme string, rep *Report) bool {
+	w := &wfVet{p: p, scheme: scheme, rep: rep}
+	if !w.structure() {
+		return false
+	}
+	w.g = kernel.Build(p)
+	w.useBeforeDef()
+	w.unreachable()
+	w.memBounds()
+	w.barrierDivergence()
+	return true
+}
+
+type wfVet struct {
+	p      *isa.Program
+	scheme string
+	rep    *Report
+	g      *kernel.CFG
+}
+
+func (w *wfVet) add(check string, sev Severity, inst int, msg string) {
+	d := Diagnostic{
+		Check: check, Severity: sev, Kernel: w.p.Name, Scheme: w.scheme,
+		Inst: inst, Region: -1, Section: -1, Msg: msg,
+	}
+	if inst >= 0 && inst < len(w.p.Insts) {
+		d.Line = w.p.Insts[inst].Line
+		d.Asm = w.p.Insts[inst].String()
+	}
+	w.rep.Add(d)
+}
+
+// structure is the accumulate-all analogue of Program.Validate. It
+// reports every structural defect instead of stopping at the first, and
+// returns whether the program is structurally sound enough for the
+// CFG-based checks to run.
+func (w *wfVet) structure() bool {
+	p := w.p
+	ok := true
+	bad := func(i int, msg string, args ...any) {
+		ok = false
+		w.add("structure", Error, i, fmt.Sprintf(msg, args...))
+	}
+	if len(p.Insts) == 0 {
+		bad(-1, "empty program")
+		return false
+	}
+	sawExit := false
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		switch {
+		case int(in.Op) >= isa.NumOpcodes():
+			bad(i, "invalid opcode %d", uint8(in.Op))
+			continue
+		case in.Op == isa.OpBra:
+			if in.Target < 0 || in.Target >= len(p.Insts) {
+				bad(i, "branch target %d out of range [0,%d)", in.Target, len(p.Insts))
+			}
+		case in.Op == isa.OpExit:
+			sawExit = true
+		case in.Op.IsMemory():
+			if in.Space == isa.SpaceNone || in.Space > isa.SpaceParam {
+				bad(i, "memory instruction without a valid address space")
+			}
+			if in.Op == isa.OpSt && in.Space == isa.SpaceParam {
+				bad(i, "store to read-only param space")
+			}
+			if in.Op == isa.OpAtom && in.Space != isa.SpaceGlobal && in.Space != isa.SpaceShared {
+				bad(i, "atomics require global or shared space, got %s", in.Space)
+			}
+		case in.Op == isa.OpSetp:
+			if in.PDst >= isa.NumPredRegs {
+				bad(i, "predicate destination %s out of range", in.PDst)
+			}
+		}
+		if in.Guard.Valid() && in.Guard.Pred >= isa.NumPredRegs {
+			bad(i, "guard predicate %s out of range", in.Guard.Pred)
+		}
+		if d := in.Defs(); d != isa.NoReg && int(d) >= p.NumRegs {
+			bad(i, "destination %s beyond declared register count %d", d, p.NumRegs)
+		}
+		var uses [4]isa.Reg
+		for _, r := range in.Uses(uses[:0]) {
+			if r == isa.NoReg {
+				bad(i, "unassigned register operand")
+			} else if int(r) >= p.NumRegs {
+				bad(i, "source %s beyond declared register count %d", r, p.NumRegs)
+			}
+		}
+	}
+	if !sawExit {
+		bad(-1, "no exit instruction")
+	}
+	return ok
+}
+
+// unreachable reports basic blocks no path from the entry reaches.
+func (w *wfVet) unreachable() {
+	reach := w.g.Reachable()
+	for _, b := range w.g.Blocks {
+		if !reach[b.ID] {
+			w.add("unreachable-code", Warning, b.Start,
+				fmt.Sprintf("unreachable block of %d instruction(s) [%d,%d)", b.Len(), b.Start, b.End))
+		}
+	}
+}
+
+// useBeforeDef reports register and predicate reads that no definition
+// reaches (error: the value is the hardware zero-fill on every path) or
+// that are not definitely assigned (warning: uninitialized on some path).
+// Definite assignment applies two guard refinements: a pair of defs under
+// complementary guards (@p / @!p, no redefinition of p between) counts as
+// a definite assignment, and a use guarded identically to the most recent
+// predicated def of the register is considered covered.
+func (w *wfVet) useBeforeDef() {
+	p, g := w.p, w.g
+	rd := analysis.ComputeReachDefs(g)
+	nr := p.NumRegs
+	if nr == 0 {
+		nr = 1
+	}
+	nb := len(g.Blocks)
+	reach := g.Reachable()
+
+	// Predicate may-defined: forward union dataflow, gen at any setp.
+	predMayIn := make([]uint8, nb)
+	predMayOut := make([]uint8, nb)
+	predGen := make([]uint8, nb)
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			if pd := p.Insts[i].DefsPred(); pd != isa.NoPred {
+				predGen[b.ID] |= 1 << pd
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range g.RPO() {
+			in := uint8(0)
+			for _, pr := range g.Blocks[bid].Preds {
+				in |= predMayOut[pr]
+			}
+			out := in | predGen[bid]
+			if in != predMayIn[bid] || out != predMayOut[bid] {
+				predMayIn[bid], predMayOut[bid] = in, out
+				changed = true
+			}
+		}
+	}
+
+	// Definite assignment (must): In[b] = ∩ Out[preds], entry In = ∅.
+	type mustState struct {
+		regs  analysis.BitSet
+		preds uint8
+	}
+	full := func() mustState {
+		s := mustState{regs: analysis.NewBitSet(nr), preds: 0xFF}
+		s.regs.Fill()
+		return s
+	}
+	// guardTag tracks the most recent predicated def's guard per register,
+	// for the complementary-guard refinement; block-local only.
+	type guardTag struct {
+		pred isa.PredReg
+		neg  bool
+	}
+	transfer := func(st *mustState, bid int, check func(i int, st *mustState, tags map[isa.Reg]guardTag, ptags map[isa.PredReg]guardTag)) {
+		tags := map[isa.Reg]guardTag{}
+		ptags := map[isa.PredReg]guardTag{}
+		b := g.Blocks[bid]
+		for i := b.Start; i < b.End; i++ {
+			if check != nil {
+				check(i, st, tags, ptags)
+			}
+			in := &p.Insts[i]
+			if pd := in.DefsPred(); pd != isa.NoPred {
+				// A redefinition of pd invalidates guard tags that relied on it.
+				for r, t := range tags {
+					if t.pred == pd {
+						delete(tags, r)
+					}
+				}
+				for pr, t := range ptags {
+					if t.pred == pd {
+						delete(ptags, pr)
+					}
+				}
+				if !in.Guard.Valid() {
+					st.preds |= 1 << pd
+				} else if t, ok := ptags[pd]; ok && t.pred == in.Guard.Pred && t.neg != in.Guard.Neg {
+					st.preds |= 1 << pd
+					delete(ptags, pd)
+				} else {
+					ptags[pd] = guardTag{in.Guard.Pred, in.Guard.Neg}
+				}
+			}
+			if d := in.Defs(); d != isa.NoReg {
+				if !in.Guard.Valid() {
+					st.regs.Set(int(d))
+					delete(tags, d)
+				} else if t, ok := tags[d]; ok && t.pred == in.Guard.Pred && t.neg != in.Guard.Neg {
+					st.regs.Set(int(d))
+					delete(tags, d)
+				} else {
+					tags[d] = guardTag{in.Guard.Pred, in.Guard.Neg}
+				}
+			}
+		}
+	}
+
+	ins := make([]mustState, nb)
+	outs := make([]mustState, nb)
+	for i := 0; i < nb; i++ {
+		ins[i] = full()
+		outs[i] = full()
+	}
+	entry := g.Entry()
+	ins[entry] = mustState{regs: analysis.NewBitSet(nr)}
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range g.RPO() {
+			if bid != entry {
+				in := full()
+				for _, pr := range g.Blocks[bid].Preds {
+					in.regs.Intersect(outs[pr].regs)
+					in.preds &= outs[pr].preds
+				}
+				if !in.regs.Equal(ins[bid].regs) || in.preds != ins[bid].preds {
+					ins[bid] = in
+					changed = true
+				}
+			}
+			out := mustState{regs: ins[bid].regs.CloneSet(), preds: ins[bid].preds}
+			transfer(&out, bid, nil)
+			if !out.regs.Equal(outs[bid].regs) || out.preds != outs[bid].preds {
+				outs[bid] = out
+				changed = true
+			}
+		}
+	}
+
+	// Reporting walk over reachable blocks.
+	reported := map[string]bool{} // dedupe per (inst, operand)
+	report := func(i int, what string, noDef bool) {
+		key := fmt.Sprintf("%d/%s", i, what)
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		if noDef {
+			w.add("use-before-def", Error, i,
+				fmt.Sprintf("%s is read but never defined on any path from the entry", what))
+		} else {
+			w.add("use-before-def", Warning, i,
+				fmt.Sprintf("%s may be read before it is defined on some path", what))
+		}
+	}
+	for _, bid := range g.RPO() {
+		if !reach[bid] {
+			continue
+		}
+		st := mustState{regs: ins[bid].regs.CloneSet(), preds: ins[bid].preds}
+		transfer(&st, bid, func(i int, st *mustState, tags map[isa.Reg]guardTag, ptags map[isa.PredReg]guardTag) {
+			in := &p.Insts[i]
+			var uses [4]isa.Reg
+			for _, r := range in.Uses(uses[:0]) {
+				if r == isa.NoReg || int(r) >= nr || st.regs.Has(int(r)) {
+					continue
+				}
+				if t, ok := tags[r]; ok && in.Guard.Valid() &&
+					t.pred == in.Guard.Pred && t.neg == in.Guard.Neg {
+					continue // def and use share the same guard
+				}
+				if len(rd.DefsReaching(i, r)) == 0 {
+					report(i, r.String(), true)
+				} else {
+					report(i, r.String(), false)
+				}
+			}
+			var puses [2]isa.PredReg
+			for _, pr := range in.UsesPred(puses[:0]) {
+				if pr == isa.NoPred || pr >= isa.NumPredRegs || st.preds&(1<<pr) != 0 {
+					continue
+				}
+				if predMayIn[bid]&(1<<pr) == 0 && predGen[bid]&(1<<pr) == 0 {
+					report(i, pr.String(), true)
+					continue
+				}
+				// The block may define it before i; check precisely.
+				defined := false
+				for j := g.Blocks[bid].Start; j < i; j++ {
+					if p.Insts[j].DefsPred() == pr {
+						defined = true
+						break
+					}
+				}
+				if defined || predMayIn[bid]&(1<<pr) != 0 {
+					report(i, pr.String(), false)
+				} else {
+					report(i, pr.String(), true)
+				}
+			}
+		})
+	}
+}
+
+// memBounds reports shared/local accesses whose address is statically a
+// constant and falls outside the declared footprint or is misaligned.
+func (w *wfVet) memBounds() {
+	p := w.p
+	rd := analysis.ComputeReachDefs(w.g)
+	aa := analysis.NewAddrAnalysis(p, rd)
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if !in.Op.IsMemory() || (in.Space != isa.SpaceShared && in.Space != isa.SpaceLocal) {
+			continue
+		}
+		a := aa.AddrOf(i)
+		if a.Unknown || a.ParamSlot >= 0 || a.VarKey != "" {
+			continue // not statically resolvable to a constant
+		}
+		size := int64(p.SharedBytes)
+		space := "shared"
+		if in.Space == isa.SpaceLocal {
+			size = int64(p.LocalBytes)
+			space = "local"
+		}
+		switch {
+		case a.Const < 0:
+			w.add("mem-bounds", Error, i,
+				fmt.Sprintf("negative %s-memory address %d", space, a.Const))
+		case a.Const+4 > size:
+			w.add("mem-bounds", Error, i,
+				fmt.Sprintf("%s-memory access at byte %d past declared size %d", space, a.Const, size))
+		case a.Const%4 != 0:
+			w.add("mem-bounds", Error, i,
+				fmt.Sprintf("misaligned %s-memory access at byte %d", space, a.Const))
+		}
+	}
+}
+
+// barrierDivergence reports barriers that are control-dependent on a
+// thread-variant (error) or unprovably uniform (warning) branch: lanes
+// that diverge around a bar.sync leave the block's arrival count short and
+// the barrier never releases.
+func (w *wfVet) barrierDivergence() {
+	p, g := w.p, w.g
+	hasBar := false
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBar {
+			hasBar = true
+			break
+		}
+	}
+	if !hasBar {
+		return
+	}
+	pd := kernel.PostDominators(g)
+	unif := computeUniformity(p)
+	// pdom reports whether block a post-dominates block b.
+	pdom := func(a, b int) bool {
+		for {
+			if a == b {
+				return true
+			}
+			next := pd.IPDom[b]
+			if next == -1 || next == pd.VirtualExit || next == b {
+				return false
+			}
+			b = next
+		}
+	}
+	reach := g.Reachable()
+	for i := range p.Insts {
+		if p.Insts[i].Op != isa.OpBar || !reach[g.BlockOf[i]] {
+			continue
+		}
+		barBlk := g.BlockOf[i]
+		for _, c := range g.Blocks {
+			if !reach[c.ID] || c.Len() == 0 {
+				continue
+			}
+			br := c.End - 1
+			bin := &p.Insts[br]
+			if bin.Op != isa.OpBra || !bin.Guard.Valid() || len(c.Succs) < 2 {
+				continue
+			}
+			ctrlDep := false
+			for _, s := range c.Succs {
+				if pdom(barBlk, s) && !pdom(barBlk, c.ID) {
+					ctrlDep = true
+					break
+				}
+			}
+			if !ctrlDep {
+				continue
+			}
+			switch unif.pred[bin.Guard.Pred] {
+			case unifVariant:
+				w.add("barrier-divergence", Error, i,
+					fmt.Sprintf("barrier is control-dependent on thread-variant branch at %d (guard %s): divergent lanes would never arrive", br, bin.Guard.Pred))
+			case unifUnknown:
+				w.add("barrier-divergence", Warning, i,
+					fmt.Sprintf("barrier is control-dependent on branch at %d whose guard %s cannot be proven block-uniform", br, bin.Guard.Pred))
+			}
+		}
+	}
+}
