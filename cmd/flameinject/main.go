@@ -10,18 +10,32 @@
 //	flameinject -bench SGEMM,LUD -scheme flame -model full -json report.json
 //	flameinject -suite quick -trials 125 -strikes 2
 //	flameinject -trials 200 -events campaign.jsonl
+//	flameinject -trials 200 -events campaign.jsonl -resume   # continue an interrupted run
+//	flameinject -serve :8077 -state dir                      # distributed: coordinator
+//	flameinject -join http://host:8077                       # distributed: worker
+//
+// SIGINT/SIGTERM stops gracefully: in-flight trials finish, the event
+// stream is flushed, and the partial report is printed; with -events
+// the run is resumable via -resume. Exit codes: 0 clean; 1 error; 2
+// uncovered outcomes under the paper's fault model; 3 interrupted
+// (partial, resumable).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"flame/internal/bench"
 	"flame/internal/campaign"
 	"flame/internal/core"
+	"flame/internal/dist"
 	"flame/internal/flame"
 	"flame/internal/gpu"
 	"flame/internal/prof"
@@ -48,12 +62,34 @@ func main() {
 	modelFlag := flag.String("model", "data", "fault model: data (paper's data slice) or full (full site incl. address/control)")
 	strikes := flag.Int("strikes", 1, "strikes armed per trial")
 	budget := flag.Int64("budget", 8, "hang watchdog: cycle budget as multiple of the fault-free window")
+	trialTimeout := flag.Duration("trial-timeout", 0, "wall-clock watchdog per trial, e.g. 30s (0 = off); timeouts classify as hangs")
 	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
 	events := flag.String("events", "", "stream JSONL progress events to this file (- for stderr); replayable with campaign.Replay")
+	resume := flag.Bool("resume", false, "with -events FILE: skip trials already classified in FILE, append new ones, report the union")
+	serve := flag.String("serve", "", "run as distributed coordinator on this address (see flameserve)")
+	state := flag.String("state", "flameinject-state", "with -serve: state directory for checkpoint + shard streams")
+	join := flag.String("join", "", "run as distributed worker against this coordinator URL (see flameworker)")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Distributed worker mode: everything about the campaign comes from
+	// the coordinator; local campaign flags are ignored.
+	if *join != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		err := dist.RunWorker(ctx, dist.WorkerConfig{URL: *join, Logf: logf})
+		switch {
+		case err == nil:
+			return
+		case errors.Is(err, context.Canceled):
+			logf("interrupted; streamed trials are preserved at the coordinator")
+			os.Exit(3)
+		default:
+			fail("%v", err)
+		}
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -88,26 +124,123 @@ func main() {
 	default:
 		fail("unknown suite %q (want quick or all)", *suite)
 	}
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+	}
+
+	// Distributed coordinator mode: serve shards to workers instead of
+	// computing trials locally.
+	if *serve != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		fr, err := dist.Serve(ctx, dist.ServeConfig{
+			Addr: *serve,
+			Coord: dist.CoordConfig{
+				Info: dist.CampaignInfo{
+					Arch: arch, Scheme: scheme.FlagName(), WCDL: *wcdl, ExtendRegions: *extend,
+					Benchmarks: names, Trials: *trials, Seed: *seed, Model: *modelFlag,
+					StrikesPerTrial: *strikes, HangBudgetMult: *budget,
+					TrialTimeoutMS: trialTimeout.Milliseconds(),
+				},
+				StateDir: *state, Logf: logf,
+			},
+		})
+		interrupted := errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
+			fail("%v", err)
+		}
+		fmt.Print(fr.Report)
+		if !fr.Integrity.Clean() || fr.Integrity.Missing > 0 {
+			fmt.Printf("stream integrity: %s\n", fr.Integrity)
+		}
+		for _, s := range fr.Quarantined {
+			fmt.Printf("QUARANTINED %s: excluded after repeated lease failures\n", s)
+		}
+		if *jsonOut != "" {
+			data, jerr := fr.Report.JSON()
+			if jerr != nil {
+				fail("json: %v", jerr)
+			}
+			data = append(data, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(data)
+			} else if werr := os.WriteFile(*jsonOut, data, 0o644); werr != nil {
+				fail("%v", werr)
+			}
+		}
+		if interrupted || !fr.Complete {
+			logf("partial report; resume with the same -state %s", *state)
+			stopProf()
+			os.Exit(3)
+		}
+		exitUncovered(rep2exit(fr.Report, model, scheme), stopProf)
+		return
+	}
+
 	specs := make([]*core.KernelSpec, len(names))
 	for i, n := range names {
-		b, err := bench.ByName(strings.TrimSpace(n))
+		b, err := bench.ByName(n)
 		if err != nil {
 			fail("%v", err)
 		}
 		specs[i] = b.Spec()
 	}
 
+	// Resume: scan the previous event stream for classified trials and
+	// skip exactly those; new events append to the same file, and the
+	// final report is rebuilt from the union.
+	var skip func(string, int) bool
+	if *resume {
+		if *events == "" || *events == "-" {
+			fail("-resume requires -events FILE")
+		}
+		if f, err := os.Open(*events); err == nil {
+			done, derr := campaign.DoneSet(f)
+			f.Close()
+			if derr != nil {
+				fail("%v", derr)
+			}
+			n := 0
+			for _, m := range done {
+				n += len(m)
+			}
+			logf("resuming: %d trials already classified in %s", n, *events)
+			skip = func(bench string, t int) bool { return done[bench][t] }
+		} else if !os.IsNotExist(err) {
+			fail("%v", err)
+		}
+	}
+
 	var eventsW io.Writer
+	var eventsF *os.File
 	if *events == "-" {
 		eventsW = os.Stderr
 	} else if *events != "" {
-		f, err := os.Create(*events)
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *resume {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*events, mode, 0o644)
 		if err != nil {
 			fail("%v", err)
 		}
 		defer f.Close()
 		eventsW = f
+		eventsF = f
 	}
+
+	// Graceful interrupt: finish in-flight trials, flush the stream,
+	// print the partial report. A second signal kills immediately.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logf("interrupt: finishing in-flight trials and flushing events (again to kill)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
 
 	rep, err := campaign.Run(campaign.Config{
 		Arch:            arch,
@@ -119,10 +252,36 @@ func main() {
 		Model:           model,
 		StrikesPerTrial: *strikes,
 		HangBudgetMult:  *budget,
+		TrialTimeout:    *trialTimeout,
 		Events:          eventsW,
+		Stop:            stop,
+		Skip:            skip,
 	})
-	if err != nil {
+	stopped := errors.Is(err, campaign.ErrStopped)
+	if err != nil && !stopped {
 		fail("%v", err)
+	}
+
+	// Under -resume the printed report is the union of the old stream
+	// and this run, rebuilt by replay (lenient: a torn line from the
+	// interrupted run was re-run above).
+	if *resume && eventsF != nil {
+		if err := eventsF.Sync(); err != nil {
+			fail("%v", err)
+		}
+		f, err := os.Open(*events)
+		if err != nil {
+			fail("%v", err)
+		}
+		merged, ig, rerr := campaign.ReplayIntegrity(f)
+		f.Close()
+		if rerr != nil {
+			fail("replay %s: %v", *events, rerr)
+		}
+		if ig.Malformed > 0 || ig.Dropped > 0 {
+			logf("stream integrity: %s", ig)
+		}
+		rep = merged
 	}
 	fmt.Print(rep)
 
@@ -139,13 +298,34 @@ func main() {
 		}
 	}
 
-	// A campaign that found uncovered outcomes under the paper's fault
-	// model is a failed resilience claim; make it visible to scripts.
-	if model == flame.DataSlice && scheme.Recoverable() && scheme.Detects() &&
-		(rep.Fleet.SDC > 0 || rep.Fleet.Hang > 0) {
+	if stopped {
+		if *events != "" && *events != "-" {
+			logf("stopped early: partial report; resume with -events %s -resume", *events)
+		} else {
+			logf("stopped early: partial report")
+		}
+		stopProf()
+		os.Exit(3)
+	}
+	exitUncovered(rep2exit(rep, model, scheme), stopProf)
+}
+
+// rep2exit reports whether the campaign found uncovered outcomes under
+// the paper's fault model — a failed resilience claim scripts must see.
+func rep2exit(rep *campaign.Report, model flame.FaultModel, scheme core.Scheme) bool {
+	return model == flame.DataSlice && scheme.Recoverable() && scheme.Detects() &&
+		(rep.Fleet.SDC > 0 || rep.Fleet.Hang > 0)
+}
+
+func exitUncovered(uncovered bool, stopProf func()) {
+	if uncovered {
 		stopProf() // os.Exit skips the deferred flush
 		os.Exit(2)
 	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flameinject: "+format+"\n", args...)
 }
 
 func fail(format string, args ...any) {

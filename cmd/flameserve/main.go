@@ -1,0 +1,165 @@
+// Command flameserve is the distributed-campaign coordinator: it
+// shards a fault-injection campaign's trial grid, leases shards to
+// flameworker processes over HTTP, survives worker deaths (lease
+// expiry + re-lease with backoff, poison-shard quarantine) and its own
+// (checkpoint + per-shard event streams in -state), and merges the
+// returned streams into a report byte-identical to the single-process
+// flameinject run of the same configuration.
+//
+// Usage:
+//
+//	flameserve -addr :8077 -state ./campaign-state -trials 1000
+//	flameworker -url http://host:8077        # on each machine
+//
+// Exit codes: 0 complete; 2 complete but uncovered outcomes under the
+// paper's fault model; 3 interrupted or degraded (resumable: run again
+// with the same -state).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/dist"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+var quickSuite = []string{
+	"Triad", "SGEMM", "Histogram", "BFS",
+	"LUD", "NW", "PF", "SRAD",
+}
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	state := flag.String("state", "flameserve-state", "state directory (checkpoint + shard streams); reuse to resume")
+	shardSize := flag.Int("shard-size", 25, "max trials per shard")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "lease deadline without a heartbeat")
+	heartbeat := flag.Duration("heartbeat", 0, "heartbeat cadence told to workers (0 = lease-ttl/3)")
+	quarantine := flag.Int("quarantine-after", 3, "quarantine a shard after this many failed leases")
+
+	benchList := flag.String("bench", "", "comma-separated benchmark names (default: -suite)")
+	suite := flag.String("suite", "quick", "benchmark suite: quick or all")
+	schemeFlag := flag.String("scheme", "flame", "resilience scheme")
+	archName := flag.String("arch", "GTX480", "GPU architecture: GTX480, TITANX, GV100, RTX2060")
+	wcdl := flag.Int("wcdl", 20, "sensor WCDL (cycles)")
+	extend := flag.Bool("extend", true, "enable region extension")
+	trials := flag.Int("trials", 100, "injection trials per benchmark")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	modelFlag := flag.String("model", "data", "fault model: data or full")
+	strikes := flag.Int("strikes", 1, "strikes armed per trial")
+	budget := flag.Int64("budget", 8, "hang watchdog: cycle budget multiplier")
+	trialTimeout := flag.Duration("trial-timeout", 0, "wall-clock timeout per trial on workers (0 = off)")
+	jsonOut := flag.String("json", "", "write the final report JSON to this file (- for stdout)")
+	flag.Parse()
+
+	scheme, err := core.SchemeByName(*schemeFlag)
+	if err != nil {
+		fail("%v (want one of %s)", err, strings.Join(core.SchemeFlagNames(), ", "))
+	}
+	arch, err := gpu.ConfigByName(*archName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if _, err := flame.ParseFaultModel(*modelFlag); err != nil {
+		fail("%v", err)
+	}
+	var names []string
+	switch {
+	case *benchList != "":
+		for _, n := range strings.Split(*benchList, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	case *suite == "all":
+		for _, b := range bench.All() {
+			names = append(names, b.Name)
+		}
+	case *suite == "quick":
+		names = quickSuite
+	default:
+		fail("unknown suite %q (want quick or all)", *suite)
+	}
+
+	info := dist.CampaignInfo{
+		Arch:           arch,
+		Scheme:         scheme.FlagName(),
+		WCDL:           *wcdl,
+		ExtendRegions:  *extend,
+		Benchmarks:     names,
+		Trials:         *trials,
+		Seed:           *seed,
+		Model:          *modelFlag,
+		StrikesPerTrial: *strikes,
+		HangBudgetMult: *budget,
+		TrialTimeoutMS: trialTimeout.Milliseconds(),
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	fr, err := dist.Serve(ctx, dist.ServeConfig{
+		Addr: *addr,
+		Coord: dist.CoordConfig{
+			Info: info, StateDir: *state, ShardSize: *shardSize,
+			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, QuarantineAfter: *quarantine,
+			Logf: logf,
+		},
+	})
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fail("%v", err)
+	}
+	if fr == nil {
+		fail("no report")
+	}
+
+	fmt.Print(fr.Report)
+	if !fr.Integrity.Clean() || fr.Integrity.Missing > 0 {
+		fmt.Printf("stream integrity: %s\n", fr.Integrity)
+	}
+	for _, s := range fr.Quarantined {
+		fmt.Printf("QUARANTINED %s: excluded after repeated lease failures\n", s)
+	}
+	if interrupted {
+		fmt.Printf("interrupted: partial report; resume with the same -state %s\n", *state)
+	}
+
+	if *jsonOut != "" {
+		data, err := fr.Report.JSON()
+		if err != nil {
+			fail("json: %v", err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	switch {
+	case interrupted || !fr.Complete:
+		os.Exit(3)
+	case *modelFlag == "data" && scheme.Recoverable() && scheme.Detects() &&
+		(fr.Report.Fleet.SDC > 0 || fr.Report.Fleet.Hang > 0):
+		os.Exit(2)
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flameserve: "+format+"\n", args...)
+}
+
+func fail(format string, args ...any) {
+	logf(format, args...)
+	os.Exit(1)
+}

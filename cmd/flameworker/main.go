@@ -1,0 +1,67 @@
+// Command flameworker is one replica of a distributed fault-injection
+// campaign: it fetches the campaign description from a flameserve
+// coordinator, reproduces the golden runs locally (casting the
+// teaMPI-style hash vote that catches corrupted replicas), then leases
+// shards, computes their trials, and streams the results back until
+// the campaign is done.
+//
+// Usage:
+//
+//	flameworker -url http://host:8077
+//	flameworker -url http://host:8077 -name rack3-gpu1 -flush 4
+//
+// SIGINT/SIGTERM drains gracefully: the in-flight trial finishes, its
+// batch is flushed, and the lease is released so another worker can
+// take the shard immediately. Exit codes: 0 campaign done; 3
+// interrupted (everything streamed so far is preserved — resumable);
+// 1 terminal error (e.g. the golden vote rejected this host).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"flame/internal/dist"
+)
+
+func main() {
+	url := flag.String("url", "", "coordinator base URL (required), e.g. http://host:8077")
+	name := flag.String("name", "", "worker name (default hostname-pid)")
+	flush := flag.Int("flush", 8, "trials per streamed batch (smaller = less loss on a crash)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+	if *url == "" {
+		fail("-url is required")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "flameworker: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		URL: *url, Name: *name, FlushEvery: *flush, Logf: logf,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "flameworker: interrupted; streamed trials are preserved at the coordinator")
+		os.Exit(3)
+	default:
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flameworker: "+format+"\n", args...)
+	os.Exit(1)
+}

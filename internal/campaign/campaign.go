@@ -7,21 +7,33 @@
 //
 // Every trial's randomness derives from the campaign seed, the
 // benchmark name and the trial index via SplitMix64, so the report is
-// bit-identical regardless of worker count or scheduling order.
+// bit-identical regardless of worker count or scheduling order — and,
+// through the Shard/TrialSpec API, regardless of whether the trials ran
+// in one process or were sharded across worker processes by the
+// distributed coordinator (internal/dist).
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"flame/internal/core"
 	"flame/internal/flame"
 	"flame/internal/gpu"
 )
+
+// ErrStopped is returned by Run — alongside a valid partial report —
+// when Config.Stop asked the campaign to wind down before every trial
+// ran. In-flight trials finish and are included; the event stream (if
+// any) is complete for everything that ran, so the campaign is
+// resumable from it.
+var ErrStopped = errors.New("campaign: stopped before completion")
 
 // Config describes a campaign.
 type Config struct {
@@ -46,12 +58,27 @@ type Config struct {
 	// HangBudgetMult scales the per-trial cycle budget as a multiple of
 	// the fault-free window (default 8).
 	HangBudgetMult int64
+	// TrialTimeout, when positive, bounds each trial's wall-clock time;
+	// a fired timeout classifies the trial as Hang. It is a last-resort
+	// watchdog (a fired timeout depends on host speed, not the trial's
+	// randomness), so size it generously when reports must be
+	// bit-identical across hosts.
+	TrialTimeout time.Duration
 	// Events, when set, receives the campaign's JSONL progress stream
 	// (see stream.go): campaign_start, golden, trial_start, trial,
 	// progress and campaign_done records, one JSON object per line.
 	// Replay rebuilds the Report from a finished stream. Event order
 	// across workers is nondeterministic; the replayed report is not.
 	Events io.Writer
+	// Stop, when non-nil, makes the campaign interruptible: once the
+	// channel is closed no further trials are dispatched, in-flight
+	// trials finish, and Run returns the partial report with ErrStopped.
+	Stop <-chan struct{}
+	// Skip, when non-nil, excludes trials from the run (resume support:
+	// a caller replaying a prior event stream skips what already ran).
+	// Skipped trials are absent from the report and the event stream,
+	// exactly as if the campaign had been stopped before reaching them.
+	Skip func(bench string, trial int) bool
 }
 
 type job struct{ b, t int }
@@ -68,14 +95,28 @@ func Run(cfg Config) (*Report, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	strikes := cfg.StrikesPerTrial
-	if strikes <= 0 {
-		strikes = 1
+
+	// Plan the trial grid up front, honouring Skip: results land in a
+	// fixed [workload][trial] grid so aggregation order — and therefore
+	// the report — is independent of worker interleaving, and the ran
+	// mask keeps stopped or skipped trials out of the aggregate.
+	plan := make([]job, 0, len(cfg.Specs)*cfg.Trials)
+	results := make([][]core.TrialResult, len(cfg.Specs))
+	ran := make([][]bool, len(cfg.Specs))
+	for b, spec := range cfg.Specs {
+		results[b] = make([]core.TrialResult, cfg.Trials)
+		ran[b] = make([]bool, cfg.Trials)
+		for t := 0; t < cfg.Trials; t++ {
+			if cfg.Skip != nil && cfg.Skip(spec.Name, t) {
+				continue
+			}
+			plan = append(plan, job{b, t})
+		}
 	}
 
 	var str *streamer
 	if cfg.Events != nil {
-		str = newStreamer(cfg.Events, len(cfg.Specs)*cfg.Trials)
+		str = newStreamer(cfg.Events, len(plan))
 	}
 
 	// Fault-free golden runs, one per workload (sequential: they are few
@@ -95,15 +136,6 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Trial fan-out: results land in a fixed [workload][trial] grid so
-	// aggregation order — and therefore the report — is independent of
-	// worker interleaving.
-	results := make([][]core.TrialResult, len(cfg.Specs))
-	roots := make([]uint64, len(cfg.Specs))
-	for i, spec := range cfg.Specs {
-		results[i] = make([]core.TrialResult, cfg.Trials)
-		roots[i] = benchSeed(cfg.Seed, spec.Name)
-	}
 	jobs := make(chan job, parallel)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
@@ -115,58 +147,76 @@ func Run(cfg Config) (*Report, error) {
 			// reallocating it, with bit-identical results.
 			eng := core.NewEngine(cfg.Arch)
 			for j := range jobs {
-				name := cfg.Specs[j.b].Name
+				spec := cfg.Specs[j.b]
 				if str != nil {
-					str.trialStart(name, j.t)
+					str.trialStart(spec.Name, j.t)
 				}
-				res := runOneTrial(eng, &cfg, cfg.Specs[j.b], goldens[j.b], roots[j.b], j.t, strikes)
+				res := eng.RunTrial(spec, goldens[j.b], cfg.TrialSpec(goldens[j.b], spec.Name, j.t))
 				results[j.b][j.t] = *res
+				ran[j.b][j.t] = true
 				if str != nil {
-					str.trial(name, j.t, res)
+					str.trial(spec.Name, j.t, res)
 				}
 			}
 		}()
 	}
-	for b := range cfg.Specs {
-		for t := 0; t < cfg.Trials; t++ {
-			jobs <- job{b, t}
+	stopped := false
+dispatch:
+	for _, j := range plan {
+		select {
+		case <-cfg.Stop:
+			stopped = true
+			break dispatch
+		case jobs <- j:
 		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	rep := aggregate(&cfg, goldens, results)
+	rep := aggregate(&cfg, goldens, results, ran)
 	if str != nil {
 		str.campaignDone(rep)
 		if err := str.err(); err != nil {
 			return nil, fmt.Errorf("campaign: event stream: %w", err)
 		}
 	}
+	if stopped {
+		return rep, ErrStopped
+	}
 	return rep, nil
 }
 
-// runOneTrial derives trial t's randomness and runs it on the worker's
-// engine. The derivation depends only on (campaign seed, workload name,
-// t), and the engine's device pooling does not alter results, so the
-// report stays independent of worker count.
-func runOneTrial(eng *core.Engine, cfg *Config, spec *core.KernelSpec, g *core.Golden, root uint64, t, strikes int) *core.TrialResult {
-	rng := rand.New(rand.NewSource(trialSeed(root, t)))
+// TrialSpec derives trial t's full specification — strike arm cycles,
+// injector seed, cycle budget and wall-clock timeout — for a benchmark
+// of this campaign. The derivation depends only on (campaign seed,
+// benchmark name, t), so trial t is the same trial no matter which
+// worker goroutine, worker process, or shard runs it: this is what lets
+// the distributed coordinator merge shard streams into a report
+// byte-identical to the single-process run.
+func (cfg *Config) TrialSpec(g *core.Golden, bench string, t int) core.TrialSpec {
+	strikes := cfg.StrikesPerTrial
+	if strikes <= 0 {
+		strikes = 1
+	}
+	rng := rand.New(rand.NewSource(trialSeed(benchSeed(cfg.Seed, bench), t)))
 	span := g.Window*9/10 + 1
 	arms := make([]int64, strikes)
 	for i := range arms {
 		arms[i] = rng.Int63n(span)
 	}
 	sort.Slice(arms, func(i, j int) bool { return arms[i] < arms[j] })
-	return eng.RunTrial(spec, g, core.TrialSpec{
+	return core.TrialSpec{
 		Arms:      arms,
 		Model:     cfg.Model,
 		Seed:      rng.Int63(),
 		MaxCycles: g.HangBudget(cfg.HangBudgetMult),
-	})
+		Timeout:   cfg.TrialTimeout,
+	}
 }
 
-// aggregate folds the trial grid into the report, in index order.
-func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult) *Report {
+// aggregate folds the ran subset of the trial grid into the report, in
+// index order.
+func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult, ran [][]bool) *Report {
 	rep := &Report{
 		Arch:            cfg.Arch.Name,
 		Scheme:          cfg.Opt.Scheme.String(),
@@ -182,7 +232,9 @@ func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult
 			WindowCycles: goldens[b].Window,
 		}
 		for t := range results[b] {
-			br.fold(&results[b][t])
+			if ran[b][t] {
+				br.fold(&results[b][t])
+			}
 		}
 		br.finish()
 		rep.Benchmarks = append(rep.Benchmarks, br)

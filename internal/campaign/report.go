@@ -23,6 +23,12 @@ type BenchReport struct {
 	SDC       int `json:"sdc"`
 	DUE       int `json:"due"`
 	Hang      int `json:"hang"`
+	// Internal counts trials the infrastructure itself failed on (a
+	// recovered panic in the simulator or a scheme controller). Like
+	// NoInjection they are excluded from the Injected denominator: they
+	// say nothing about fault coverage, but are counted and exemplified
+	// so broken trials cannot vanish silently.
+	Internal int `json:"internal"`
 
 	// ExcludedStrikes counts strikes that landed in the address/control
 	// slice (reachable only under the full-site model).
@@ -38,10 +44,11 @@ type BenchReport struct {
 	// aggregate, where windows are not comparable).
 	WindowCycles int64 `json:"window_cycles,omitempty"`
 
-	// ExampleSDC / ExampleHang describe the first strike of the first
+	// ExampleSDC / ExampleHang / ExampleInternal describe the first
 	// trial with that outcome — the debugging breadcrumb.
-	ExampleSDC  string `json:"example_sdc,omitempty"`
-	ExampleHang string `json:"example_hang,omitempty"`
+	ExampleSDC      string `json:"example_sdc,omitempty"`
+	ExampleHang     string `json:"example_hang,omitempty"`
+	ExampleInternal string `json:"example_internal,omitempty"`
 }
 
 // fold adds one trial.
@@ -66,6 +73,11 @@ func (b *BenchReport) fold(t *core.TrialResult) {
 		if b.ExampleHang == "" {
 			b.ExampleHang = t.Description
 		}
+	case core.OutcomeInternal:
+		b.Internal++
+		if b.ExampleInternal == "" {
+			b.ExampleInternal = t.Description
+		}
 	}
 	b.ExcludedStrikes += t.ExcludedStrikes
 }
@@ -79,6 +91,7 @@ func (b *BenchReport) merge(o *BenchReport) {
 	b.SDC += o.SDC
 	b.DUE += o.DUE
 	b.Hang += o.Hang
+	b.Internal += o.Internal
 	b.ExcludedStrikes += o.ExcludedStrikes
 	if b.ExampleSDC == "" {
 		b.ExampleSDC = o.ExampleSDC
@@ -86,11 +99,14 @@ func (b *BenchReport) merge(o *BenchReport) {
 	if b.ExampleHang == "" {
 		b.ExampleHang = o.ExampleHang
 	}
+	if b.ExampleInternal == "" {
+		b.ExampleInternal = o.ExampleInternal
+	}
 }
 
 // finish computes the derived rates.
 func (b *BenchReport) finish() {
-	b.Injected = b.Trials - b.NoInjection
+	b.Injected = b.Trials - b.NoInjection - b.Internal
 	if b.Injected > 0 {
 		b.Coverage = float64(b.Masked+b.Recovered) / float64(b.Injected)
 	}
@@ -116,11 +132,11 @@ type Report struct {
 func (r *Report) Table() *stats.Table {
 	t := &stats.Table{Header: []string{
 		"benchmark", "trials", "injected", "masked", "recovered",
-		"sdc", "due", "hang", "coverage", "95% CI",
+		"sdc", "due", "hang", "internal", "coverage", "95% CI",
 	}}
 	row := func(b *BenchReport) {
 		t.Add(b.Benchmark, b.Trials, b.Injected, b.Masked, b.Recovered,
-			b.SDC, b.DUE, b.Hang,
+			b.SDC, b.DUE, b.Hang, b.Internal,
 			fmt.Sprintf("%.2f%%", b.Coverage*100),
 			fmt.Sprintf("[%.2f%%, %.2f%%]", b.CoverageLo*100, b.CoverageHi*100))
 	}
@@ -148,6 +164,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "\n  first hang: %s", r.Fleet.ExampleHang)
 		}
 		b.WriteString("\n")
+	}
+	if r.Fleet.Internal > 0 {
+		fmt.Fprintf(&b, "internal trial failures: %d (excluded from coverage)\n  first: %s\n",
+			r.Fleet.Internal, r.Fleet.ExampleInternal)
 	}
 	return b.String()
 }

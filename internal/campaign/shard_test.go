@@ -1,0 +1,204 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flame/internal/core"
+)
+
+// TestPlanShards: the plan tiles every (benchmark, trial) pair exactly
+// once, in benchmark-major order, with dense deterministic IDs.
+func TestPlanShards(t *testing.T) {
+	shards := PlanShards([]string{"A", "B"}, 55, 25)
+	if len(shards) != 6 {
+		t.Fatalf("plan has %d shards, want 6", len(shards))
+	}
+	seen := map[string]map[int]bool{"A": {}, "B": {}}
+	for i, s := range shards {
+		if s.ID != i {
+			t.Fatalf("shard %d has ID %d", i, s.ID)
+		}
+		if s.Trials() <= 0 || s.Trials() > 25 {
+			t.Fatalf("%s has %d trials", s, s.Trials())
+		}
+		for tr := s.Lo; tr < s.Hi; tr++ {
+			if seen[s.Bench][tr] {
+				t.Fatalf("trial %s/%d tiled twice", s.Bench, tr)
+			}
+			seen[s.Bench][tr] = true
+		}
+	}
+	for b, m := range seen {
+		if len(m) != 55 {
+			t.Fatalf("bench %s has %d trials tiled, want 55", b, len(m))
+		}
+	}
+	if got := PlanShards([]string{"A"}, 10, 0); len(got) != 1 || got[0].Trials() != 10 {
+		t.Fatalf("default shard size: %v", got)
+	}
+}
+
+// TestShardedRunReplaysByteIdentical is the distribution contract in
+// miniature, with no HTTP in the way: running every shard of the plan
+// independently — each on its own engine, as a worker process would —
+// and assembling the coordinator-style merged stream (synthetic header,
+// golden lines, shard trial lines in arbitrary order) replays into a
+// report byte-identical to the single-process campaign.Run report.
+func TestShardedRunReplaysByteIdentical(t *testing.T) {
+	names := []string{"Triad", "Histogram"}
+	cfg := testConfig(t, names, 7, 2)
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Coordinator": goldens + header.
+	var merged bytes.Buffer
+	goldens := map[string]*core.Golden{}
+	specs := map[string]*core.KernelSpec{}
+	hdr, err := MarshalStartEvent(&cfg, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged.Write(hdr)
+	for _, spec := range cfg.Specs {
+		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[spec.Name] = g
+		specs[spec.Name] = spec
+		line, err := MarshalGoldenEvent(spec.Name, g.Window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Write(line)
+	}
+
+	// "Workers": run shards in reverse plan order on fresh engines.
+	shards := PlanShards(names, cfg.Trials, 3)
+	for i := len(shards) - 1; i >= 0; i-- {
+		s := shards[i]
+		eng := core.NewEngine(cfg.Arch)
+		for tr := s.Lo; tr < s.Hi; tr++ {
+			g := goldens[s.Bench]
+			res := eng.RunTrial(specs[s.Bench], g, cfg.TrialSpec(g, s.Bench, tr))
+			line, err := MarshalTrialEvent(s.Bench, tr, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged.Write(line)
+		}
+	}
+
+	replayed, ig, err := ReplayIntegrity(&merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ig.Clean() || ig.Missing != 0 || ig.Duplicates != 0 {
+		t.Fatalf("merged stream integrity: %s", ig)
+	}
+	got, err := replayed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded replay differs from single-process run:\n-single:\n%s\n-sharded:\n%s", want, got)
+	}
+}
+
+// TestRunStopPartial: closing Config.Stop winds the campaign down —
+// Run returns ErrStopped with a partial report whose event stream
+// replays to the same partial report, and missing trials are accounted.
+func TestRunStopPartial(t *testing.T) {
+	var stream bytes.Buffer
+	cfg := testConfig(t, []string{"Triad", "Histogram"}, 8, 2)
+	cfg.Events = &stream
+	stop := make(chan struct{})
+	close(stop) // stop immediately: only the buffered jobs run
+	cfg.Stop = stop
+
+	rep, err := Run(cfg)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if rep == nil {
+		t.Fatal("stopped run returned no report")
+	}
+	if rep.Fleet.Trials >= 16 {
+		t.Fatalf("stopped run still ran all %d trials", rep.Fleet.Trials)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, ig, err := ReplayIntegrity(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ig.Clean() {
+		t.Fatalf("stopped stream unhealthy: %s", ig)
+	}
+	if ig.Missing != 16-rep.Fleet.Trials {
+		t.Fatalf("missing = %d, want %d", ig.Missing, 16-rep.Fleet.Trials)
+	}
+	got, err := replayed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("partial replay differs:\n-live:\n%s\n-replayed:\n%s", want, got)
+	}
+}
+
+// TestRunSkipResume: a campaign skipping half its grid runs only the
+// rest, and the concatenation of both halves' event streams replays to
+// the full campaign's report — the single-process resume path.
+func TestRunSkipResume(t *testing.T) {
+	names := []string{"Triad", "Histogram"}
+	full := testConfig(t, names, 6, 2)
+	fullRep, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fullRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	first := testConfig(t, names, 6, 2)
+	first.Events = &stream
+	first.Skip = func(bench string, tr int) bool { return tr >= 3 }
+	if rep, err := Run(first); err != nil || rep.Fleet.Trials != 6 {
+		t.Fatalf("first half: trials=%d err=%v", rep.Fleet.Trials, err)
+	}
+	second := testConfig(t, names, 6, 2)
+	second.Events = &stream // append to the same stream
+	second.Skip = func(bench string, tr int) bool { return tr < 3 }
+	if rep, err := Run(second); err != nil || rep.Fleet.Trials != 6 {
+		t.Fatalf("second half: trials=%d err=%v", rep.Fleet.Trials, err)
+	}
+
+	replayed, ig, err := ReplayIntegrity(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ig.Clean() || ig.Missing != 0 {
+		t.Fatalf("resumed stream integrity: %s", ig)
+	}
+	got, err := replayed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed replay differs from uninterrupted run:\n-full:\n%s\n-resumed:\n%s", want, got)
+	}
+}

@@ -208,19 +208,91 @@ var outcomeByName = func() map[string]core.Outcome {
 	return m
 }()
 
+// Integrity summarizes the health of a replayed event stream: what was
+// skipped, deduplicated or found missing. A stream written by a single
+// healthy campaign run replays Clean with zero Missing; a stream
+// assembled from crash-recovered shard files — torn last lines,
+// re-leased shards repeating trials, quarantined shards absent — does
+// not, and Integrity is the explicit accounting of exactly how far from
+// complete the replayed report is.
+type Integrity struct {
+	// Lines is the total line count scanned (blank lines included).
+	Lines int `json:"lines"`
+	// Malformed counts lines that were not valid JSON (torn writes,
+	// interleaved garbage); they are skipped, not fatal.
+	Malformed      int    `json:"malformed"`
+	FirstMalformed string `json:"first_malformed,omitempty"`
+	// Dropped counts structurally valid trial events that could not be
+	// used: unknown outcome name, unknown benchmark, or a trial index
+	// outside [0, trials-per-benchmark).
+	Dropped      int    `json:"dropped"`
+	FirstDropped string `json:"first_dropped,omitempty"`
+	// Duplicates counts repeated (benchmark, trial) events beyond the
+	// first — the normal residue of a re-leased shard whose previous
+	// owner had already streamed part of its range. Trials are
+	// deterministic, so duplicates are byte-identical and folding the
+	// first is exact.
+	Duplicates int `json:"duplicates"`
+	// Missing counts (benchmark, trial) pairs announced by
+	// campaign_start but absent from the stream, per benchmark and in
+	// total — the explicit missing-shard accounting of a degraded merge.
+	Missing        int            `json:"missing_trials"`
+	MissingByBench map[string]int `json:"missing_by_benchmark,omitempty"`
+}
+
+// Clean reports whether every scanned line was usable (missing trials
+// are reported separately: a partial-but-healthy stream is Clean).
+func (ig *Integrity) Clean() bool { return ig.Malformed == 0 && ig.Dropped == 0 }
+
+// String renders a one-line summary.
+func (ig *Integrity) String() string {
+	return fmt.Sprintf("lines=%d malformed=%d dropped=%d duplicates=%d missing=%d",
+		ig.Lines, ig.Malformed, ig.Dropped, ig.Duplicates, ig.Missing)
+}
+
 // Replay rebuilds a campaign Report from a finished JSONL event stream.
 // Trial events are folded in (benchmark, trial) order — the same grid
 // order Run aggregates in — so the replayed report matches the original
-// byte-for-byte, regardless of how workers interleaved the stream.
+// byte-for-byte, regardless of how workers interleaved the stream. It
+// is the strict form: any malformed or unusable line fails the replay.
+// Crash-recovery paths use ReplayIntegrity, which skips and counts.
 func Replay(r io.Reader) (*Report, error) {
+	rep, ig, err := ReplayIntegrity(r)
+	if err != nil {
+		return nil, err
+	}
+	if !ig.Clean() {
+		detail := ig.FirstMalformed
+		if detail == "" {
+			detail = ig.FirstDropped
+		}
+		return nil, fmt.Errorf("campaign: replay: unhealthy stream (%s): %s", ig, detail)
+	}
+	return rep, nil
+}
+
+// ReplayIntegrity rebuilds a campaign Report from a JSONL event stream,
+// tolerating the damage crash recovery leaves behind: malformed lines
+// (torn final writes, interleaved garbage) are skipped and counted,
+// duplicate trials (re-leased shards) are deduplicated keeping the
+// first occurrence, and trials missing from the stream are tallied per
+// benchmark. The only fatal conditions are a reader error and a stream
+// with no campaign_start (nothing to rebuild a skeleton from).
+func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
+	ig := &Integrity{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	var start *startEvent
 	windows := map[string]int64{}
 	var trials []trialEvent
-	line := 0
+	malformed := func(line int, raw []byte, err error) {
+		ig.Malformed++
+		if ig.FirstMalformed == "" {
+			ig.FirstMalformed = fmt.Sprintf("line %d: %v (%.60q)", line, err, raw)
+		}
+	}
 	for sc.Scan() {
-		line++
+		ig.Lines++
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
@@ -229,41 +301,65 @@ func Replay(r io.Reader) (*Report, error) {
 			Event string `json:"event"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+			malformed(ig.Lines, raw, err)
+			continue
 		}
 		switch probe.Event {
 		case "campaign_start":
 			var e startEvent
 			if err := json.Unmarshal(raw, &e); err != nil {
-				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+				malformed(ig.Lines, raw, err)
+				continue
 			}
+			// Resumed streams append a fresh header; the last one wins
+			// (same campaign, so the skeletons agree).
 			start = &e
 		case "golden":
 			var e goldenEvent
 			if err := json.Unmarshal(raw, &e); err != nil {
-				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+				malformed(ig.Lines, raw, err)
+				continue
 			}
 			windows[e.Benchmark] = e.WindowCycles
 		case "trial":
 			var e trialEvent
 			if err := json.Unmarshal(raw, &e); err != nil {
-				return nil, fmt.Errorf("campaign: replay line %d: %w", line, err)
+				malformed(ig.Lines, raw, err)
+				continue
 			}
 			trials = append(trials, e)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: replay: %w", err)
+		return nil, nil, fmt.Errorf("campaign: replay: %w", err)
 	}
 	if start == nil {
-		return nil, fmt.Errorf("campaign: replay: no campaign_start event")
+		return nil, nil, fmt.Errorf("campaign: replay: no campaign_start event")
 	}
 
 	order := make(map[string]int, len(start.Benchmarks))
 	for i, b := range start.Benchmarks {
 		order[b] = i
 	}
-	sort.Slice(trials, func(i, j int) bool {
+	// Drop unusable trial events before sorting (unknown benchmarks have
+	// no defined position in the grid).
+	usable := trials[:0]
+	for i := range trials {
+		e := &trials[i]
+		_, knownBench := order[e.Benchmark]
+		_, knownOutcome := outcomeByName[e.Outcome]
+		switch {
+		case !knownBench, !knownOutcome, e.Trial < 0, e.Trial >= start.TrialsPerBench:
+			ig.Dropped++
+			if ig.FirstDropped == "" {
+				ig.FirstDropped = fmt.Sprintf("trial %s/%d outcome %q", e.Benchmark, e.Trial, e.Outcome)
+			}
+		default:
+			usable = append(usable, *e)
+		}
+	}
+	trials = usable
+	sort.SliceStable(trials, func(i, j int) bool {
 		if bi, bj := order[trials[i].Benchmark], order[trials[j].Benchmark]; bi != bj {
 			return bi < bj
 		}
@@ -278,15 +374,26 @@ func Replay(r io.Reader) (*Report, error) {
 	k := 0
 	for _, bench := range start.Benchmarks {
 		br := BenchReport{Benchmark: bench, WindowCycles: windows[bench]}
+		folded := 0
 		for ; k < len(trials) && trials[k].Benchmark == bench; k++ {
 			e := &trials[k]
-			o, ok := outcomeByName[e.Outcome]
-			if !ok {
-				return nil, fmt.Errorf("campaign: replay: unknown outcome %q", e.Outcome)
+			if folded > 0 && trials[k-1].Trial == e.Trial {
+				ig.Duplicates++
+				continue
 			}
 			br.fold(&core.TrialResult{
-				Outcome: o, ExcludedStrikes: e.ExcludedStrikes, Description: e.Description,
+				Outcome:         outcomeByName[e.Outcome],
+				ExcludedStrikes: e.ExcludedStrikes,
+				Description:     e.Description,
 			})
+			folded++
+		}
+		if miss := start.TrialsPerBench - folded; miss > 0 {
+			ig.Missing += miss
+			if ig.MissingByBench == nil {
+				ig.MissingByBench = map[string]int{}
+			}
+			ig.MissingByBench[bench] = miss
 		}
 		br.finish()
 		rep.Benchmarks = append(rep.Benchmarks, br)
@@ -294,5 +401,33 @@ func Replay(r io.Reader) (*Report, error) {
 	}
 	rep.Fleet.Benchmark = "fleet"
 	rep.Fleet.finish()
-	return rep, nil
+	return rep, ig, nil
+}
+
+// DoneSet scans an event stream leniently and returns the set of
+// (benchmark, trial) pairs that already have a classified trial event —
+// the resume oracle: a restarted campaign skips exactly these. Damaged
+// lines are ignored (a torn trial re-runs, which is safe: trials are
+// deterministic and replay deduplicates).
+func DoneSet(r io.Reader) (map[string]map[int]bool, error) {
+	done := map[string]map[int]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		var e trialEvent
+		if err := json.Unmarshal(bytes.TrimSpace(sc.Bytes()), &e); err != nil || e.Event != "trial" {
+			continue
+		}
+		if _, ok := outcomeByName[e.Outcome]; !ok || e.Trial < 0 {
+			continue
+		}
+		if done[e.Benchmark] == nil {
+			done[e.Benchmark] = map[int]bool{}
+		}
+		done[e.Benchmark][e.Trial] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: done-set scan: %w", err)
+	}
+	return done, nil
 }

@@ -44,7 +44,7 @@ func (e *Engine) device(spec *KernelSpec) (*gpu.Device, error) {
 // injector attached, accumulating stats into res. It mirrors
 // RunCompiledOpts' per-launch behaviour (including error text) exactly.
 func launchOne(dev *gpu.Device, spec *KernelSpec, c *Compiled, grid, block isa.Dim3,
-	params []uint32, inj *flame.Injector, maxCycles int64, res *Result) error {
+	params []uint32, inj *flame.Injector, ro *RunOpts, res *Result) error {
 	ctl := c.Controller()
 	var hooks *gpu.Hooks
 	switch {
@@ -60,9 +60,9 @@ func launchOne(dev *gpu.Device, spec *KernelSpec, c *Compiled, grid, block isa.D
 	}
 	launch := &gpu.Launch{
 		Prog: c.Prog, Grid: grid, Block: block, Params: params,
-		MaxCycles: maxCycles,
+		MaxCycles: ro.MaxCycles, Stop: ro.Stop,
 	}
-	st, err := dev.Run(launch, hooks)
+	st, err := dev.Run(launch, gpu.CombineHooks(hooks, ro.Hooks))
 	if err != nil {
 		return fmt.Errorf("%s/%s: %w", spec.Name, c.Opt.Scheme, err)
 	}
@@ -76,9 +76,20 @@ func launchOne(dev *gpu.Device, spec *KernelSpec, c *Compiled, grid, block isa.D
 // RunTrial executes one injection trial on the pooled device and
 // classifies the outcome exactly as core.RunTrial does, diffing the
 // device's final memory against the golden image in place (no copy).
-func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResult {
+// Panics escaping the simulator are recovered into OutcomeInternal, as
+// in core.RunTrial.
+func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialResult) {
 	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
-	tr := &TrialResult{}
+	tr = &TrialResult{}
+	defer func() {
+		if r := recover(); r != nil {
+			trialPanicResult(tr, inj, r)
+			// The pooled device was abandoned mid-run; discard it so the
+			// next trial starts from a freshly-constructed one.
+			delete(e.devs, spec)
+		}
+	}()
+	ro := &RunOpts{MaxCycles: ts.MaxCycles, Hooks: ts.Hooks, Stop: ts.stopFunc()}
 	dev, err := e.device(spec)
 	if err == nil {
 		copy(dev.Mem.Words(), g.InitMem)
@@ -86,11 +97,11 @@ func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResul
 		// The injector observes only the main kernel's launch, as in
 		// RunCompiledOpts.
 		err = launchOne(dev, spec, g.Comp, spec.Grid, spec.Block, spec.Params,
-			inj, ts.MaxCycles, res)
+			inj, ro, res)
 		for i := 0; err == nil && i < len(spec.Steps); i++ {
 			step := spec.Steps[i]
 			err = launchOne(dev, spec, g.StepComps[i], step.Grid, step.Block,
-				step.Params, nil, ts.MaxCycles, res)
+				step.Params, nil, ro, res)
 		}
 		tr.Recoveries = res.Flame.Recoveries
 		tr.Cycles = res.Stats.Cycles

@@ -76,6 +76,10 @@ type RunOpts struct {
 	// matters for cycle-exact observation: a telemetry OnCycle then sees
 	// RBQ pops the controller performed in the same cycle.
 	Hooks *gpu.Hooks
+	// Stop, when non-nil, is polled periodically by every launch of the
+	// run; returning true aborts with gpu.ErrWallClock (the wall-clock
+	// trial watchdog).
+	Stop func() bool
 }
 
 // Run compiles the spec's kernels for the scheme and simulates them on a
@@ -131,7 +135,7 @@ func RunCompiledOpts(cfg gpu.Config, spec *KernelSpec, comp *Compiled, inj *flam
 		}
 		launch := &gpu.Launch{
 			Prog: c.Prog, Grid: grid, Block: block, Params: params,
-			MaxCycles: ro.MaxCycles,
+			MaxCycles: ro.MaxCycles, Stop: ro.Stop,
 		}
 		st, err := dev.Run(launch, gpu.CombineHooks(hooks, ro.Hooks))
 		if err != nil {
@@ -202,6 +206,9 @@ type CampaignResult struct {
 	Hang int
 	// Benign: armed but no eligible instruction was corrupted.
 	Benign int
+	// Internal: the trial infrastructure panicked (recovered at the
+	// trial boundary); excluded from coverage denominators.
+	Internal int
 }
 
 // Add folds one classified trial into the counters.
@@ -225,13 +232,19 @@ func (c *CampaignResult) Add(t *TrialResult) {
 		c.Hang++
 	case OutcomeNoInjection:
 		c.Benign++
+	case OutcomeInternal:
+		c.Internal++
 	}
 }
 
 // String summarizes the campaign.
 func (c *CampaignResult) String() string {
-	return fmt.Sprintf("runs=%d injected=%d masked=%d recovered=%d sdc=%d due=%d hang=%d benign=%d",
+	s := fmt.Sprintf("runs=%d injected=%d masked=%d recovered=%d sdc=%d due=%d hang=%d benign=%d",
 		c.Runs, c.Injected, c.Masked, c.Recovered, c.SDC, c.DUE, c.Hang, c.Benign)
+	if c.Internal > 0 {
+		s += fmt.Sprintf(" internal=%d", c.Internal)
+	}
+	return s
 }
 
 // Campaign runs n single-strike fault-injection trials of the spec under

@@ -92,6 +92,33 @@ func SchemeByName(s string) (Scheme, error) {
 	return sc, nil
 }
 
+// FlagName returns the scheme's canonical CLI spelling — the inverse of
+// SchemeByName, used on wire protocols that must round-trip schemes
+// (String returns the paper's figure labels, which do not parse).
+func (s Scheme) FlagName() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case Renaming:
+		return "renaming"
+	case Checkpointing:
+		return "checkpointing"
+	case SensorRenaming:
+		return "flame"
+	case SensorCheckpointing:
+		return "sensor-checkpointing"
+	case DupRenaming:
+		return "dup-renaming"
+	case DupCheckpointing:
+		return "dup-checkpointing"
+	case HybridRenaming:
+		return "hybrid-renaming"
+	case HybridCheckpointing:
+		return "hybrid-checkpointing"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
 // SchemeFlagNames lists the accepted CLI spellings, sorted.
 func SchemeFlagNames() []string {
 	out := make([]string, 0, len(schemeFlags))

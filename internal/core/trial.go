@@ -10,6 +10,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"flame/internal/flame"
 	"flame/internal/gpu"
@@ -38,8 +40,14 @@ const (
 	// launch machinery) — a detected unrecoverable error.
 	OutcomeDUE
 	// OutcomeHang: the run exhausted its cycle budget (corrupted control
-	// flow livelocked the kernel).
+	// flow livelocked the kernel), or tripped the wall-clock watchdog.
 	OutcomeHang
+	// OutcomeInternal: the trial infrastructure itself failed — a panic
+	// inside the simulator or a scheme controller was recovered at the
+	// trial boundary. It says nothing about fault coverage (the report
+	// excludes it from the injected denominator) but is counted and
+	// exemplified so a buggy build cannot silently eat trials.
+	OutcomeInternal
 
 	NumOutcomes
 )
@@ -51,6 +59,7 @@ var outcomeNames = [NumOutcomes]string{
 	OutcomeSDC:         "sdc",
 	OutcomeDUE:         "due",
 	OutcomeHang:        "hang",
+	OutcomeInternal:    "internal",
 }
 
 // String returns the outcome's report name.
@@ -137,6 +146,17 @@ type TrialSpec struct {
 	// MaxCycles bounds each launch (the hang watchdog); zero keeps the
 	// device default. Use Golden.HangBudget.
 	MaxCycles int64
+	// Timeout, when positive, bounds the trial's wall-clock time: a
+	// launch still running after it aborts with gpu.ErrWallClock and the
+	// trial classifies as Hang. It is the last-resort guard distributed
+	// workers arm so a simulator livelock (or a pathological budget)
+	// cannot wedge a worker process; campaigns that need bit-identical
+	// reports should size it generously — a fired timeout depends on
+	// host speed, not on the trial's randomness.
+	Timeout time.Duration
+	// Hooks are extra observer hooks combined after the scheme's own on
+	// every launch of the trial (main kernel and Steps alike).
+	Hooks *gpu.Hooks
 }
 
 // TrialResult is one classified trial.
@@ -167,20 +187,26 @@ type TrialResult struct {
 // Baseline golden). It is the fresh-device reference path; campaigns use
 // Engine.RunTrial, which reuses devices across trials with bit-identical
 // results.
-func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) *TrialResult {
+//
+// A panic escaping the simulator or a scheme controller is recovered at
+// the trial boundary and classified as OutcomeInternal: one broken trial
+// must not kill a campaign worker (or, distributed, a worker process).
+func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialResult) {
 	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
+	tr = &TrialResult{}
+	defer recoverTrialPanic(tr, inj)
 	res, err := RunCompiledOpts(cfg, spec, g.Comp, inj, RunOpts{
 		MaxCycles:    ts.MaxCycles,
 		SkipValidate: true, // classification diffs against the golden memory
 		KeepMem:      true,
+		Hooks:        ts.Hooks,
+		Stop:         ts.stopFunc(),
 	})
-	tr := &TrialResult{
-		Strikes:         inj.FiredStrikes(),
-		ExcludedStrikes: inj.ExcludedStrikes(),
-		Detected:        inj.Detected,
-		Detections:      inj.Detections,
-		Description:     inj.Description,
-	}
+	tr.Strikes = inj.FiredStrikes()
+	tr.ExcludedStrikes = inj.ExcludedStrikes()
+	tr.Detected = inj.Detected
+	tr.Detections = inj.Detections
+	tr.Description = inj.Description
 	if res != nil {
 		tr.Recoveries = res.Flame.Recoveries
 		tr.Cycles = res.Stats.Cycles
@@ -189,14 +215,52 @@ func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) *TrialR
 	return tr
 }
 
+// stopFunc builds the launch Stop predicate for the trial's wall-clock
+// timeout (nil when none is set). The deadline is anchored when the
+// trial starts, not per launch, so multi-step workloads share one
+// budget.
+func (ts *TrialSpec) stopFunc() func() bool {
+	if ts.Timeout <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(ts.Timeout)
+	return func() bool { return time.Now().After(deadline) }
+}
+
+// recoverTrialPanic converts a panic escaping a trial into an
+// OutcomeInternal result (deferred form of trialPanicResult).
+func recoverTrialPanic(tr *TrialResult, inj *flame.Injector) {
+	if r := recover(); r != nil {
+		trialPanicResult(tr, inj, r)
+	}
+}
+
+// trialPanicResult fills a trial result for a recovered panic: the panic
+// value and a bounded stack land in Err for local debugging, a
+// single-line description in Description so reports can exemplify the
+// failure, and whatever the injector managed to record is preserved.
+func trialPanicResult(tr *TrialResult, inj *flame.Injector, r any) {
+	stack := debug.Stack()
+	if len(stack) > 4096 {
+		stack = stack[:4096]
+	}
+	tr.Outcome = OutcomeInternal
+	tr.Err = fmt.Sprintf("trial panic: %v\n%s", r, stack)
+	tr.Description = fmt.Sprintf("trial panic: %v", r)
+	if inj != nil {
+		tr.Strikes = inj.FiredStrikes()
+		tr.ExcludedStrikes = inj.ExcludedStrikes()
+	}
+}
+
 // classifyTrialErr maps a run error onto the taxonomy: a cycle-limit
-// exhaustion is a Hang, a validation rejection an SDC (unreachable from
-// trials, which diff memory instead, but kept so the taxonomy holds for
-// any caller), anything else a DUE.
+// exhaustion or a fired wall-clock watchdog is a Hang, a validation
+// rejection an SDC (unreachable from trials, which diff memory instead,
+// but kept so the taxonomy holds for any caller), anything else a DUE.
 func classifyTrialErr(tr *TrialResult, err error) {
 	tr.Err = err.Error()
 	switch {
-	case errors.Is(err, gpu.ErrCycleLimit):
+	case errors.Is(err, gpu.ErrCycleLimit), errors.Is(err, gpu.ErrWallClock):
 		tr.Outcome = OutcomeHang
 	case errors.Is(err, ErrValidation):
 		tr.Outcome = OutcomeSDC

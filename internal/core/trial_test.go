@@ -3,8 +3,10 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"flame/internal/flame"
+	"flame/internal/gpu"
 	"flame/internal/isa"
 )
 
@@ -191,6 +193,87 @@ func TestTrialDataSliceNeverHangs(t *testing.T) {
 		case OutcomeSDC, OutcomeDUE, OutcomeHang:
 			t.Fatalf("arm %d: data-slice trial under Flame ended %v (%s)", arm, tr.Outcome, tr.Description)
 		}
+	}
+}
+
+// TestTrialPanicRecovered is the worker-survival regression: a panic
+// escaping the simulator mid-trial (here provoked by a deliberately
+// panicking observer hook) is recovered at the trial boundary and
+// classified OutcomeInternal instead of killing the process — and on
+// the pooled-engine path the poisoned device is discarded, so the next
+// trial on the same engine still classifies correctly.
+func TestTrialPanicRecovered(t *testing.T) {
+	cfg, spec := testCfg(), saxpySpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &gpu.Hooks{OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+		if d.Cycle() > g.Window/2 {
+			panic("deliberate trial panic")
+		}
+	}}
+
+	tr := RunTrial(cfg, spec, g, TrialSpec{
+		Arms: []int64{g.Window * 4}, Seed: 1, MaxCycles: g.HangBudget(0), Hooks: boom,
+	})
+	if tr.Outcome != OutcomeInternal {
+		t.Fatalf("fresh-device panic trial: outcome=%v err=%q", tr.Outcome, tr.Err)
+	}
+	if !strings.Contains(tr.Description, "deliberate trial panic") {
+		t.Fatalf("panic description = %q", tr.Description)
+	}
+
+	eng := NewEngine(cfg)
+	tr = eng.RunTrial(spec, g, TrialSpec{
+		Arms: []int64{g.Window * 4}, Seed: 1, MaxCycles: g.HangBudget(0), Hooks: boom,
+	})
+	if tr.Outcome != OutcomeInternal {
+		t.Fatalf("pooled panic trial: outcome=%v err=%q", tr.Outcome, tr.Err)
+	}
+	if !strings.Contains(tr.Err, "trial panic") || !strings.Contains(tr.Err, "goroutine") {
+		t.Fatalf("panic Err should carry the panic and a stack, got %q", tr.Err)
+	}
+	// The engine must have evicted the abandoned device: a follow-up
+	// clean trial classifies as if run on a fresh engine.
+	tr = eng.RunTrial(spec, g, TrialSpec{
+		Arms: []int64{g.Window / 2}, Seed: 3, MaxCycles: g.HangBudget(0),
+	})
+	if tr.Outcome != OutcomeRecovered {
+		t.Fatalf("trial after recovered panic: outcome=%v err=%q", tr.Outcome, tr.Err)
+	}
+}
+
+// TestTrialWallClockTimeout: an already-expired wall-clock budget aborts
+// the trial with gpu.ErrWallClock and classifies it Hang — the
+// host-time complement to the cycle budget, so a simulator livelock
+// cannot wedge a worker process forever.
+func TestTrialWallClockTimeout(t *testing.T) {
+	cfg, spec := testCfg(), saxpySpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(path string, tr *TrialResult) {
+		t.Helper()
+		if tr.Outcome != OutcomeHang {
+			t.Fatalf("%s: timed-out trial outcome=%v err=%q", path, tr.Outcome, tr.Err)
+		}
+		if !strings.Contains(tr.Err, "wall-clock") {
+			t.Fatalf("%s: timeout error = %q", path, tr.Err)
+		}
+	}
+	ts := TrialSpec{
+		Arms: []int64{g.Window * 4}, Seed: 1,
+		MaxCycles: g.HangBudget(0), Timeout: time.Nanosecond,
+	}
+	check("fresh", RunTrial(cfg, spec, g, ts))
+	check("pooled", NewEngine(cfg).RunTrial(spec, g, ts))
+
+	// A generous budget never fires: the trial is untouched.
+	ts.Timeout = time.Hour
+	if tr := RunTrial(cfg, spec, g, ts); tr.Outcome != OutcomeNoInjection {
+		t.Fatalf("generous timeout changed the trial: %v (%q)", tr.Outcome, tr.Err)
 	}
 }
 

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flame/internal/campaign"
+	"flame/internal/stats"
+)
+
+// On-disk layout of a coordinator state dir:
+//
+//	checkpoint.json   — epoch, campaign info, per-shard state/fails
+//	shard-0007.jsonl  — trial event lines streamed for shard 7
+//
+// The shard streams are the ground truth (they are appended before the
+// coordinator acknowledges a batch); the checkpoint carries the
+// scheduling metadata that cannot be derived from them — epoch, failure
+// counts, quarantine decisions. A coordinator that crashes between a
+// stream append and a checkpoint write loses nothing: resume rescans
+// the streams and re-derives trial progress.
+
+// shardCkpt is one shard's persisted scheduling state. The trial range
+// itself is not persisted — PlanShards is deterministic, so a restarted
+// coordinator recomputes the identical plan and joins on shard ID.
+type shardCkpt struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Fails int    `json:"fails,omitempty"`
+}
+
+// checkpointData is checkpoint.json.
+type checkpointData struct {
+	Epoch  int          `json:"epoch"`
+	Info   CampaignInfo `json:"info"`
+	Shards []shardCkpt  `json:"shards"`
+}
+
+// matches rejects resuming a state dir that belongs to a different
+// campaign — mixing two campaigns' shard streams would merge garbage.
+func (ck *checkpointData) matches(info CampaignInfo) error {
+	a, err := json.Marshal(ck.Info)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("dist: state dir holds a different campaign (checkpoint %s...)", firstLine(a, 120))
+	}
+	return nil
+}
+
+func firstLine(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.json") }
+
+// shardFilePath names shard id's event stream file.
+func shardFilePath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.jsonl", id))
+}
+
+// loadCheckpoint reads checkpoint.json; a missing file is a fresh start
+// (nil, nil).
+func loadCheckpoint(dir string) (*checkpointData, error) {
+	data, err := os.ReadFile(checkpointPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ck checkpointData
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("dist: corrupt checkpoint %s: %w", checkpointPath(dir), err)
+	}
+	return &ck, nil
+}
+
+// saveCheckpoint is the unlocked-entry wrapper around
+// saveCheckpointLocked for use during construction.
+func (c *Coordinator) saveCheckpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveCheckpointLocked()
+}
+
+// saveCheckpointLocked writes checkpoint.json atomically (temp file +
+// rename), so a crash mid-write leaves the previous checkpoint intact.
+// Leased shards are persisted as pending: a restarted coordinator has
+// no live workers to honor the old leases, and their IDs carry the old
+// epoch so stale traffic is rejected anyway.
+func (c *Coordinator) saveCheckpointLocked() error {
+	ck := checkpointData{Epoch: c.epoch, Info: c.cc.Info}
+	for _, sc := range c.shards {
+		st := sc.state
+		if st == stateLeased {
+			st = statePending
+		}
+		ck.Shards = append(ck.Shards, shardCkpt{ID: sc.shard.ID, State: st, Fails: sc.fails})
+	}
+	data, err := json.MarshalIndent(&ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := checkpointPath(c.cc.StateDir) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, checkpointPath(c.cc.StateDir))
+}
+
+// appendShardFile appends validated event lines to a shard stream.
+func appendShardFile(path string, lines []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(lines); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// scanShardFile rebuilds a shard's progress from its stream: the set of
+// distinct in-range trials persisted, their outcome tally, and the
+// coverage proportion over injected trials. Lines that do not parse
+// (a torn final write from a crash) or fall outside the shard's range
+// are skipped — the merge-time ReplayIntegrity accounts for them.
+func scanShardFile(path string, shard campaign.Shard) (map[int]bool, map[string]int, stats.Prop, error) {
+	seen := map[int]bool{}
+	tally := map[string]int{}
+	var cov stats.Prop
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return seen, tally, cov, nil
+		}
+		return nil, nil, cov, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		var p trialProbe
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil ||
+			p.Event != "trial" || p.Benchmark != shard.Bench ||
+			p.Trial < shard.Lo || p.Trial >= shard.Hi || seen[p.Trial] {
+			continue
+		}
+		seen[p.Trial] = true
+		tally[p.Outcome]++
+		if p.Outcome != "no-injection" && p.Outcome != "internal" {
+			cov.Add(p.Outcome == "masked" || p.Outcome == "recovered")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, cov, fmt.Errorf("dist: scan %s: %w", path, err)
+	}
+	return seen, tally, cov, nil
+}

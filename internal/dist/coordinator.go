@@ -1,0 +1,756 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"flame/internal/campaign"
+	"flame/internal/core"
+	"flame/internal/stats"
+)
+
+// Shard lifecycle states. A shard starts pending, is leased to one
+// worker at a time, and ends done (every trial of its range persisted)
+// or quarantined (too many failed leases — a poison range excluded from
+// the campaign so it cannot wedge the fleet).
+const (
+	statePending     = "pending"
+	stateLeased      = "leased"
+	stateDone        = "done"
+	stateQuarantined = "quarantined"
+)
+
+// CoordConfig configures a Coordinator.
+type CoordConfig struct {
+	// Info describes the campaign; workers fetch it verbatim.
+	Info CampaignInfo
+	// StateDir holds checkpoint.json and the per-shard event streams.
+	// A coordinator restarted on a non-empty StateDir resumes from it.
+	StateDir string
+	// ShardSize is the max trials per shard (<= 0 selects 25).
+	ShardSize int
+	// LeaseTTL is how long a lease lives without a heartbeat before the
+	// shard is re-leased (default 15s).
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence workers are told to renew at
+	// (default LeaseTTL/3).
+	Heartbeat time.Duration
+	// QuarantineAfter quarantines a shard after this many failed leases
+	// (default 3).
+	QuarantineAfter int
+	// BackoffBase/BackoffCap shape the capped exponential re-lease
+	// backoff: fail n waits base<<(n-1), capped (defaults 250ms / 15s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// shardCtl is a shard plus its scheduling state.
+type shardCtl struct {
+	shard     campaign.Shard
+	state     string
+	fails     int
+	notBefore time.Time // pending shard not leasable before this
+	leaseID   string
+	worker    string
+	deadline  time.Time
+	progress  int          // worker-reported trials finished, status only
+	seen      map[int]bool // distinct trial indices persisted to disk
+}
+
+// Coordinator shards a campaign across workers, survives their deaths
+// (lease expiry + re-lease) and its own (checkpoint + shard streams on
+// disk), and merges the result.
+type Coordinator struct {
+	cc      CoordConfig
+	cfg     campaign.Config
+	goldens []*core.Golden
+	sigs    map[string]GoldenSig
+
+	mu       sync.Mutex
+	epoch    int // bumped every coordinator start; part of lease IDs
+	leaseSeq int
+	shards   []*shardCtl
+	leases   map[string]*shardCtl
+	workers  map[string]string // name -> "" (ok) or ban reason
+	doneSeen map[string]bool   // workers that received a Done lease reply
+	tally    map[string]int    // outcome name -> distinct trials
+	cov      stats.Prop        // coverage over injected trials so far
+	finished bool
+	final    *FinalReport
+	done     chan struct{}
+	started  time.Time
+}
+
+// NewCoordinator builds a coordinator: reconstructs the campaign,
+// runs the golden references (they anchor both the merged stream and
+// the worker hash vote), plans the shards, and — when StateDir already
+// holds a checkpoint — resumes shard states and rescans the shard
+// streams so finished work is never redone.
+func NewCoordinator(cc CoordConfig) (*Coordinator, error) {
+	if cc.LeaseTTL <= 0 {
+		cc.LeaseTTL = 15 * time.Second
+	}
+	if cc.Heartbeat <= 0 {
+		cc.Heartbeat = cc.LeaseTTL / 3
+	}
+	if cc.QuarantineAfter <= 0 {
+		cc.QuarantineAfter = 3
+	}
+	if cc.BackoffBase <= 0 {
+		cc.BackoffBase = 250 * time.Millisecond
+	}
+	if cc.BackoffCap <= 0 {
+		cc.BackoffCap = 15 * time.Second
+	}
+	if cc.Logf == nil {
+		cc.Logf = func(string, ...any) {}
+	}
+	if cc.StateDir == "" {
+		return nil, fmt.Errorf("dist: coordinator needs a state dir")
+	}
+	if err := os.MkdirAll(cc.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	cfg, err := cc.Info.Config()
+	if err != nil {
+		return nil, fmt.Errorf("dist: bad campaign info: %w", err)
+	}
+
+	c := &Coordinator{
+		cc: cc, cfg: cfg,
+		sigs:     map[string]GoldenSig{},
+		leases:   map[string]*shardCtl{},
+		workers:  map[string]string{},
+		doneSeen: map[string]bool{},
+		tally:   map[string]int{},
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	for _, spec := range cfg.Specs {
+		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
+		if err != nil {
+			return nil, fmt.Errorf("dist: golden run %s: %w", spec.Name, err)
+		}
+		c.goldens = append(c.goldens, g)
+		c.sigs[spec.Name] = Signature(g)
+	}
+	benches := make([]string, len(cfg.Specs))
+	for i, sp := range cfg.Specs {
+		benches[i] = sp.Name
+	}
+	for _, s := range campaign.PlanShards(benches, cfg.Trials, cc.ShardSize) {
+		c.shards = append(c.shards, &shardCtl{shard: s, state: statePending, seen: map[int]bool{}})
+	}
+
+	if err := c.resume(); err != nil {
+		return nil, err
+	}
+	c.epoch++
+	if err := c.saveCheckpoint(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.checkFinishedLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// resume loads the checkpoint (if any) and rescans every shard stream
+// on disk, reconciling the two: the streams are the ground truth for
+// which trials are persisted; the checkpoint carries epoch, failure
+// counts, and quarantine decisions.
+func (c *Coordinator) resume() error {
+	ck, err := loadCheckpoint(c.cc.StateDir)
+	if err != nil {
+		return err
+	}
+	if ck != nil {
+		if err := ck.matches(c.cc.Info); err != nil {
+			return err
+		}
+		c.epoch = ck.Epoch
+		byID := map[int]shardCkpt{}
+		for _, s := range ck.Shards {
+			byID[s.ID] = s
+		}
+		for _, sc := range c.shards {
+			if s, ok := byID[sc.shard.ID]; ok {
+				sc.fails = s.Fails
+				if s.State == stateQuarantined {
+					sc.state = stateQuarantined
+				}
+				// done and leased both re-verify against the stream below.
+			}
+		}
+	}
+	for _, sc := range c.shards {
+		seen, tally, cov, err := scanShardFile(shardFilePath(c.cc.StateDir, sc.shard.ID), sc.shard)
+		if err != nil {
+			return err
+		}
+		sc.seen = seen
+		for o, n := range tally {
+			c.tally[o] += n
+		}
+		c.cov.Observe(cov.K, cov.N)
+		if sc.state != stateQuarantined && len(seen) == sc.shard.Trials() {
+			sc.state = stateDone
+		}
+		if len(seen) > 0 || sc.state != statePending {
+			c.cc.Logf("resume: %s state=%s trials-on-disk=%d/%d fails=%d",
+				sc.shard, sc.state, len(sc.seen), sc.shard.Trials(), sc.fails)
+		}
+	}
+	return nil
+}
+
+// Run drives the lease sweeper until ctx is done. Serve the Handler
+// concurrently; Run only expires stale leases.
+func (c *Coordinator) Run(ctx context.Context) {
+	tick := c.cc.LeaseTTL / 4
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case <-t.C:
+			c.sweep(time.Now())
+		}
+	}
+}
+
+// sweep expires leases whose deadline passed: their workers are
+// presumed dead or wedged, so the shards go back to the pool with a
+// failure strike.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for id, sc := range c.leases {
+		if now.After(sc.deadline) {
+			c.cc.Logf("lease %s expired (%s, worker %q, %d/%d trials streamed)",
+				id, sc.shard, sc.worker, len(sc.seen), sc.shard.Trials())
+			delete(c.leases, id)
+			c.failShardLocked(sc, now)
+			changed = true
+		}
+	}
+	if changed {
+		c.checkpointAndCheckLocked()
+	}
+}
+
+// failShardLocked records a failed lease: backoff, then quarantine
+// after QuarantineAfter strikes.
+func (c *Coordinator) failShardLocked(sc *shardCtl, now time.Time) {
+	sc.leaseID, sc.worker, sc.progress = "", "", 0
+	sc.fails++
+	if sc.fails >= c.cc.QuarantineAfter {
+		sc.state = stateQuarantined
+		c.cc.Logf("%s quarantined after %d failed leases (poison shard)", sc.shard, sc.fails)
+		return
+	}
+	sc.state = statePending
+	sc.notBefore = now.Add(c.backoff(sc.fails))
+}
+
+// backoff returns the capped exponential re-lease delay for the n-th
+// failure.
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.cc.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= c.cc.BackoffCap {
+			return c.cc.BackoffCap
+		}
+	}
+	if d > c.cc.BackoffCap {
+		d = c.cc.BackoffCap
+	}
+	return d
+}
+
+// checkpointAndCheckLocked persists state and finalizes the campaign if
+// every shard reached a terminal state.
+func (c *Coordinator) checkpointAndCheckLocked() {
+	if err := c.saveCheckpointLocked(); err != nil {
+		c.cc.Logf("checkpoint: %v", err)
+	}
+	c.checkFinishedLocked()
+}
+
+// checkFinishedLocked finalizes once no shard can make further
+// progress: all done (complete) or the remainder quarantined (degraded).
+func (c *Coordinator) checkFinishedLocked() {
+	if c.finished {
+		return
+	}
+	for _, sc := range c.shards {
+		if sc.state != stateDone && sc.state != stateQuarantined {
+			return
+		}
+	}
+	fr, err := c.mergeLocked()
+	if err != nil {
+		c.cc.Logf("merge: %v", err)
+		return
+	}
+	c.finished = true
+	c.final = fr
+	close(c.done)
+	mode := "complete"
+	if !fr.Complete {
+		mode = fmt.Sprintf("degraded (%d quarantined shards, %d trials missing)",
+			len(fr.Quarantined), fr.Integrity.Missing)
+	}
+	f := fr.Report.Fleet
+	c.cc.Logf("campaign finished %s: %d trials, coverage %.2f%% [%.2f%%, %.2f%%]",
+		mode, f.Trials, f.Coverage*100, f.CoverageLo*100, f.CoverageHi*100)
+}
+
+// mergeLocked assembles the merged stream — synthetic header, golden
+// lines, every shard stream in plan order (quarantined shards
+// contribute whatever partial range they streamed) — and replays it.
+func (c *Coordinator) mergeLocked() (*FinalReport, error) {
+	var buf []byte
+	hdr, err := campaign.MarshalStartEvent(&c.cfg, len(c.workers), c.goldens[0].Comp.Opt.WCDL)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, hdr...)
+	for i, spec := range c.cfg.Specs {
+		line, err := campaign.MarshalGoldenEvent(spec.Name, c.goldens[i].Window)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, line...)
+	}
+	var quarantined []campaign.Shard
+	allDone := true
+	for _, sc := range c.shards {
+		if sc.state == stateQuarantined {
+			quarantined = append(quarantined, sc.shard)
+			allDone = false
+		}
+		data, err := os.ReadFile(shardFilePath(c.cc.StateDir, sc.shard.ID))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		buf = append(buf, data...)
+	}
+	rep, ig, err := campaign.ReplayIntegrity(bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	return &FinalReport{
+		Report: rep, Integrity: ig,
+		Complete:    allDone && ig.Clean() && ig.Missing == 0,
+		Quarantined: quarantined,
+	}, nil
+}
+
+// Done is closed when the campaign reaches a terminal state.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// allWorkersSawDone reports whether every non-banned worker's lease
+// poll has been answered Done — the signal that the HTTP surface can
+// shut down without stranding workers in connection-refused retries.
+func (c *Coordinator) allWorkersSawDone() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, reason := range c.workers {
+		if reason == "" && !c.doneSeen[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Final returns the merged report once Done is closed (nil before).
+func (c *Coordinator) Final() *FinalReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.final
+}
+
+// PartialReport merges whatever is on disk right now — the degraded
+// view an operator pulls when the fleet cannot finish.
+func (c *Coordinator) PartialReport() (*FinalReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.final != nil {
+		return c.final, nil
+	}
+	return c.mergeLocked()
+}
+
+// --- HTTP surface ----------------------------------------------------
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/campaign", c.handleCampaign)
+	mux.HandleFunc("POST /v1/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/events", c.handleEvents)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/release", c.handleRelease)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	mux.HandleFunc("GET /v1/report", c.handleReport)
+	return mux
+}
+
+func (c *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.cc.Info)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reason, banned := c.workers[req.Worker]; banned && reason != "" {
+		writeJSON(w, http.StatusForbidden, JoinResponse{Reason: "worker is banned: " + reason})
+		return
+	}
+	// teaMPI-style replica vote: the worker's fault-free golden hashes
+	// must agree with the coordinator's own replica for every benchmark;
+	// a dissenting worker is corrupted (bad memory, bad build, wrong
+	// arch) and must not compute trials.
+	for bench, want := range c.sigs {
+		got, ok := req.Goldens[bench]
+		if !ok {
+			c.banLocked(req.Worker, fmt.Sprintf("no golden signature for %s", bench))
+			writeJSON(w, http.StatusForbidden, JoinResponse{Reason: c.workers[req.Worker]})
+			return
+		}
+		if got != want {
+			c.banLocked(req.Worker, fmt.Sprintf(
+				"golden vote failed for %s: worker %s/%d vs majority %s/%d",
+				bench, got.Hash, got.Window, want.Hash, want.Window))
+			writeJSON(w, http.StatusForbidden, JoinResponse{Reason: c.workers[req.Worker]})
+			return
+		}
+	}
+	if _, ok := c.workers[req.Worker]; !ok {
+		c.cc.Logf("worker %q joined (golden vote passed, %d benchmarks)", req.Worker, len(c.sigs))
+	}
+	c.workers[req.Worker] = ""
+	writeJSON(w, http.StatusOK, JoinResponse{OK: true})
+}
+
+func (c *Coordinator) banLocked(worker, reason string) {
+	c.workers[worker] = reason
+	c.cc.Logf("worker %q rejected: %s", worker, reason)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reason, ok := c.workers[req.Worker]; !ok || reason != "" {
+		writeJSON(w, http.StatusForbidden, map[string]string{"error": "worker not joined or banned"})
+		return
+	}
+	if c.finished {
+		c.doneSeen[req.Worker] = true
+		writeJSON(w, http.StatusOK, LeaseResponse{Done: true})
+		return
+	}
+	now := time.Now()
+	var pick *shardCtl
+	wait := c.cc.LeaseTTL
+	for _, sc := range c.shards {
+		switch sc.state {
+		case statePending:
+			if !now.Before(sc.notBefore) {
+				pick = sc
+			} else if d := sc.notBefore.Sub(now); d < wait {
+				wait = d
+			}
+		case stateLeased:
+			if d := sc.deadline.Sub(now); d > 0 && d < wait {
+				wait = d
+			}
+		}
+		if pick != nil {
+			break
+		}
+	}
+	if pick == nil {
+		if wait < 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		if wait > time.Second {
+			wait = time.Second
+		}
+		writeJSON(w, http.StatusOK, LeaseResponse{RetryMS: wait.Milliseconds()})
+		return
+	}
+	c.leaseSeq++
+	id := fmt.Sprintf("e%d-l%d-s%d", c.epoch, c.leaseSeq, pick.shard.ID)
+	pick.state = stateLeased
+	pick.leaseID, pick.worker = id, req.Worker
+	pick.deadline = now.Add(c.cc.LeaseTTL)
+	c.leases[id] = pick
+	c.cc.Logf("leased %s to %q as %s (attempt %d)", pick.shard, req.Worker, id, pick.fails+1)
+	sh := pick.shard
+	writeJSON(w, http.StatusOK, LeaseResponse{
+		Shard: &sh, LeaseID: id,
+		DeadlineMS:  c.cc.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.cc.Heartbeat.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.leases[req.LeaseID]
+	if !ok {
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Cancel: true})
+		return
+	}
+	sc.deadline = time.Now().Add(c.cc.LeaseTTL)
+	sc.progress = req.Done
+	writeJSON(w, http.StatusOK, HeartbeatResponse{OK: true})
+}
+
+// trialProbe is the subset of a trial event the coordinator validates
+// before persisting a worker's line.
+type trialProbe struct {
+	Event     string `json:"event"`
+	Benchmark string `json:"benchmark"`
+	Trial     int    `json:"trial"`
+	Outcome   string `json:"outcome"`
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req EventsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.leases[req.LeaseID]
+	if !ok {
+		writeJSON(w, http.StatusOK, EventsResponse{OK: false})
+		return
+	}
+	sc.deadline = time.Now().Add(c.cc.LeaseTTL) // a batch is a heartbeat
+	var accept []byte
+	for _, raw := range req.Lines {
+		var p trialProbe
+		if err := json.Unmarshal(raw, &p); err != nil ||
+			p.Event != "trial" || p.Benchmark != sc.shard.Bench ||
+			p.Trial < sc.shard.Lo || p.Trial >= sc.shard.Hi {
+			c.cc.Logf("lease %s: dropped invalid event line (%.80s)", req.LeaseID, raw)
+			continue
+		}
+		if sc.seen[p.Trial] {
+			continue // re-leased shard re-streaming a prefix; keep the first copy
+		}
+		sc.seen[p.Trial] = true
+		c.tally[p.Outcome]++
+		if p.Outcome != "no-injection" && p.Outcome != "internal" {
+			c.cov.Add(p.Outcome == "masked" || p.Outcome == "recovered")
+		}
+		accept = append(accept, raw...)
+		if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+			accept = append(accept, '\n')
+		}
+	}
+	if len(accept) > 0 {
+		if err := appendShardFile(shardFilePath(c.cc.StateDir, sc.shard.ID), accept); err != nil {
+			c.cc.Logf("append %s: %v", sc.shard, err)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{OK: true})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.leases[req.LeaseID]
+	if !ok {
+		writeJSON(w, http.StatusOK, CompleteResponse{Reason: "unknown or expired lease"})
+		return
+	}
+	delete(c.leases, req.LeaseID)
+	if got, want := len(sc.seen), sc.shard.Trials(); got != want {
+		// The worker claims done but the stream is short — count it as a
+		// failed lease so the shard is retried (or quarantined).
+		reason := fmt.Sprintf("%s: %d/%d trials persisted", sc.shard, got, want)
+		c.failShardLocked(sc, time.Now())
+		c.checkpointAndCheckLocked()
+		writeJSON(w, http.StatusOK, CompleteResponse{Reason: reason})
+		return
+	}
+	sc.state = stateDone
+	sc.leaseID, sc.worker = "", ""
+	c.cc.Logf("%s done (%d trials)", sc.shard, sc.shard.Trials())
+	c.checkpointAndCheckLocked()
+	writeJSON(w, http.StatusOK, CompleteResponse{OK: true})
+}
+
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sc, ok := c.leases[req.LeaseID]; ok {
+		delete(c.leases, req.LeaseID)
+		// Graceful handoff: no failure strike, immediately re-leasable.
+		sc.state = statePending
+		sc.leaseID, sc.worker, sc.progress = "", "", 0
+		sc.notBefore = time.Time{}
+		c.cc.Logf("lease %s released gracefully (%s, %d/%d trials streamed)",
+			req.LeaseID, sc.shard, len(sc.seen), sc.shard.Trials())
+		c.checkpointAndCheckLocked()
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{OK: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	benches := make([]string, len(c.cfg.Specs))
+	for i, sp := range c.cfg.Specs {
+		benches[i] = sp.Name
+	}
+	st := StatusResponse{
+		Benchmarks:  benches,
+		TotalTrials: len(benches) * c.cfg.Trials,
+		Tallies:     map[string]int{},
+		Complete:    c.finished && c.final != nil && c.final.Complete,
+		ElapsedSec:  time.Since(c.started).Seconds(),
+	}
+	for o, n := range c.tally {
+		st.Tallies[o] = n
+	}
+	st.Coverage = c.cov.Rate()
+	st.CoverageLo, st.CoverageHi = c.cov.CI95()
+	for _, sc := range c.shards {
+		st.DoneTrials += len(sc.seen)
+		switch sc.state {
+		case statePending:
+			st.Pending++
+		case stateLeased:
+			st.Leased++
+		case stateDone:
+			st.DoneShards++
+		case stateQuarantined:
+			st.Quarantined++
+		}
+		st.Shards = append(st.Shards, ShardStatus{
+			Shard: sc.shard, State: sc.state, Fails: sc.fails,
+			Worker: sc.worker, Done: len(sc.seen),
+		})
+	}
+	st.Degraded = st.Quarantined > 0
+	for name, reason := range c.workers {
+		if reason == "" {
+			st.Workers = append(st.Workers, name)
+		} else {
+			st.BannedWorkers = append(st.BannedWorkers, name)
+		}
+	}
+	sort.Strings(st.Workers)
+	sort.Strings(st.BannedWorkers)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("partial") != "" {
+		fr, err := c.PartialReport()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, fr)
+		return
+	}
+	c.mu.Lock()
+	fr := c.final
+	c.mu.Unlock()
+	if fr == nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "campaign not finished; use ?partial=1 for a best-effort merge"})
+		return
+	}
+	writeJSON(w, http.StatusOK, fr)
+}
+
+// --- small helpers ---------------------------------------------------
+
+// Signature hashes a golden run for the replica vote: FNV-1a over the
+// window, the initial memory image, and the final memory image.
+func Signature(g *core.Golden) GoldenSig {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(g.Window))
+	for _, w := range g.InitMem {
+		put(uint64(w))
+	}
+	for _, w := range g.Mem {
+		put(uint64(w))
+	}
+	return GoldenSig{Window: g.Window, Hash: fmt.Sprintf("%016x", h.Sum64())}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+// Package dist is the fault-tolerant distributed campaign service: an
+// HTTP coordinator that shards a campaign's trial index range across
+// worker processes, hands shards out as leases with deadlines and
+// heartbeats, re-leases a shard when its worker dies or stalls (with
+// capped exponential backoff, and a poison-shard quarantine after
+// repeated failures so one pathological trial range cannot wedge the
+// campaign), persists per-shard JSONL event streams plus coordinator
+// checkpoints so a killed coordinator resumes from disk, and merges the
+// shard streams with campaign.Replay into a report byte-identical to
+// the single-process run — or an explicitly-accounted partial report
+// when shards are unreachable.
+//
+// Everything rides on the campaign package's determinism: trial t of
+// benchmark b is the same trial on any worker (campaign.Config.TrialSpec),
+// and workers stream exactly the JSONL trial lines the in-process
+// streamer would have written (campaign.MarshalTrialEvent), so merging
+// is replay, not re-aggregation.
+//
+// Worker trust follows the teaMPI/SWE team-replication pattern: every
+// worker runs the same fault-free golden runs the coordinator ran and
+// votes with a hash of (window, initial memory, final memory) per
+// benchmark; a worker whose hashes disagree with the majority is
+// rejected as corrupted before it can lease a shard.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flame/internal/bench"
+	"flame/internal/campaign"
+	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+// CampaignInfo is the wire description of a campaign: everything a
+// worker needs to reconstruct the exact campaign.Config the coordinator
+// runs, so both sides derive identical trials. The full gpu.Config is
+// carried (not just an architecture name) because trial results depend
+// on every microarchitectural knob.
+type CampaignInfo struct {
+	Arch               gpu.Config `json:"arch"`
+	Scheme             string     `json:"scheme"` // CLI spelling (core.SchemeByName)
+	WCDL               int        `json:"wcdl"`
+	ExtendRegions      bool       `json:"extend_regions"`
+	EagerSectionVerify bool       `json:"eager_section_verify,omitempty"`
+	CkptAtRegionEnd    bool       `json:"ckpt_at_region_end,omitempty"`
+	Benchmarks         []string   `json:"benchmarks"`
+	Trials             int        `json:"trials_per_benchmark"`
+	Seed               uint64     `json:"seed"`
+	Model              string     `json:"model"`
+	StrikesPerTrial    int        `json:"strikes_per_trial"`
+	HangBudgetMult     int64      `json:"hang_budget_mult"`
+	TrialTimeoutMS     int64      `json:"trial_timeout_ms,omitempty"`
+}
+
+// InfoFromConfig captures a campaign.Config's wire description.
+func InfoFromConfig(cfg *campaign.Config) CampaignInfo {
+	benches := make([]string, len(cfg.Specs))
+	for i, sp := range cfg.Specs {
+		benches[i] = sp.Name
+	}
+	return CampaignInfo{
+		Arch:               cfg.Arch,
+		Scheme:             cfg.Opt.Scheme.FlagName(),
+		WCDL:               cfg.Opt.WCDL,
+		ExtendRegions:      cfg.Opt.ExtendRegions,
+		EagerSectionVerify: cfg.Opt.EagerSectionVerify,
+		CkptAtRegionEnd:    cfg.Opt.CkptAtRegionEnd,
+		Benchmarks:         benches,
+		Trials:             cfg.Trials,
+		Seed:               cfg.Seed,
+		Model:              cfg.Model.String(),
+		StrikesPerTrial:    cfg.StrikesPerTrial,
+		HangBudgetMult:     cfg.HangBudgetMult,
+		TrialTimeoutMS:     cfg.TrialTimeout.Milliseconds(),
+	}
+}
+
+// Config reconstructs the campaign.Config (with compiled-in benchmark
+// specs) this info describes.
+func (ci *CampaignInfo) Config() (campaign.Config, error) {
+	var cfg campaign.Config
+	scheme, err := core.SchemeByName(ci.Scheme)
+	if err != nil {
+		return cfg, err
+	}
+	model, err := flame.ParseFaultModel(ci.Model)
+	if err != nil {
+		return cfg, err
+	}
+	specs := make([]*core.KernelSpec, len(ci.Benchmarks))
+	for i, name := range ci.Benchmarks {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return cfg, err
+		}
+		specs[i] = b.Spec()
+	}
+	if len(specs) == 0 {
+		return cfg, fmt.Errorf("dist: campaign with no benchmarks")
+	}
+	return campaign.Config{
+		Arch: ci.Arch,
+		Opt: core.Options{
+			Scheme: scheme, WCDL: ci.WCDL, ExtendRegions: ci.ExtendRegions,
+			EagerSectionVerify: ci.EagerSectionVerify, CkptAtRegionEnd: ci.CkptAtRegionEnd,
+		},
+		Specs:           specs,
+		Trials:          ci.Trials,
+		Seed:            ci.Seed,
+		Model:           model,
+		StrikesPerTrial: ci.StrikesPerTrial,
+		HangBudgetMult:  ci.HangBudgetMult,
+		TrialTimeout:    time.Duration(ci.TrialTimeoutMS) * time.Millisecond,
+	}, nil
+}
+
+// GoldenSig is one benchmark's golden-run signature: the fault-free
+// window and a hash over (window, initial memory, final memory). Two
+// healthy replicas of the same campaign produce identical signatures;
+// a corrupted worker does not.
+type GoldenSig struct {
+	Window int64  `json:"window"`
+	Hash   string `json:"hash"`
+}
+
+// JoinRequest registers a worker and casts its golden-run votes.
+type JoinRequest struct {
+	Worker  string               `json:"worker"`
+	Goldens map[string]GoldenSig `json:"goldens"`
+}
+
+// JoinResponse accepts or rejects the worker.
+type JoinResponse struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// LeaseRequest asks for a shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a shard lease, asks the worker to retry later,
+// or reports the campaign finished.
+type LeaseResponse struct {
+	// Done: no shard will ever be available again; the worker may exit.
+	Done bool `json:"done,omitempty"`
+	// RetryMS: nothing leasable right now (all shards out or backing
+	// off); ask again after this many milliseconds.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Shard + lease terms, when granted.
+	Shard       *campaign.Shard `json:"shard,omitempty"`
+	LeaseID     string          `json:"lease_id,omitempty"`
+	DeadlineMS  int64           `json:"deadline_ms,omitempty"`  // lease TTL
+	HeartbeatMS int64           `json:"heartbeat_ms,omitempty"` // expected cadence
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+	// Done is the worker's progress (trials finished), for status only.
+	Done int `json:"done"`
+}
+
+// HeartbeatResponse renews or cancels.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+	// Cancel tells the worker its lease is gone (expired and re-leased);
+	// it must abandon the shard.
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// EventsRequest streams a batch of trial JSONL lines for a leased
+// shard. Lines are opaque to the transport; the coordinator validates
+// and appends them to the shard's stream file.
+type EventsRequest struct {
+	LeaseID string            `json:"lease_id"`
+	Lines   []json.RawMessage `json:"lines"`
+}
+
+// EventsResponse acknowledges the append.
+type EventsResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest declares a leased shard fully streamed.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteResponse accepts (the coordinator verified every trial of the
+// range is on disk) or rejects the completion.
+type CompleteResponse struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ReleaseRequest hands a lease back without penalty (graceful worker
+// shutdown): the shard returns to the pending pool immediately.
+type ReleaseRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// ShardStatus describes one shard in the status report.
+type ShardStatus struct {
+	Shard  campaign.Shard `json:"shard"`
+	State  string         `json:"state"`
+	Fails  int            `json:"fails,omitempty"`
+	Worker string         `json:"worker,omitempty"`
+	Done   int            `json:"done"` // distinct trials on disk
+}
+
+// StatusResponse is the live progress view served at /v1/status,
+// including the incremental Wilson interval over streamed trials.
+type StatusResponse struct {
+	Benchmarks  []string       `json:"benchmarks"`
+	TotalTrials int            `json:"total_trials"`
+	DoneTrials  int            `json:"done_trials"`
+	Tallies     map[string]int `json:"tallies,omitempty"`
+	// Coverage of injected trials streamed so far, with its Wilson 95%
+	// interval — the live counterpart of the final report's CI.
+	Coverage   float64 `json:"coverage"`
+	CoverageLo float64 `json:"coverage_lo"`
+	CoverageHi float64 `json:"coverage_hi"`
+
+	Pending     int `json:"shards_pending"`
+	Leased      int `json:"shards_leased"`
+	DoneShards  int `json:"shards_done"`
+	Quarantined int `json:"shards_quarantined"`
+
+	Workers        []string `json:"workers,omitempty"`
+	BannedWorkers  []string `json:"banned_workers,omitempty"`
+	Complete       bool     `json:"complete"`
+	Degraded       bool     `json:"degraded"`
+	ElapsedSec     float64  `json:"elapsed_sec"`
+	Shards         []ShardStatus `json:"shards,omitempty"`
+}
+
+// FinalReport is the coordinator's end product: the merged report, the
+// merge's integrity accounting, and the explicit list of quarantined
+// shards when the campaign degraded instead of completing.
+type FinalReport struct {
+	Report    *campaign.Report    `json:"report"`
+	Integrity *campaign.Integrity `json:"integrity"`
+	// Complete: every shard finished and the merge was clean with zero
+	// missing trials — the report is byte-identical to a single-process
+	// run of the same campaign config.
+	Complete bool `json:"complete"`
+	// Quarantined lists the poison shards excluded from the report.
+	Quarantined []campaign.Shard `json:"quarantined,omitempty"`
+}

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeConfig configures Serve.
+type ServeConfig struct {
+	// Addr is the listen address (e.g. ":8077" or "127.0.0.1:0").
+	Addr string
+	// Coord configures the coordinator itself.
+	Coord CoordConfig
+}
+
+// Serve runs a coordinator behind an HTTP listener until the campaign
+// reaches a terminal state or ctx is canceled.
+//
+// On completion it returns the final merged report (Complete true, or
+// false when shards were quarantined). On cancellation it checkpoints
+// (the checkpoint is already current — every state change persists
+// synchronously) and returns the best-effort partial merge together
+// with ctx's error, so the caller can report partial results and exit
+// resumable: restarting Serve on the same state dir continues where it
+// stopped.
+func Serve(ctx context.Context, sc ServeConfig) (*FinalReport, error) {
+	c, err := NewCoordinator(sc.Coord)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", sc.Addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	defer srv.Close()
+	go srv.Serve(ln)
+	go c.Run(ctx)
+	c.cc.Logf("coordinator listening on %s (state dir %s, %d shards)",
+		ln.Addr(), sc.Coord.StateDir, len(c.shards))
+
+	select {
+	case <-c.Done():
+		// Linger until every live worker's lease poll has been answered
+		// Done (capped), so workers exit cleanly instead of retrying
+		// against a closed port.
+		linger := sc.Coord.LeaseTTL
+		if linger <= 0 || linger > 10*time.Second {
+			linger = 10 * time.Second
+		}
+		deadline := time.Now().Add(linger)
+		for !c.allWorkersSawDone() && time.Now().Before(deadline) && ctx.Err() == nil {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return c.Final(), nil
+	case <-ctx.Done():
+		fr, merr := c.PartialReport()
+		if merr != nil {
+			return nil, merr
+		}
+		return fr, ctx.Err()
+	}
+}

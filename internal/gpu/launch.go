@@ -19,6 +19,13 @@ type Launch struct {
 	// corrupted-control livelock is cut off in milliseconds instead of
 	// running to the 200M-cycle device default.
 	MaxCycles int64
+	// Stop, when non-nil, is polled periodically during the run (about
+	// once per 1024 outer-loop iterations, so at most every few thousand
+	// simulated cycles). When it returns true the run aborts with an
+	// error wrapping ErrWallClock. It is the wall-clock complement to
+	// MaxCycles: the cycle budget bounds simulated time, Stop bounds
+	// host time. The predicate must be cheap and side-effect free.
+	Stop func() bool
 }
 
 // Threads returns the total number of threads in the launch.

@@ -13,6 +13,12 @@ import (
 // simulator failures.
 var ErrCycleLimit = errors.New("cycle limit exceeded")
 
+// ErrWallClock is wrapped by Run's error when the launch's Stop
+// predicate fired — the wall-clock watchdog distributed campaign
+// workers arm so a pathological simulation cannot hold a worker
+// process forever even when the cycle budget is generous.
+var ErrWallClock = errors.New("wall-clock deadline exceeded")
+
 // Device is a simulated GPU.
 type Device struct {
 	Cfg   Config
@@ -131,7 +137,20 @@ func (d *Device) Run(l *Launch, hooks *Hooks) (*Stats, error) {
 	}
 	total := l.Grid.Count()
 	skip := !d.Cfg.NoCycleSkip
+	stopPoll := 0
 	for d.blocksDone < total {
+		// Poll the wall-clock watchdog sparsely: a time.Now syscall per
+		// iteration would dominate short kernels, and with cycle skipping
+		// one iteration can cover thousands of cycles anyway.
+		if l.Stop != nil {
+			if stopPoll == 0 && l.Stop() {
+				return nil, fmt.Errorf("gpu: %q: %w at cycle %d; %d/%d blocks done",
+					l.Prog.Name, ErrWallClock, d.Cyc, d.blocksDone, total)
+			}
+			if stopPoll++; stopPoll >= 1024 {
+				stopPoll = 0
+			}
+		}
 		if d.Cyc >= budget {
 			return nil, fmt.Errorf("gpu: %q: %w after %d cycles; %d/%d blocks done",
 				l.Prog.Name, ErrCycleLimit, budget, d.blocksDone, total)

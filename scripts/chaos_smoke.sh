@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the distributed campaign service.
+#
+# Proves the fault-tolerance contract end to end with real processes:
+#   1. Run the reference campaign single-process (flameinject) -> report A.
+#   2. Run the same campaign distributed: flameserve + 4 flameworkers.
+#      Mid-campaign, kill -9 one worker (its lease must expire and its
+#      shard be re-leased), then kill -9 the coordinator itself and
+#      restart it on the same state dir (it must resume from checkpoint
+#      + shard streams while the surviving workers reconnect).
+#   3. Assert the merged distributed report is byte-identical to A.
+#
+# Artifacts (state dir, logs, reports) land in $OUT (default: a temp dir).
+set -u -o pipefail
+
+BENCHES="${BENCHES:-Triad,Histogram,BFS}"
+TRIALS="${TRIALS:-12}"
+SEED="${SEED:-7}"
+ADDR="${ADDR:-127.0.0.1:18077}"
+URL="http://$ADDR"
+OUT="${OUT:-$(mktemp -d)}"
+STATE="$OUT/state"
+mkdir -p "$OUT"
+
+log() { echo "chaos_smoke: $*" >&2; }
+die() { log "FAIL: $*"; exit 1; }
+
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null
+    wait 2>/dev/null
+}
+trap cleanup EXIT
+
+log "building binaries"
+go build -o "$OUT/flameinject" ./cmd/flameinject || die "build flameinject"
+go build -o "$OUT/flameserve" ./cmd/flameserve || die "build flameserve"
+go build -o "$OUT/flameworker" ./cmd/flameworker || die "build flameworker"
+
+log "reference single-process campaign"
+"$OUT/flameinject" -bench "$BENCHES" -trials "$TRIALS" -seed "$SEED" \
+    -json "$OUT/single.json" >"$OUT/single.txt" 2>"$OUT/single.log"
+rc=$?
+[ $rc -eq 0 ] || [ $rc -eq 2 ] || die "flameinject exited $rc"
+[ -s "$OUT/single.json" ] || die "no single-process report"
+
+start_coordinator() {
+    "$OUT/flameserve" -addr "$ADDR" -state "$STATE" \
+        -bench "$BENCHES" -trials "$TRIALS" -seed "$SEED" \
+        -shard-size 2 -lease-ttl 3s \
+        -json "$OUT/dist.json" >"$OUT/dist.txt" 2>>"$OUT/serve.log" &
+    SERVE_PID=$!
+}
+
+start_worker() { # $1 = name
+    "$OUT/flameworker" -url "$URL" -name "$1" -flush 1 2>>"$OUT/worker-$1.log" &
+    eval "WPID_$1=$!"
+}
+
+log "starting coordinator + 4 workers"
+start_coordinator
+for w in w1 w2 w3 w4; do start_worker "$w"; done
+
+# Wait until some trials have been streamed, then murder worker w1.
+for i in $(seq 1 100); do
+    done_trials=$(curl -fsS "$URL/v1/status" 2>/dev/null \
+        | sed -n 's/.*"done_trials":\([0-9]*\).*/\1/p')
+    [ -n "${done_trials:-}" ] && [ "$done_trials" -ge 1 ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || die "coordinator died early (see serve.log)"
+    sleep 0.2
+done
+[ "${done_trials:-0}" -ge 1 ] || die "no trials streamed after 20s"
+
+log "kill -9 worker w1 mid-campaign ($done_trials trials streamed so far)"
+kill -9 "$WPID_w1" 2>/dev/null
+
+# The murdered worker's lease must expire and its shard be re-leased
+# to a survivor before we also kill the coordinator.
+for i in $(seq 1 100); do
+    grep -q "expired" "$OUT/serve.log" && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.2
+done
+grep -q "expired" "$OUT/serve.log" || die "no lease expiry recorded — w1's death went unnoticed"
+
+log "kill -9 the coordinator and restart it from its state dir"
+kill -9 "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null
+sleep 1
+start_coordinator
+
+# The surviving workers retry through the outage and finish the campaign.
+wait "$SERVE_PID"
+rc=$?
+[ $rc -eq 0 ] || [ $rc -eq 2 ] || die "restarted coordinator exited $rc (see serve.log)"
+[ -s "$OUT/dist.json" ] || die "no distributed report"
+grep -q "resume" "$OUT/serve.log" || die "restarted coordinator did not resume from state dir"
+
+if cmp -s "$OUT/single.json" "$OUT/dist.json"; then
+    log "PASS: distributed report is byte-identical to the single-process report"
+else
+    diff "$OUT/single.json" "$OUT/dist.json" >&2
+    die "distributed report differs from single-process report"
+fi
+
+# The surviving workers must drain cleanly (exit 0) once told Done.
+for w in w2 w3 w4; do
+    eval 'pid=$WPID_'"$w"
+    wait "$pid"
+    wrc=$?
+    [ $wrc -eq 0 ] || die "worker $w exited $wrc (see worker-$w.log)"
+done
+
+# The re-lease after w1's murder must be visible in the coordinator log.
+grep -q "expired" "$OUT/serve.log" || die "no lease expiry recorded — w1's death went unnoticed"
+log "artifacts in $OUT"
+log "OK"
