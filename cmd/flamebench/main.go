@@ -33,6 +33,7 @@ func main() {
 	injectRuns := flag.Int("inject-runs", 5, "injection trials per benchmark")
 	perfOut := flag.String("perf-out", "BENCH_sim.json", "output path for the -exp perf report")
 	perfTrials := flag.Int("perf-trials", 50, "campaign trials measured by -exp perf")
+	perfGuard := flag.Bool("perf-guard", true, "with -exp perf: fail if trials/s regressed >20% vs the previous same-host history entry")
 	flag.Parse()
 
 	cfg := harness.Default()
@@ -132,6 +133,12 @@ func main() {
 	if want["perf"] {
 		if _, err := harness.PerfBench(cfg, *perfOut, *perfTrials); err != nil {
 			fail("perf: %v", err)
+		}
+		if *perfGuard {
+			if err := harness.CheckPerfRegression(*perfOut, 0); err != nil {
+				fail("%v", err)
+			}
+			fmt.Println("perf guard: trials/s within 20% of the previous same-host entry (or no comparable entry)")
 		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"flame/internal/flame"
 	"flame/internal/gpu"
 	"flame/internal/prof"
+	"flame/internal/stats"
 )
 
 // quickSuite is a small structurally-diverse subset for fast campaigns:
@@ -70,6 +71,9 @@ func main() {
 	state := flag.String("state", "flameinject-state", "with -serve: state directory for checkpoint + shard streams")
 	join := flag.String("join", "", "run as distributed worker against this coordinator URL (see flameworker)")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
+	prune := flag.Bool("prune", false, "pre-classify provably-masked trials without simulation (bit-identical results; reported as pruned_masked)")
+	noCOW := flag.Bool("no-cow", false, "disable page-granular golden restore/diff (full copy + full scan per trial; results are byte-identical)")
+	profileRestore := flag.Bool("profile-restore", false, "one-shot: per-benchmark restore/diff/prune profile table instead of a campaign report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -141,6 +145,7 @@ func main() {
 					Benchmarks: names, Trials: *trials, Seed: *seed, Model: *modelFlag,
 					StrikesPerTrial: *strikes, HangBudgetMult: *budget,
 					TrialTimeoutMS: trialTimeout.Milliseconds(),
+					Prune:          *prune, NoCOW: *noCOW,
 				},
 				StateDir: *state, Logf: logf,
 			},
@@ -184,6 +189,23 @@ func main() {
 			fail("%v", err)
 		}
 		specs[i] = b.Spec()
+	}
+
+	// One-shot restore/prune profile: per-benchmark page accounting
+	// instead of a campaign report.
+	if *profileRestore {
+		ccfg := campaign.Config{
+			Arch:            arch,
+			Opt:             core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend},
+			Trials:          *trials,
+			Seed:            *seed,
+			Model:           model,
+			StrikesPerTrial: *strikes,
+			HangBudgetMult:  *budget,
+		}
+		fmt.Print(restoreProfile(ccfg, specs))
+		stopProf()
+		return
 	}
 
 	// Resume: scan the previous event stream for classified trials and
@@ -256,6 +278,8 @@ func main() {
 		Events:          eventsW,
 		Stop:            stop,
 		Skip:            skip,
+		Prune:           *prune,
+		NoCOW:           *noCOW,
 	})
 	stopped := errors.Is(err, campaign.ErrStopped)
 	if err != nil && !stopped {
@@ -308,6 +332,54 @@ func main() {
 		os.Exit(3)
 	}
 	exitUncovered(rep2exit(rep, model, scheme), stopProf)
+}
+
+// restoreProfile runs every selected benchmark's trial sequence once on
+// a pooled engine and renders the page-accounting table behind the
+// -profile-restore flag: the memory footprint in pages, how many pages
+// trials actually dirty (and so how many a restore copies and a diff
+// scans), and what fraction of trials the pruner classifies without
+// simulation — or why pruning is unavailable for the benchmark.
+func restoreProfile(cfg campaign.Config, specs []*core.KernelSpec) string {
+	t := &stats.Table{Header: []string{
+		"benchmark", "footprint", "dirty/trial", "restored/trial",
+		"diff/trial", "pruned", "prune status",
+	}}
+	for _, spec := range specs {
+		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
+		if err != nil {
+			fail("%s: %v", spec.Name, err)
+		}
+		px := core.BuildPruneIndex(cfg.Arch, spec, g, 0)
+		eng := core.NewEngine(cfg.Arch)
+		pruned := 0
+		for i := 0; i < cfg.Trials; i++ {
+			ts := cfg.TrialSpec(g, spec.Name, i)
+			if _, ok := px.PruneTrial(g, ts); ok {
+				pruned++
+				continue
+			}
+			eng.RunTrial(spec, g, ts)
+		}
+		st := eng.Stats()
+		perTrial := func(n int64) string {
+			if st.Trials == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", float64(n)/float64(st.Trials))
+		}
+		status := "ok"
+		if px.Disabled() != "" {
+			status = px.Disabled()
+		}
+		footprint := (spec.MemBytes + gpu.PageBytes - 1) / gpu.PageBytes
+		t.Add(spec.Name,
+			fmt.Sprintf("%d pages", footprint),
+			perTrial(st.DirtyPages), perTrial(st.RestoredPages), perTrial(st.DiffPages),
+			fmt.Sprintf("%d/%d", pruned, cfg.Trials), status)
+	}
+	return fmt.Sprintf("restore/prune profile: trials=%d/bench scheme=%s model=%s seed=%d\n%s",
+		cfg.Trials, cfg.Opt.Scheme, cfg.Model, cfg.Seed, t.String())
 }
 
 // rep2exit reports whether the campaign found uncovered outcomes under

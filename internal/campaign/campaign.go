@@ -79,6 +79,26 @@ type Config struct {
 	// Skipped trials are absent from the report and the event stream,
 	// exactly as if the campaign had been stopped before reaching them.
 	Skip func(bench string, trial int) bool
+	// Prune enables the pre-classification pruner (core.PruneIndex):
+	// trials whose armed strikes provably cannot alter observable state
+	// are counted Masked/NoInjection without simulation, bit-identically
+	// to what simulation would produce. Per-benchmark soundness gates
+	// fall back to full simulation automatically; the report gains
+	// pruned_masked / pruned_no_injection counters but is otherwise
+	// identical to an unpruned run.
+	Prune bool
+	// NoCOW disables page-granular golden restore/diff in the worker
+	// engines (full memory copy and full scan per trial). Reports are
+	// byte-identical either way; this is the escape hatch and the
+	// baseline for throughput comparisons.
+	NoCOW bool
+	// RestoreStats, when non-nil, receives the summed restore/diff page
+	// counters of every worker engine after the campaign finishes. The
+	// DirtyPages and DiffPages sums are deterministic (per-trial work
+	// is); RestoredPages depends on worker count and scheduling (each
+	// engine's first restore copies the full image, and later restores
+	// copy whatever the previous trial on that engine dirtied).
+	RestoreStats *core.RestoreStats
 }
 
 type job struct{ b, t int }
@@ -136,22 +156,41 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	// Pruning oracles, one per workload (sequential, like the goldens:
+	// each records the golden schedule once). A benchmark that fails a
+	// soundness gate gets a disabled index and falls back to simulation.
+	pruneIdx := make([]*core.PruneIndex, len(cfg.Specs))
+	if cfg.Prune {
+		for i, spec := range cfg.Specs {
+			pruneIdx[i] = core.BuildPruneIndex(cfg.Arch, spec, goldens[i], 0)
+		}
+	}
+
 	jobs := make(chan job, parallel)
 	var wg sync.WaitGroup
+	engines := make([]*core.Engine, parallel)
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		// One engine (and so one pooled device per workload) per
+		// worker: trials reuse simulator state instead of
+		// reallocating it, with bit-identical results.
+		eng := core.NewEngine(cfg.Arch)
+		eng.SetNoCOW(cfg.NoCOW)
+		engines[w] = eng
 		go func() {
 			defer wg.Done()
-			// One engine (and so one pooled device per workload) per
-			// worker: trials reuse simulator state instead of
-			// reallocating it, with bit-identical results.
-			eng := core.NewEngine(cfg.Arch)
 			for j := range jobs {
 				spec := cfg.Specs[j.b]
 				if str != nil {
 					str.trialStart(spec.Name, j.t)
 				}
-				res := eng.RunTrial(spec, goldens[j.b], cfg.TrialSpec(goldens[j.b], spec.Name, j.t))
+				ts := cfg.TrialSpec(goldens[j.b], spec.Name, j.t)
+				res, pruned := pruneIdx[j.b].PruneTrial(goldens[j.b], ts)
+				if pruned {
+					res.Pruned = true
+				} else {
+					res = eng.RunTrial(spec, goldens[j.b], ts)
+				}
 				results[j.b][j.t] = *res
 				ran[j.b][j.t] = true
 				if str != nil {
@@ -172,6 +211,11 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	if cfg.RestoreStats != nil {
+		for _, eng := range engines {
+			cfg.RestoreStats.Add(eng.Stats())
+		}
+	}
 
 	rep := aggregate(&cfg, goldens, results, ran)
 	if str != nil {

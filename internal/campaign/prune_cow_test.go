@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"flame/internal/core"
+)
+
+// TestReportIdenticalCOWvsNoCOW is the dirty-page restore contract at
+// campaign level: page-granular restore/diff (the default) and
+// full-image restore/scan (-no-cow) must yield byte-identical JSON
+// reports at any worker count, and the deterministic page counters
+// (dirty, diff) must not depend on either knob.
+func TestReportIdenticalCOWvsNoCOW(t *testing.T) {
+	names := []string{"Triad", "Histogram", "SRAD"}
+	type run struct {
+		json []byte
+		rs   core.RestoreStats
+	}
+	do := func(parallel int, noCOW bool) run {
+		cfg := testConfig(t, names, 6, parallel)
+		cfg.NoCOW = noCOW
+		var rs core.RestoreStats
+		cfg.RestoreStats = &rs
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run{data, rs}
+	}
+	ref := do(1, false)
+	for _, parallel := range []int{1, 8} {
+		for _, noCOW := range []bool{false, true} {
+			r := do(parallel, noCOW)
+			if !bytes.Equal(ref.json, r.json) {
+				t.Fatalf("report differs at parallel=%d noCOW=%v:\nref:\n%s\ngot:\n%s",
+					parallel, noCOW, ref.json, r.json)
+			}
+			if r.rs.DirtyPages != ref.rs.DirtyPages {
+				t.Errorf("parallel=%d noCOW=%v: dirty pages %d, want %d (deterministic per trial)",
+					parallel, noCOW, r.rs.DirtyPages, ref.rs.DirtyPages)
+			}
+			if !noCOW && r.rs.DiffPages != ref.rs.DiffPages {
+				t.Errorf("parallel=%d: diff pages %d, want %d (deterministic per trial)",
+					parallel, r.rs.DiffPages, ref.rs.DiffPages)
+			}
+			if noCOW && r.rs.DiffPages != 0 {
+				t.Errorf("parallel=%d noCOW: diff pages %d, want 0 (full scans bypass the page counter)",
+					parallel, r.rs.DiffPages)
+			}
+		}
+	}
+	if ref.rs.DirtyPages <= 0 || ref.rs.DiffPages <= 0 {
+		t.Fatalf("page counters did not accumulate: %+v", ref.rs)
+	}
+}
+
+// TestPruneReportMatchesFullSimulation is the pruning contract at
+// campaign level: with Prune on, the report must be byte-identical to
+// the fully-simulated report except for the pruned_* counters — same
+// outcomes, same coverage, same exemplar strings — at any worker count.
+func TestPruneReportMatchesFullSimulation(t *testing.T) {
+	names := []string{"Triad", "Histogram", "SRAD"}
+	do := func(parallel int, prune bool) *Report {
+		cfg := testConfig(t, names, 25, parallel)
+		// Baseline has no runtime controller, so the pruner is live;
+		// detecting schemes disable it per benchmark (covered in core).
+		cfg.Opt = core.Options{Scheme: core.Baseline}
+		cfg.Prune = prune
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	full, err := do(4, false).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 8} {
+		pruned := do(parallel, true)
+		got := pruned.Fleet.PrunedMasked + pruned.Fleet.PrunedNoInjection
+		if got == 0 {
+			t.Fatalf("parallel=%d: pruner classified no trials; the equivalence check is vacuous", parallel)
+		}
+		// Erase the only fields allowed to differ, then demand byte
+		// equality with the fully-simulated report.
+		for i := range pruned.Benchmarks {
+			pruned.Benchmarks[i].PrunedMasked = 0
+			pruned.Benchmarks[i].PrunedNoInjection = 0
+		}
+		pruned.Fleet.PrunedMasked = 0
+		pruned.Fleet.PrunedNoInjection = 0
+		data, err := pruned.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(full, data) {
+			t.Fatalf("parallel=%d: pruned report differs beyond pruned_* counters:\nfull:\n%s\npruned:\n%s",
+				parallel, full, data)
+		}
+		t.Logf("parallel=%d: %d trials pruned, report otherwise byte-identical", parallel, got)
+	}
+}
+
+// TestPrunedEventStreamReplays pins the stream round-trip of the Pruned
+// marker: a pruned campaign's JSONL replays into the same report,
+// pruned counters included.
+func TestPrunedEventStreamReplays(t *testing.T) {
+	cfg := testConfig(t, []string{"Histogram"}, 25, 4)
+	cfg.Opt = core.Options{Scheme: core.Baseline}
+	cfg.Prune = true
+	var buf bytes.Buffer
+	cfg.Events = &buf
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fleet.PrunedMasked+rep.Fleet.PrunedNoInjection == 0 {
+		t.Fatal("campaign pruned nothing; replay check is vacuous")
+	}
+	replayed, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("replayed pruned report differs:\nrun:\n%s\nreplay:\n%s", want, got)
+	}
+}

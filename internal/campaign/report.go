@@ -34,6 +34,17 @@ type BenchReport struct {
 	// slice (reachable only under the full-site model).
 	ExcludedStrikes int `json:"excluded_strikes"`
 
+	// PrunedMasked / PrunedNoInjection count trials classified without
+	// simulation by the dataflow-slice pruner (campaign Config.Prune).
+	// They are subsets of Masked / NoInjection — the totals, coverage
+	// and CIs are unaffected — and keep accelerated campaigns auditable:
+	// a pruned trial's result is bit-identical to what simulation would
+	// have produced (asserted by the equivalence suite). Zero (and
+	// omitted from JSON) when pruning is off, so prune-off reports are
+	// byte-identical to the pre-pruning format.
+	PrunedMasked      int `json:"pruned_masked,omitempty"`
+	PrunedNoInjection int `json:"pruned_no_injection,omitempty"`
+
 	// Coverage is the fraction of injected trials ending benignly
 	// (Masked or Recovered), with a Wilson 95% confidence interval.
 	Coverage   float64 `json:"coverage"`
@@ -80,6 +91,14 @@ func (b *BenchReport) fold(t *core.TrialResult) {
 		}
 	}
 	b.ExcludedStrikes += t.ExcludedStrikes
+	if t.Pruned {
+		switch t.Outcome {
+		case core.OutcomeMasked:
+			b.PrunedMasked++
+		case core.OutcomeNoInjection:
+			b.PrunedNoInjection++
+		}
+	}
 }
 
 // merge accumulates another report's counters (fleet aggregation).
@@ -93,6 +112,8 @@ func (b *BenchReport) merge(o *BenchReport) {
 	b.Hang += o.Hang
 	b.Internal += o.Internal
 	b.ExcludedStrikes += o.ExcludedStrikes
+	b.PrunedMasked += o.PrunedMasked
+	b.PrunedNoInjection += o.PrunedNoInjection
 	if b.ExampleSDC == "" {
 		b.ExampleSDC = o.ExampleSDC
 	}
@@ -168,6 +189,10 @@ func (r *Report) String() string {
 	if r.Fleet.Internal > 0 {
 		fmt.Fprintf(&b, "internal trial failures: %d (excluded from coverage)\n  first: %s\n",
 			r.Fleet.Internal, r.Fleet.ExampleInternal)
+	}
+	if pruned := r.Fleet.PrunedMasked + r.Fleet.PrunedNoInjection; pruned > 0 {
+		fmt.Fprintf(&b, "pruned without simulation: %d trials (%d masked, %d no-injection)\n",
+			pruned, r.Fleet.PrunedMasked, r.Fleet.PrunedNoInjection)
 	}
 	return b.String()
 }

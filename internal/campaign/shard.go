@@ -85,7 +85,7 @@ func MarshalTrialEvent(bench string, t int, r *core.TrialResult) ([]byte, error)
 		Event: "trial", Benchmark: bench, Trial: t,
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
-		Cycles: r.Cycles, Description: r.Description,
+		Cycles: r.Cycles, Pruned: r.Pruned, Description: r.Description,
 	})
 }
 

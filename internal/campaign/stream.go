@@ -62,7 +62,11 @@ type trialEvent struct {
 	Strikes         int    `json:"strikes"`
 	ExcludedStrikes int    `json:"excluded_strikes"`
 	Cycles          int64  `json:"cycles"`
-	Description     string `json:"description,omitempty"`
+	// Pruned marks trials classified by the pruning oracle instead of
+	// simulation (omitted when false, so prune-off streams are
+	// byte-identical to the pre-pruning format).
+	Pruned      bool   `json:"pruned,omitempty"`
+	Description string `json:"description,omitempty"`
 }
 
 // progressEvent summarizes throughput; emitted every ~2% of trials.
@@ -153,7 +157,7 @@ func (s *streamer) trial(bench string, t int, r *core.TrialResult) {
 		Event: "trial", Benchmark: bench, Trial: t,
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
-		Cycles: r.Cycles, Description: r.Description,
+		Cycles: r.Cycles, Pruned: r.Pruned, Description: r.Description,
 	})
 	if s.done%s.every != 0 && s.done != s.total {
 		return
@@ -384,6 +388,7 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 			br.fold(&core.TrialResult{
 				Outcome:         outcomeByName[e.Outcome],
 				ExcludedStrikes: e.ExcludedStrikes,
+				Pruned:          e.Pruned,
 				Description:     e.Description,
 			})
 			folded++

@@ -16,9 +16,46 @@ import (
 // the fresh-device path (RunTrial), which the equivalence suite asserts.
 //
 // An Engine is not safe for concurrent use — give each worker its own.
+// The Golden passed to RunTrial is shared read-only across all engines.
 type Engine struct {
 	cfg  gpu.Config
 	devs map[*KernelSpec]*gpu.Device
+	// noCOW disables the dirty-page restore/diff fast path: every trial
+	// restores the full InitMem image and diffs the full footprint, as
+	// the engine did before page tracking. Results are byte-identical
+	// either way; the escape hatch exists so that can be asserted and so
+	// a tracking bug can be ruled out in the field.
+	noCOW bool
+	stats RestoreStats
+}
+
+// RestoreStats accumulates the engine's dirty-page accounting. The
+// restored-pages figure depends on trial scheduling (which trial last
+// ran on this engine's device), so it lives here as a side channel and
+// is deliberately kept out of TrialResult and the campaign report,
+// which must stay byte-identical at any -parallel.
+type RestoreStats struct {
+	// Trials counts trials that reached the restore path.
+	Trials int64
+	// RestoredPages counts pages copied back from InitMem before
+	// launches (includes each pooled device's initial full restore).
+	RestoredPages int64
+	// DirtyPages counts pages the trials actually wrote (deterministic
+	// per trial: the bitmap is clean when each trial starts).
+	DirtyPages int64
+	// DiffPages counts pages compared during classification (dirty ∪
+	// golden-vs-init divergence; zero for DUE/Hang trials, which skip
+	// the diff).
+	DiffPages int64
+}
+
+// Add accumulates another engine's counters (campaign-level summation
+// across workers).
+func (s *RestoreStats) Add(o RestoreStats) {
+	s.Trials += o.Trials
+	s.RestoredPages += o.RestoredPages
+	s.DirtyPages += o.DirtyPages
+	s.DiffPages += o.DiffPages
 }
 
 // NewEngine creates a trial engine for one architecture.
@@ -26,8 +63,17 @@ func NewEngine(cfg gpu.Config) *Engine {
 	return &Engine{cfg: cfg, devs: map[*KernelSpec]*gpu.Device{}}
 }
 
+// SetNoCOW switches the engine to full-footprint restore/diff (the
+// pre-dirty-tracking behaviour). Classification is unchanged.
+func (e *Engine) SetNoCOW(v bool) { e.noCOW = v }
+
+// Stats returns the accumulated restore accounting.
+func (e *Engine) Stats() RestoreStats { return e.stats }
+
 // device returns the pooled device for a workload, creating it on first
-// use. Memory sizing is per-spec, so the pool is keyed by spec.
+// use. Memory sizing is per-spec, so the pool is keyed by spec. A new
+// device starts with every page marked dirty: its zeroed memory is not
+// any golden's InitMem, so the first restore must copy the full image.
 func (e *Engine) device(spec *KernelSpec) (*gpu.Device, error) {
 	if dev, ok := e.devs[spec]; ok {
 		return dev, nil
@@ -36,6 +82,7 @@ func (e *Engine) device(spec *KernelSpec) (*gpu.Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	dev.Mem.MarkAllDirty()
 	e.devs[spec] = dev
 	return dev, nil
 }
@@ -92,7 +139,19 @@ func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialR
 	ro := &RunOpts{MaxCycles: ts.MaxCycles, Hooks: ts.Hooks, Stop: ts.stopFunc()}
 	dev, err := e.device(spec)
 	if err == nil {
-		copy(dev.Mem.Words(), g.InitMem)
+		// Restore the post-setup snapshot. The dirty-page path copies
+		// only pages written since the last restore (every write in the
+		// simulator — kernel stores, atomics, injected corruption — goes
+		// through gpu.GlobalMem.Store, so the bitmap is complete even
+		// after a DUE/Hang/panic-free partial run).
+		if e.noCOW {
+			copy(dev.Mem.Words(), g.InitMem)
+			dev.Mem.ResetDirty()
+			e.stats.RestoredPages += int64(dev.Mem.NumPages())
+		} else {
+			e.stats.RestoredPages += int64(dev.Mem.RestoreFrom(g.InitMem))
+		}
+		e.stats.Trials++
 		res := &Result{}
 		// The injector observes only the main kernel's launch, as in
 		// RunCompiledOpts.
@@ -105,32 +164,54 @@ func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialR
 		}
 		tr.Recoveries = res.Flame.Recoveries
 		tr.Cycles = res.Stats.Cycles
+		e.stats.DirtyPages += int64(dev.Mem.DirtyPageCount())
 	}
 	tr.Strikes = inj.FiredStrikes()
 	tr.ExcludedStrikes = inj.ExcludedStrikes()
 	tr.Detected = inj.Detected
 	tr.Detections = inj.Detections
 	tr.Description = inj.Description
-	classifyTrial(tr, err, func() bool {
-		return memEqual(dev.Mem.Words(), g.Mem)
+	classifyTrial(tr, err, func() (int64, bool) {
+		if e.noCOW {
+			return memDiff(dev.Mem.Words(), g.Mem)
+		}
+		// Candidate pages: dirty in this trial OR differing between
+		// InitMem and the golden final image. Any other page was
+		// restored to InitMem, never written, and equal to g.Mem in the
+		// fault-free run — it cannot diverge. Scanning candidates in
+		// ascending page order therefore yields the true global first
+		// diverging byte.
+		addr, pages, eq := dev.Mem.DiffAgainst(g.Mem, g.diffPages)
+		e.stats.DiffPages += int64(pages)
+		return addr, eq
 	})
 	return tr
 }
 
-// classifyTrial applies the standard outcome taxonomy. matches reports
-// whether final memory equals the golden image; it is only consulted for
-// completed runs.
-func classifyTrial(tr *TrialResult, err error, matches func() bool) {
-	switch {
-	case err != nil:
+// classifyTrial applies the standard outcome taxonomy. diff reports the
+// first byte where final memory diverges from the golden image (and
+// whether it does); it is only consulted for completed runs. SDC trials
+// get the divergence address appended to their description so report
+// exemplars say where memory went wrong.
+func classifyTrial(tr *TrialResult, err error, diff func() (int64, bool)) {
+	if err != nil {
 		classifyTrialErr(tr, err)
-	case tr.Strikes == 0:
-		tr.Outcome = OutcomeNoInjection
-	case !matches():
-		tr.Outcome = OutcomeSDC
-	case tr.Detections > 0:
-		tr.Outcome = OutcomeRecovered
-	default:
-		tr.Outcome = OutcomeMasked
+		return
 	}
+	if tr.Strikes == 0 {
+		tr.Outcome = OutcomeNoInjection
+		return
+	}
+	if addr, eq := diff(); !eq {
+		tr.Outcome = OutcomeSDC
+		if addr >= 0 {
+			tr.Description += fmt.Sprintf("; memory first diverged at %#x", addr)
+		}
+		return
+	}
+	if tr.Detections > 0 {
+		tr.Outcome = OutcomeRecovered
+		return
+	}
+	tr.Outcome = OutcomeMasked
 }

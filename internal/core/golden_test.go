@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGoldenSharedAcrossEnginesImmutable pins the sharing contract
+// documented on Golden: one Golden is read concurrently by every worker
+// engine of a campaign, so nothing in the trial path may write to it.
+// Several engines hammer the same Golden in parallel (the race detector
+// sees any write to its images under `go test -race`), and the
+// fingerprint over every shared buffer must be unchanged afterwards.
+func TestGoldenSharedAcrossEnginesImmutable(t *testing.T) {
+	cfg := testCfg()
+	for _, spec := range []*KernelSpec{saxpySpec(), stepSpec()} {
+		g, err := GoldenRun(cfg, spec, FlameOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := g.Fingerprint()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				eng := NewEngine(cfg)
+				if w%2 == 1 {
+					eng.SetNoCOW(true)
+				}
+				for i := int64(0); i < 12; i++ {
+					ts := TrialSpec{
+						Arms:      []int64{(i * g.Window) / 12},
+						Seed:      i + int64(w)*1000,
+						MaxCycles: g.HangBudget(0),
+					}
+					eng.RunTrial(spec, g, ts)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if after := g.Fingerprint(); after != before {
+			t.Fatalf("%s: golden mutated by concurrent trials: fingerprint %#x -> %#x",
+				spec.Name, before, after)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Trial pruning: pre-classify injection trials whose armed strike
+// provably cannot change final memory, control flow, or timing, without
+// running the simulator. The simulator is deterministic, so a trial's
+// pre-injection execution IS the golden schedule: recording the golden
+// run's per-instruction event stream once lets a cheap walker replay the
+// injector's strike-placement logic (including its RNG) against that
+// schedule and decide, for each would-be strike, whether the corrupted
+// register is dead — statically (outside flame.StoreReachSlice) or
+// dynamically (never read again by its warp). Trials where every fired
+// strike is dead are Masked with golden-identical results; trials whose
+// strikes never fire are NoInjection. Everything else is simulated.
+//
+// Soundness gates (any failure disables pruning for the benchmark, and
+// the campaign falls back to full simulation):
+//
+//   - The compiled scheme must have no runtime controller (Baseline and
+//     the recovery-only schemes). Detecting schemes report every strike
+//     regardless of value-deadness, turning would-be Masked trials into
+//     Recovered — value-deadness says nothing about sensor outcomes.
+//   - The golden sensor delay must be zero, so the injector consumes no
+//     detection-delay randomness the walker would have to replay.
+//   - Every program in the workload (main kernel and Steps) must be
+//     definitely-assigned: liveness at the entry block is empty, so no
+//     block or later launch reads a register it did not first write.
+//     This is what keeps a dead-corrupted register from leaking across
+//     block boundaries on recycled warp register files — and equally
+//     what makes SKIPPING a trial safe for the next trial on a pooled
+//     engine (the register garbage a simulated trial would have left
+//     behind is unobservable either way).
+//   - The recorded schedule must fit the event cap (memory guard).
+//
+// Per-trial, PruneTrial additionally refuses trials with extra hooks
+// attached (observers could see the skipped execution).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"flame/internal/analysis"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// pruneEvent is one executed instruction of the golden main-kernel
+// launch, as the injector's Observe hook would have seen it.
+type pruneEvent struct {
+	cyc  int64
+	mask uint32 // executing lanes holding register files (pickLane's set)
+	pc   int32
+	warp int32 // warp slot within its SM (stable, printed in descriptions)
+	sm   int32
+}
+
+// DefaultPruneEventCap bounds the recorded schedule (events are 24
+// bytes; the default caps a benchmark's index near 100 MB).
+const DefaultPruneEventCap = 4 << 20
+
+// PruneIndex is the per-benchmark pruning oracle: the golden schedule,
+// the last-use table, and the dataflow slices.
+type PruneIndex struct {
+	events     []pruneEvent
+	lastUse    map[uint64][]int32 // warpKey -> reg -> last reading event seq+1
+	storeReach map[isa.Reg]bool
+	acl        map[isa.Reg]bool
+	window     int64
+	maxDelay   int
+	disabled   string // non-empty: why pruning is off for this benchmark
+}
+
+// Disabled returns the reason pruning is unavailable for this
+// benchmark, or "" when the index is live.
+func (px *PruneIndex) Disabled() string { return px.disabled }
+
+// Events returns the recorded golden schedule length (0 when disabled).
+func (px *PruneIndex) Events() int { return len(px.events) }
+
+func warpKey(smID, warpID int32) uint64 {
+	return uint64(uint32(smID))<<32 | uint64(uint32(warpID))
+}
+
+// BuildPruneIndex records the golden main-kernel schedule for a
+// workload and prepares the pruning oracle. eventCap <= 0 selects
+// DefaultPruneEventCap. A disabled index is still returned (never nil):
+// PruneTrial on it refuses every trial and Disabled says why.
+func BuildPruneIndex(cfg gpu.Config, spec *KernelSpec, g *Golden, eventCap int) *PruneIndex {
+	if eventCap <= 0 {
+		eventCap = DefaultPruneEventCap
+	}
+	px := &PruneIndex{window: g.Window, maxDelay: g.MaxDelay}
+	if g.Comp.Controller() != nil {
+		px.disabled = fmt.Sprintf("scheme %s has a runtime controller (detections are value-independent)", g.Comp.Opt.Scheme)
+		return px
+	}
+	for i, sc := range g.StepComps {
+		if sc.Controller() != nil {
+			px.disabled = fmt.Sprintf("step %d has a runtime controller", i+1)
+			return px
+		}
+	}
+	if g.MaxDelay != 0 {
+		px.disabled = "nonzero sensor delay (detection randomness not replayable)"
+		return px
+	}
+	progs := []*isa.Program{g.Comp.Prog}
+	for _, sc := range g.StepComps {
+		progs = append(progs, sc.Prog)
+	}
+	for i, p := range progs {
+		lv := analysis.ComputeLiveness(kernel.Build(p))
+		if lv.LiveIn[0].Count() != 0 {
+			px.disabled = fmt.Sprintf("program %d reads registers it did not write (entry liveness %d)", i, lv.LiveIn[0].Count())
+			return px
+		}
+	}
+
+	// Record the golden main launch on a throwaway device. The injector
+	// only observes the main kernel (launchOne attaches it nowhere
+	// else), so Steps need no recording.
+	dev, err := gpu.NewDevice(cfg, spec.MemBytes)
+	if err != nil {
+		px.disabled = err.Error()
+		return px
+	}
+	copy(dev.Mem.Words(), g.InitMem)
+	prog := g.Comp.Prog
+	px.lastUse = map[uint64][]int32{}
+	overflow := false
+	var uses [4]isa.Reg
+	hooks := &gpu.Hooks{OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+		if overflow {
+			return
+		}
+		if len(px.events) >= eventCap {
+			overflow = true
+			return
+		}
+		var mask uint32
+		em := w.LastExecMask()
+		for l := 0; l < len(w.Regs); l++ {
+			if em&(1<<l) != 0 && w.Regs[l] != nil {
+				mask |= 1 << l
+			}
+		}
+		px.events = append(px.events, pruneEvent{
+			cyc: d.Cyc, mask: mask, pc: int32(pc),
+			warp: int32(w.ID), sm: int32(sm.ID),
+		})
+		seq := int32(len(px.events)) // seq+1 encoding; 0 = never read
+		key := warpKey(int32(sm.ID), int32(w.ID))
+		lu := px.lastUse[key]
+		if lu == nil {
+			lu = make([]int32, prog.NumRegs)
+			px.lastUse[key] = lu
+		}
+		for _, r := range prog.Insts[pc].Uses(uses[:0]) {
+			lu[r] = seq
+		}
+	}}
+	launch := &gpu.Launch{Prog: prog, Grid: spec.Grid, Block: spec.Block, Params: spec.Params}
+	if _, err := dev.Run(launch, hooks); err != nil {
+		px.events, px.lastUse = nil, nil
+		px.disabled = fmt.Sprintf("golden recording failed: %v", err)
+		return px
+	}
+	if overflow {
+		px.events, px.lastUse = nil, nil
+		px.disabled = fmt.Sprintf("golden schedule exceeds %d events", eventCap)
+		return px
+	}
+	px.storeReach = flame.StoreReachSlice(prog)
+	px.acl = flame.AddressControlSlice(prog)
+	return px
+}
+
+// PruneTrial decides a trial without simulation when every armed strike
+// either never fires or fires into a provably dead register. It mirrors
+// flame.Injector.Observe event-for-event — including its RNG draws — so
+// a pruned TrialResult is bit-identical (every field, including the
+// Description) to what Engine.RunTrial would have produced. The second
+// return is false when the trial must be simulated.
+func (px *PruneIndex) PruneTrial(g *Golden, ts TrialSpec) (*TrialResult, bool) {
+	if px == nil || px.disabled != "" || ts.Hooks != nil {
+		return nil, false
+	}
+	prog := g.Comp.Prog
+	rng := rand.New(rand.NewSource(ts.Seed))
+	tr := &TrialResult{Cycles: g.Window}
+	evi := 0
+	for _, arm := range ts.Arms {
+		fired := false
+		for ; evi < len(px.events); evi++ {
+			ev := &px.events[evi]
+			if ev.cyc < arm {
+				continue // Observe returns before any RNG draw
+			}
+			lanes := bits.OnesCount32(ev.mask)
+			if lanes == 0 {
+				continue // pickLane finds no lane; stays armed, no draw
+			}
+			laneIdx := rng.Intn(lanes)
+			bit := uint32(1) << uint(rng.Intn(32))
+			in := &prog.Insts[ev.pc]
+			d := in.Defs()
+			switch {
+			case d != isa.NoReg && in.Origin != isa.OrigDup &&
+				(ts.Model == flame.FullSite || !px.acl[d]):
+				// Register-destination strike: prunable iff the corrupted
+				// value is dead — statically outside the store-reach
+				// slice, or dynamically never read again by this warp
+				// slot (uses at the firing event itself read the
+				// pre-corruption value: Observe runs post-execute).
+				if px.storeReach[d] && lastUseOf(px.lastUse[warpKey(ev.sm, ev.warp)], d) > int32(evi+1) {
+					return nil, false
+				}
+				tr.Strikes++
+				if px.acl[d] {
+					tr.ExcludedStrikes++
+				}
+				if tr.Strikes == 1 {
+					lane := nthSetBit(ev.mask, laneIdx)
+					tr.Description = fmt.Sprintf("cycle %d: flipped bit %#x of %s (lane %d, warp %d, SM %d, inst %d: %s)",
+						ev.cyc, bit, d, lane, ev.warp, ev.sm, ev.pc, in.String())
+				}
+				fired = true
+			case in.Op == isa.OpSt && in.Space == isa.SpaceGlobal:
+				// Store-data strike: corrupts memory directly; simulate.
+				return nil, false
+			default:
+				continue // not corruptible; RNG consumed, stays armed
+			}
+			evi++ // the next strike starts at the next observed event
+			break
+		}
+		if !fired {
+			break // this strike never fires, so no later strike arms
+		}
+	}
+	if tr.Strikes == 0 {
+		tr.Outcome = OutcomeNoInjection
+	} else {
+		tr.Outcome = OutcomeMasked
+	}
+	return tr, true
+}
+
+// lastUseOf reads the last-use table defensively: a warp that never
+// read any register has no table at all (0 = never read).
+func lastUseOf(lu []int32, r isa.Reg) int32 {
+	if lu == nil {
+		return 0
+	}
+	return lu[r]
+}
+
+// nthSetBit returns the position of the n-th (0-based) set bit of mask,
+// mirroring pickLane's lane-list indexing.
+func nthSetBit(mask uint32, n int) int {
+	for {
+		b := bits.TrailingZeros32(mask)
+		if n == 0 {
+			return b
+		}
+		mask &^= 1 << uint(b)
+		n--
+	}
+}

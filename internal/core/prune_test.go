@@ -1,0 +1,154 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"flame/internal/flame"
+	"flame/internal/isa"
+)
+
+// deadTailSpec is saxpy with a deliberately dead computation chain
+// appended: r20/r21 feed no store, branch, or address, so strikes
+// landing on their defining instructions are provably masked — the
+// workload that exercises pruned-masked (not just pruned-no-injection).
+func deadTailSpec() *KernelSpec {
+	const src = `
+	    mov r0, %tid.x
+	    mov r1, %ctaid.x
+	    mov r2, %ntid.x
+	    mad r3, r1, r2, r0
+	    shl r4, r3, 2
+	    ld.param r5, [0]
+	    add r6, r5, r4
+	    ld.global r7, [r6]
+	    add r20, r7, 5
+	    mul r21, r20, 3
+	    add r22, r21, r20
+	    add r8, r7, r7
+	    st.global [r6], r8
+	    xor r23, r8, r22
+	    exit
+	`
+	const n = 4 * 64
+	return &KernelSpec{
+		Name:     "deadtail",
+		Prog:     isa.MustParse("deadtail", src),
+		Grid:     isa.Dim3{X: 4},
+		Block:    isa.Dim3{X: 64},
+		Params:   []uint32{0},
+		MemBytes: 1 << 12,
+		Setup: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32(i)
+			}
+		},
+		Validate: func(mem []uint32) error {
+			for i := 0; i < n; i++ {
+				if mem[i] != uint32(2*i) {
+					return errAt(i, mem[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestStoreReachSliceContainsACL pins AddressControlSlice ⊆
+// StoreReachSlice: a statically-dead register is never an excluded
+// site, so the pruner's Excluded accounting can't diverge from the
+// injector's.
+func TestStoreReachSliceContainsACL(t *testing.T) {
+	for _, spec := range []*KernelSpec{saxpySpec(), deadTailSpec(), stepSpec()} {
+		acl := flame.AddressControlSlice(spec.Prog)
+		srs := flame.StoreReachSlice(spec.Prog)
+		for r := range acl {
+			if !srs[r] {
+				t.Errorf("%s: %s in address/control slice but not store-reach slice", spec.Name, r)
+			}
+		}
+	}
+}
+
+// TestPruneDisabledForControllerSchemes: detecting schemes report every
+// strike regardless of value-deadness, so the index must refuse them.
+func TestPruneDisabledForControllerSchemes(t *testing.T) {
+	cfg := testCfg()
+	spec := saxpySpec()
+	g, err := GoldenRun(cfg, spec, FlameOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := BuildPruneIndex(cfg, spec, g, 0)
+	if px.Disabled() == "" {
+		t.Fatal("prune index accepted a scheme with a runtime controller")
+	}
+	if tr, ok := px.PruneTrial(g, TrialSpec{Arms: []int64{0}, Seed: 1}); ok {
+		t.Fatalf("disabled index pruned a trial: %+v", tr)
+	}
+}
+
+// TestPruneTrialMatchesSimulation is the pruning-equivalence contract:
+// over an exhaustive grid of arms × seeds × models × workloads, every
+// trial the pruner accepts must be bit-identical — every TrialResult
+// field, including the Description — to full simulation, and skipping
+// pruned trials must not perturb the results of the trials a pooled
+// engine still simulates.
+func TestPruneTrialMatchesSimulation(t *testing.T) {
+	cfg := testCfg()
+	specs := []*KernelSpec{deadTailSpec(), saxpySpec(), stepSpec(), spinSpec()}
+	prunedTotal, masked := 0, 0
+	for _, spec := range specs {
+		g, err := GoldenRun(cfg, spec, Options{Scheme: Baseline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		px := BuildPruneIndex(cfg, spec, g, 0)
+		if px.Disabled() != "" {
+			t.Logf("%s: pruning disabled: %s", spec.Name, px.Disabled())
+			continue
+		}
+		for _, model := range []flame.FaultModel{flame.DataSlice, flame.FullSite} {
+			for _, strikes := range []int{1, 2} {
+				engAll := NewEngine(cfg)    // simulates every trial
+				engPruned := NewEngine(cfg) // simulates only unpruned trials
+				for i := int64(0); i < 40; i++ {
+					arms := []int64{(i * g.Window) / 36}
+					if strikes == 2 {
+						arms = append(arms, (i*g.Window)/36+g.Window/10)
+					}
+					ts := TrialSpec{
+						Arms: arms, Model: model,
+						Seed:      i*2654435761 + 1000,
+						MaxCycles: g.HangBudget(0),
+					}
+					sim := engAll.RunTrial(spec, g, ts)
+					pruned, ok := px.PruneTrial(g, ts)
+					if !ok {
+						fromPooled := engPruned.RunTrial(spec, g, ts)
+						if !reflect.DeepEqual(sim, fromPooled) {
+							t.Fatalf("%s/%v/%d trial %d: skipping earlier pruned trials perturbed simulation:\n all: %+v\nskip: %+v",
+								spec.Name, model, strikes, i, sim, fromPooled)
+						}
+						continue
+					}
+					prunedTotal++
+					if pruned.Outcome == OutcomeMasked {
+						masked++
+					}
+					if !reflect.DeepEqual(sim, pruned) {
+						t.Fatalf("%s/%v/%d trial %d (arms %v): pruned diverges:\n   sim: %+v\npruned: %+v",
+							spec.Name, model, strikes, i, arms, sim, pruned)
+					}
+				}
+			}
+		}
+	}
+	if prunedTotal == 0 {
+		t.Fatal("grid pruned no trials; equivalence test is vacuous")
+	}
+	if masked == 0 {
+		t.Fatal("grid pruned no MASKED trials (only no-injection); dead-register path untested")
+	}
+	t.Logf("pruned %d trials (%d masked) across the grid", prunedTotal, masked)
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"time"
 
@@ -73,6 +74,14 @@ func (o Outcome) String() string {
 // Golden is the fault-free reference a campaign classifies trials
 // against: the compiled program, its execution window, and the final
 // global memory of a clean run.
+//
+// A Golden is immutable after GoldenRun returns and is shared read-only
+// by every pooled Engine in a campaign (one golden, many workers). In
+// particular InitMem and Mem must never be written: the dirty-page
+// restore path copies from InitMem on every trial, so a stray write
+// would silently corrupt every subsequent trial on every worker.
+// TestGoldenSharedAcrossEnginesImmutable exercises this under the race
+// detector.
 type Golden struct {
 	Comp *Compiled
 	// StepComps are the follow-on Steps compiled once with the same
@@ -89,6 +98,11 @@ type Golden struct {
 	// MaxDelay is the scheme's sensor detection delay bound (WCDL for
 	// sensor schemes, 0 = immediate for duplication/hybrid/baseline).
 	MaxDelay int
+	// diffPages is the page bitmap (gpu.PageWords-word pages) of pages
+	// where Mem differs from InitMem, precomputed once so per-trial
+	// classification can diff only candidate pages: a page untouched by
+	// the trial AND equal between InitMem and Mem cannot diverge.
+	diffPages []uint64
 }
 
 // GoldenRun compiles the spec for the scheme and performs the fault-free
@@ -120,7 +134,44 @@ func GoldenRun(cfg gpu.Config, spec *KernelSpec, opt Options) (*Golden, error) {
 	return &Golden{
 		Comp: comp, StepComps: steps, Window: res.Stats.Cycles,
 		InitMem: initMem, Mem: res.Mem, MaxDelay: maxDelay,
+		diffPages: diffPageBitmap(initMem, res.Mem),
 	}, nil
+}
+
+// diffPageBitmap returns the bitmap of pages (gpu.PageWords words each)
+// where the two images differ. Images of unequal length never occur for
+// a golden (both come from the same device geometry); the shorter bound
+// keeps the helper total.
+func diffPageBitmap(a, b []uint32) []uint64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	bm := make([]uint64, (((n+gpu.PageWords-1)/gpu.PageWords)+63)/64)
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			p := i / gpu.PageWords
+			bm[p/64] |= 1 << uint(p%64)
+			// Skip to the next page: one differing word already marks it.
+			i = (p+1)*gpu.PageWords - 1
+		}
+	}
+	return bm
+}
+
+// Fingerprint hashes the golden's memory images (FNV-1a). Campaign
+// tests snapshot it before running trials and assert it unchanged
+// after, pinning the shared-Golden immutability contract.
+func (g *Golden) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, w := range g.InitMem {
+		h = (h ^ uint64(w)) * prime
+	}
+	for _, w := range g.Mem {
+		h = (h ^ uint64(w)) * prime
+	}
+	return h
 }
 
 // HangBudget returns the per-launch cycle budget for trials against this
@@ -179,6 +230,11 @@ type TrialResult struct {
 	Err string
 	// Description says what the first strike corrupted.
 	Description string
+	// Pruned marks a trial classified by PruneIndex.PruneTrial without
+	// simulation (the result is bit-identical to what simulation would
+	// have produced; the flag keeps accelerated campaigns auditable).
+	// Set by the campaign layer, never by PruneTrial itself.
+	Pruned bool `json:",omitempty"`
 }
 
 // RunTrial executes one injection trial against a golden run and
@@ -211,7 +267,7 @@ func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) (tr *Tr
 		tr.Recoveries = res.Flame.Recoveries
 		tr.Cycles = res.Stats.Cycles
 	}
-	classifyTrial(tr, err, func() bool { return memEqual(res.Mem, g.Mem) })
+	classifyTrial(tr, err, func() (int64, bool) { return memDiff(res.Mem, g.Mem) })
 	return tr
 }
 
@@ -269,15 +325,23 @@ func classifyTrialErr(tr *TrialResult, err error) {
 	}
 }
 
-// memEqual compares two final-memory images.
-func memEqual(a, b []uint32) bool {
-	if len(a) != len(b) {
-		return false
+// memDiff compares two final-memory images word-by-word and returns the
+// byte address of the first divergence (little-endian within the word,
+// matching the simulator's byte addressing) plus whether the images are
+// equal. A length mismatch diverges at the first byte past the common
+// prefix.
+func memDiff(a, b []uint32) (byteAddr int64, equal bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	for i := 0; i < n; i++ {
+		if x := a[i] ^ b[i]; x != 0 {
+			return int64(i)*4 + int64(bits.TrailingZeros32(x)/8), false
 		}
 	}
-	return true
+	if len(a) != len(b) {
+		return int64(n) * 4, false
+	}
+	return -1, true
 }

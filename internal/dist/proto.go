@@ -54,6 +54,12 @@ type CampaignInfo struct {
 	StrikesPerTrial    int        `json:"strikes_per_trial"`
 	HangBudgetMult     int64      `json:"hang_budget_mult"`
 	TrialTimeoutMS     int64      `json:"trial_timeout_ms,omitempty"`
+	// Prune / NoCOW propagate the campaign's throughput switches so every
+	// worker classifies (and streams pruned markers for) exactly the same
+	// trials the coordinator would. Results are equivalence-guaranteed
+	// either way; the flags only affect the pruned_* counters and speed.
+	Prune bool `json:"prune,omitempty"`
+	NoCOW bool `json:"no_cow,omitempty"`
 }
 
 // InfoFromConfig captures a campaign.Config's wire description.
@@ -76,6 +82,8 @@ func InfoFromConfig(cfg *campaign.Config) CampaignInfo {
 		StrikesPerTrial:    cfg.StrikesPerTrial,
 		HangBudgetMult:     cfg.HangBudgetMult,
 		TrialTimeoutMS:     cfg.TrialTimeout.Milliseconds(),
+		Prune:              cfg.Prune,
+		NoCOW:              cfg.NoCOW,
 	}
 }
 
@@ -115,6 +123,8 @@ func (ci *CampaignInfo) Config() (campaign.Config, error) {
 		StrikesPerTrial: ci.StrikesPerTrial,
 		HangBudgetMult:  ci.HangBudgetMult,
 		TrialTimeout:    time.Duration(ci.TrialTimeoutMS) * time.Millisecond,
+		Prune:           ci.Prune,
+		NoCOW:           ci.NoCOW,
 	}, nil
 }
 

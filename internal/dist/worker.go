@@ -93,6 +93,7 @@ type worker struct {
 	eng     *core.Engine
 	specs   map[string]*core.KernelSpec
 	goldens map[string]*core.Golden
+	prune   map[string]*core.PruneIndex // nil unless cfg.Prune
 	sigs    map[string]GoldenSig
 	hb      time.Duration
 }
@@ -110,8 +111,12 @@ func (w *worker) setup(ctx context.Context) error {
 	}
 	w.cfg = cfg
 	w.eng = core.NewEngine(cfg.Arch)
+	w.eng.SetNoCOW(cfg.NoCOW)
 	w.specs = map[string]*core.KernelSpec{}
 	w.goldens = map[string]*core.Golden{}
+	if cfg.Prune {
+		w.prune = map[string]*core.PruneIndex{}
+	}
 	sigs := map[string]GoldenSig{}
 	for _, spec := range cfg.Specs {
 		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
@@ -120,6 +125,12 @@ func (w *worker) setup(ctx context.Context) error {
 		}
 		w.specs[spec.Name] = spec
 		w.goldens[spec.Name] = g
+		if cfg.Prune {
+			// The oracle is a deterministic function of (arch, spec,
+			// golden), so every replica prunes exactly the same trials the
+			// coordinator would, and streamed lines stay byte-identical.
+			w.prune[spec.Name] = core.BuildPruneIndex(cfg.Arch, spec, g, 0)
+		}
 		sigs[spec.Name] = Signature(g)
 	}
 	if w.wc.CorruptGolden {
@@ -276,7 +287,13 @@ func (w *worker) runShard(ctx context.Context, lr LeaseResponse) error {
 				return fmt.Errorf("dist: worker killed before %s trial %d: %w", sh.Bench, t, err)
 			}
 		}
-		res := w.eng.RunTrial(spec, g, w.cfg.TrialSpec(g, sh.Bench, t))
+		ts := w.cfg.TrialSpec(g, sh.Bench, t)
+		res, pruned := w.prune[sh.Bench].PruneTrial(g, ts)
+		if pruned {
+			res.Pruned = true
+		} else {
+			res = w.eng.RunTrial(spec, g, ts)
+		}
 		line, err := campaign.MarshalTrialEvent(sh.Bench, t, res)
 		if err != nil {
 			return err

@@ -140,6 +140,62 @@ func addressControlSlice(p *isa.Program) map[isa.Reg]bool {
 			add(in.Src[1])
 		}
 	}
+	backwardClose(p, s)
+	return s
+}
+
+// AddressControlSlice exposes the injector's excluded-site set (the
+// registers the DataSlice model refuses to strike) for pre-trial
+// analysis: the pruner must mirror the injector's eligibility and
+// Excluded marking exactly.
+func AddressControlSlice(p *isa.Program) map[isa.Reg]bool {
+	return addressControlSlice(p)
+}
+
+// StoreReachSlice computes the registers whose value can transitively
+// influence anything a trial is classified by: memory contents, control
+// flow, or timing. Seeds are every register operand of a memory
+// operation (address base AND store/atomic data — unlike the
+// address/control slice, which seeds addresses only) and both setp
+// operands (predicates are a separate register class written only by
+// setp, so seeding its general-register inputs covers every guard and
+// selp consumer). The backward dataflow closure then pulls in
+// everything that feeds a seed.
+//
+// A register OUTSIDE this slice is dead-before-store: flipping a bit in
+// it can change other non-slice registers, but never a store address,
+// store data, predicate, branch, or latency — so final global memory
+// and the cycle count stay bit-identical to the golden run. This is the
+// static certificate behind campaign trial pruning; note
+// AddressControlSlice ⊆ StoreReachSlice by construction (same closure,
+// superset of seeds).
+func StoreReachSlice(p *isa.Program) map[isa.Reg]bool {
+	s := map[isa.Reg]bool{}
+	add := func(o isa.Operand) {
+		if o.Kind == isa.OperReg {
+			s[o.Reg] = true
+		}
+	}
+	var uses [4]isa.Reg
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Op.IsMemory() {
+			for _, r := range in.Uses(uses[:0]) {
+				s[r] = true
+			}
+		}
+		if in.Op == isa.OpSetp {
+			add(in.Src[0])
+			add(in.Src[1])
+		}
+	}
+	backwardClose(p, s)
+	return s
+}
+
+// backwardClose extends s to a fixpoint under "an instruction defining
+// a register in s puts every register it reads into s".
+func backwardClose(p *isa.Program, s map[isa.Reg]bool) {
 	for changed := true; changed; {
 		changed = false
 		for i := range p.Insts {
@@ -157,7 +213,6 @@ func addressControlSlice(p *isa.Program) map[isa.Reg]bool {
 			}
 		}
 	}
-	return s
 }
 
 // NewInjector creates a single-strike data-slice injector armed at the

@@ -1,0 +1,233 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDirtyTrackingBasics checks the bitmap marks exactly the stored
+// pages and that ResetDirty clears it without touching contents.
+func TestDirtyTrackingBasics(t *testing.T) {
+	m := NewGlobalMem(8 * PageBytes)
+	if got := m.NumPages(); got != 8 {
+		t.Fatalf("NumPages = %d, want 8", got)
+	}
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("fresh memory has %d dirty pages, want 0", n)
+	}
+	if err := m.Store(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(uint32(5*PageBytes+12), 2); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		want := p == 0 || p == 5
+		if m.PageDirty(p) != want {
+			t.Errorf("PageDirty(%d) = %v, want %v", p, m.PageDirty(p), want)
+		}
+	}
+	if n := m.DirtyPageCount(); n != 2 {
+		t.Fatalf("DirtyPageCount = %d, want 2", n)
+	}
+	m.ResetDirty()
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("after ResetDirty: %d dirty pages, want 0", n)
+	}
+	if v, _ := m.Load(0); v != 1 {
+		t.Fatalf("ResetDirty changed contents: got %d, want 1", v)
+	}
+}
+
+// TestDirtyLastPartialPage stores into a memory whose footprint is not
+// page-aligned: the last (partial) page must be tracked, restored, and
+// diffed without running past the end of storage.
+func TestDirtyLastPartialPage(t *testing.T) {
+	bytes := 2*PageBytes + 40 // last page holds 10 words
+	m := NewGlobalMem(bytes)
+	if got := m.NumPages(); got != 3 {
+		t.Fatalf("NumPages = %d, want 3", got)
+	}
+	init := make([]uint32, len(m.Words()))
+	for i := range init {
+		init[i] = uint32(i) * 3
+	}
+	copy(m.Words(), init)
+
+	lastWord := uint32(len(m.Words())-1) * 4
+	if err := m.Store(lastWord, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if !m.PageDirty(2) {
+		t.Fatal("store to last partial page did not mark it dirty")
+	}
+	if addr, _, eq := m.DiffAgainst(init, nil); eq || addr != int64(lastWord) {
+		t.Fatalf("DiffAgainst = (%#x, eq=%v), want (%#x, false)", addr, eq, lastWord)
+	}
+	if n := m.RestoreFrom(init); n != 1 {
+		t.Fatalf("RestoreFrom restored %d pages, want 1", n)
+	}
+	if v, _ := m.Load(lastWord); v != init[len(init)-1] {
+		t.Fatalf("partial page not restored: got %#x, want %#x", v, init[len(init)-1])
+	}
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("RestoreFrom left %d dirty pages", n)
+	}
+}
+
+// TestOOBStoreDoesNotDirty: a faulting store writes nothing, so it must
+// not mark any page dirty (a stale bit would make the next restore copy
+// a page the trial never changed — harmless but unaccounted work — and
+// would break dirty-page statistics).
+func TestOOBStoreDoesNotDirty(t *testing.T) {
+	m := NewGlobalMem(2 * PageBytes)
+	if err := m.Store(uint32(2*PageBytes), 7); err == nil {
+		t.Fatal("out-of-bounds store did not fault")
+	}
+	if err := m.Store(2, 7); err == nil {
+		t.Fatal("misaligned store did not fault")
+	}
+	if n := m.DirtyPageCount(); n != 0 {
+		t.Fatalf("faulting stores marked %d pages dirty, want 0", n)
+	}
+}
+
+// TestMarkAllDirtyRestores: a fresh pooled device has zeroed memory, so
+// the first restore must copy everything; MarkAllDirty forces that.
+func TestMarkAllDirtyRestores(t *testing.T) {
+	m := NewGlobalMem(3*PageBytes + 8)
+	init := make([]uint32, len(m.Words()))
+	for i := range init {
+		init[i] = uint32(i) + 100
+	}
+	m.MarkAllDirty()
+	if n := m.RestoreFrom(init); n != m.NumPages() {
+		t.Fatalf("RestoreFrom restored %d pages, want all %d", n, m.NumPages())
+	}
+	for i, v := range m.Words() {
+		if v != init[i] {
+			t.Fatalf("word %d = %d, want %d", i, v, init[i])
+		}
+	}
+}
+
+// TestDiffAgainstExtraPages: pages clean in the trial but listed in the
+// caller's extra bitmap (golden-vs-snapshot divergence) must still be
+// compared — that's how a trial that fails to perform a write the
+// golden run performed is caught.
+func TestDiffAgainstExtraPages(t *testing.T) {
+	m := NewGlobalMem(4 * PageBytes)
+	ref := make([]uint32, len(m.Words()))
+	ref[2*PageWords+5] = 42 // ref differs on page 2; memory never dirtied it
+	if _, _, eq := m.DiffAgainst(ref, nil); !eq {
+		t.Fatal("diff with no candidate pages should report equal")
+	}
+	extra := make([]uint64, 1)
+	extra[0] = 1 << 2
+	addr, pages, eq := m.DiffAgainst(ref, extra)
+	if eq || pages != 1 {
+		t.Fatalf("DiffAgainst(extra) = (eq=%v, pages=%d), want (false, 1)", eq, pages)
+	}
+	want := int64(2*PageWords+5) * 4
+	if addr != want {
+		t.Fatalf("first diverging byte = %#x, want %#x", addr, want)
+	}
+}
+
+// TestDiffFirstByteAddress pins the sub-word byte addressing: the
+// diverging byte within a word is located little-endian, matching the
+// simulator's byte-addressed loads.
+func TestDiffFirstByteAddress(t *testing.T) {
+	m := NewGlobalMem(PageBytes)
+	ref := make([]uint32, PageWords)
+	m.Words()[3] = 0x00ff0000 // differs from ref in byte 2 of word 3
+	m.MarkAllDirty()
+	addr, _, eq := m.DiffAgainst(ref, nil)
+	if eq || addr != 3*4+2 {
+		t.Fatalf("DiffAgainst = (%#x, eq=%v), want (%#x, false)", addr, eq, 3*4+2)
+	}
+}
+
+// TestDirtyFuzzAgainstFullCopyOracle drives a random store sequence and
+// checks, after every restore, that the dirty-page path leaves memory
+// byte-identical to a full-copy oracle, and that DiffAgainst agrees
+// with a full scan against a mutated reference.
+func TestDirtyFuzzAgainstFullCopyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{PageBytes - 4, PageBytes, 5*PageBytes + 36, 64*PageBytes + 4}
+	for _, bytes := range sizes {
+		m := NewGlobalMem(bytes)
+		words := len(m.Words())
+		init := make([]uint32, words)
+		for i := range init {
+			init[i] = rng.Uint32()
+		}
+		copy(m.Words(), init)
+
+		for round := 0; round < 50; round++ {
+			// Random burst of tracked stores (some faulting on purpose).
+			for k := 0; k < rng.Intn(2*PageWords); k++ {
+				addr := uint32(rng.Intn(words+16)) * 4
+				if rng.Intn(8) == 0 {
+					addr++ // misaligned
+				}
+				m.Store(addr, rng.Uint32())
+			}
+
+			// Oracle diff: full scan vs a reference that mutates a few
+			// random words of init (some overlapping dirty pages, some not).
+			ref := make([]uint32, words)
+			copy(ref, init)
+			for k := 0; k < rng.Intn(4); k++ {
+				ref[rng.Intn(words)] ^= 1 << uint(rng.Intn(32))
+			}
+			extra := refDiffPages(ref, init, m.NumPages())
+			wantAddr, wantEq := int64(-1), true
+			for i := 0; i < words; i++ {
+				if x := m.Words()[i] ^ ref[i]; x != 0 {
+					wantAddr, wantEq = int64(i)*4+int64(trailingByte(x)), false
+					break
+				}
+			}
+			gotAddr, _, gotEq := m.DiffAgainst(ref, extra)
+			if gotEq != wantEq || (!wantEq && gotAddr != wantAddr) {
+				t.Fatalf("size %d round %d: DiffAgainst = (%#x, eq=%v), oracle (%#x, eq=%v)",
+					bytes, round, gotAddr, gotEq, wantAddr, wantEq)
+			}
+
+			// Restore and compare against the full-copy oracle.
+			m.RestoreFrom(init)
+			for i, v := range m.Words() {
+				if v != init[i] {
+					t.Fatalf("size %d round %d: word %d = %#x after restore, want %#x",
+						bytes, round, i, v, init[i])
+				}
+			}
+			if n := m.DirtyPageCount(); n != 0 {
+				t.Fatalf("size %d round %d: %d dirty pages after restore", bytes, round, n)
+			}
+		}
+	}
+}
+
+// refDiffPages is the test-local analogue of the engine's precomputed
+// golden-vs-snapshot page bitmap.
+func refDiffPages(ref, init []uint32, pages int) []uint64 {
+	bm := make([]uint64, (pages+63)/64)
+	for i := range ref {
+		if ref[i] != init[i] {
+			p := i / PageWords
+			bm[p/64] |= 1 << uint(p%64)
+		}
+	}
+	return bm
+}
+
+func trailingByte(x uint32) int {
+	b := 0
+	for x&0xff == 0 {
+		x >>= 8
+		b++
+	}
+	return b
+}

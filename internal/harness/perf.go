@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
@@ -12,6 +13,8 @@ import (
 	"flame/internal/bench"
 	"flame/internal/campaign"
 	"flame/internal/core"
+	"flame/internal/gpu"
+	"flame/internal/isa"
 )
 
 // PerfReport is the repo's performance trajectory record, written to
@@ -45,6 +48,39 @@ type PerfReport struct {
 	AllocsPerTrial float64 `json:"allocs_per_trial"`
 	BytesPerTrial  float64 `json:"bytes_per_trial"`
 	Benchmark      string  `json:"benchmark"`
+
+	// Page-granular restore accounting for the campaign above (COW on,
+	// the default): mean pages copied back from the golden image per
+	// trial and mean pages scanned during classification. The benchmark's
+	// footprint in pages gives the denominator a full copy/scan would pay.
+	FootprintPages        int     `json:"footprint_pages,omitempty"`
+	RestoredPagesPerTrial float64 `json:"restored_pages_per_trial,omitempty"`
+	DiffPagesPerTrial     float64 `json:"diff_pages_per_trial,omitempty"`
+
+	// Restore-bound microbenchmark: a tiny kernel over a large footprint
+	// (worst case for full-image restore, best case for dirty-page
+	// restore), measured with page tracking on and off over the same
+	// trial set. CowSpeedup is the headline restore-path win; reports are
+	// byte-identical either way, so only the rate may differ.
+	RestoreBound struct {
+		Benchmark             string  `json:"benchmark"`
+		FootprintPages        int     `json:"footprint_pages"`
+		Trials                int     `json:"trials"`
+		TrialsPerSec          float64 `json:"trials_per_sec"`
+		TrialsPerSecNoCOW     float64 `json:"trials_per_sec_no_cow"`
+		CowSpeedup            float64 `json:"cow_speedup"`
+		RestoredPagesPerTrial float64 `json:"restored_pages_per_trial"`
+		// PrunedFraction is the share of this workload's trials the
+		// dataflow-slice pruner classifies without simulation (Baseline
+		// scheme; detecting schemes disable pruning).
+		PrunedFraction float64 `json:"pruned_fraction"`
+	} `json:"restore_bound"`
+}
+
+// HostKey is the machine-class key for comparing history entries: rates
+// from different OS/arch/CPU-count/Go combinations are never compared.
+func (r *PerfReport) HostKey() string {
+	return fmt.Sprintf("%s/%s/cpus:%d/%s", r.Host.OS, r.Host.Arch, r.Host.CPUs, r.Host.GoVer)
 }
 
 // PerfBench measures simulator and campaign throughput and writes the
@@ -118,13 +154,16 @@ func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
 	rep.AllocsPerTrial = float64(after.Mallocs-before.Mallocs) / float64(trials)
 	rep.BytesPerTrial = float64(after.TotalAlloc-before.TotalAlloc) / float64(trials)
 
-	// End-to-end campaign throughput with the default worker count.
+	// End-to-end campaign throughput with the default worker count,
+	// collecting the engines' page accounting as a side channel.
+	var rs core.RestoreStats
 	ccfg := campaign.Config{
-		Arch:   cfg.Arch,
-		Opt:    core.FlameOptions(),
-		Specs:  []*core.KernelSpec{spec},
-		Trials: trials,
-		Seed:   1,
+		Arch:         cfg.Arch,
+		Opt:          core.FlameOptions(),
+		Specs:        []*core.KernelSpec{spec},
+		Trials:       trials,
+		Seed:         1,
+		RestoreStats: &rs,
 	}
 	start := time.Now()
 	if _, err := campaign.Run(ccfg); err != nil {
@@ -132,6 +171,15 @@ func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
 	}
 	rep.CampaignTrials = trials
 	rep.TrialsPerSec = float64(trials) / time.Since(start).Seconds()
+	rep.FootprintPages = (spec.MemBytes + gpu.PageBytes - 1) / gpu.PageBytes
+	if rs.Trials > 0 {
+		rep.RestoredPagesPerTrial = float64(rs.RestoredPages) / float64(rs.Trials)
+		rep.DiffPagesPerTrial = float64(rs.DiffPages) / float64(rs.Trials)
+	}
+
+	if err := perfRestoreBound(cfg, rep, trials); err != nil {
+		return nil, err
+	}
 
 	if outPath != "" {
 		if err := AppendPerfHistory(outPath, rep); err != nil {
@@ -140,7 +188,152 @@ func PerfBench(cfg Config, outPath string, trials int) (*PerfReport, error) {
 	}
 	cfg.printf("perf: %.0f simcycles/s (%.2fx over naive), %.1f trials/s, %.0f allocs/trial\n",
 		rep.SimCyclesPerSec, rep.SkipSpeedup, rep.TrialsPerSec, rep.AllocsPerTrial)
+	cfg.printf("perf: restore-bound %s: %.1f trials/s cow vs %.1f no-cow (%.2fx), %.1f/%d pages restored/trial, %.0f%% pruned\n",
+		rep.RestoreBound.Benchmark, rep.RestoreBound.TrialsPerSec, rep.RestoreBound.TrialsPerSecNoCOW,
+		rep.RestoreBound.CowSpeedup, rep.RestoreBound.RestoredPagesPerTrial,
+		rep.RestoreBound.FootprintPages, rep.RestoreBound.PrunedFraction*100)
 	return rep, nil
+}
+
+// restoreBoundSpec is the restore-bound microbenchmark: 128 threads
+// increment 128 contiguous words (one dirty page) of a 4 MB footprint
+// (4096 pages). A full-image restore copies and scans 4096x what the
+// trial touched, so the workload isolates the restore/diff path the way
+// Triad isolates memory bandwidth. The live work is latency-free (the
+// stored value is computed, not loaded), and the tail is a load whose
+// value feeds only the never-read r10: its memory latency stretches the
+// back of the execution window with cycles where every strike lands on
+// a provably dead register, giving the trial pruner a measurable hit
+// rate on top of the restore-path win.
+func restoreBoundSpec() *core.KernelSpec {
+	const src = `
+	    mov r0, %tid.x
+	    mov r1, %ctaid.x
+	    mov r2, %ntid.x
+	    mad r3, r1, r2, r0
+	    shl r4, r3, 2
+	    ld.param r5, [0]
+	    add r6, r5, r4
+	    add r8, r3, 1
+	    st.global [r6], r8
+	    ld.global r9, [r6]
+	    mul r10, r9, 3
+	    exit
+	`
+	const n = 2 * 64
+	return &core.KernelSpec{
+		Name:     "RestoreBound",
+		Prog:     isa.MustParse("restorebound", src),
+		Grid:     isa.Dim3{X: 2},
+		Block:    isa.Dim3{X: 64},
+		Params:   []uint32{0},
+		MemBytes: 4 << 20,
+		Validate: func(mem []uint32) error {
+			for i := 0; i < n; i++ {
+				if mem[i] != uint32(i+1) {
+					return fmt.Errorf("mem[%d] = %d, want %d", i, mem[i], i+1)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// perfRestoreBound measures the restore-bound microbenchmark with page
+// tracking on and off over the same derived trial set, plus the trial
+// pruner's hit rate on it.
+func perfRestoreBound(cfg Config, rep *PerfReport, trials int) error {
+	spec := restoreBoundSpec()
+	g, err := core.GoldenRun(cfg.Arch, spec, core.Options{Scheme: core.Baseline})
+	if err != nil {
+		return err
+	}
+	rb := &rep.RestoreBound
+	rb.Benchmark = spec.Name
+	rb.FootprintPages = (spec.MemBytes + gpu.PageBytes - 1) / gpu.PageBytes
+	rb.Trials = trials
+	ccfg := campaign.Config{Seed: 2}
+	measure := func(noCOW bool) (float64, core.RestoreStats) {
+		eng := core.NewEngine(cfg.Arch)
+		eng.SetNoCOW(noCOW)
+		eng.RunTrial(spec, g, ccfg.TrialSpec(g, spec.Name, 0)) // warm the pooled device
+		n := 0
+		start := time.Now()
+		for time.Since(start) < 300*time.Millisecond {
+			for i := 0; i < trials; i++ {
+				eng.RunTrial(spec, g, ccfg.TrialSpec(g, spec.Name, i))
+				n++
+			}
+		}
+		return float64(n) / time.Since(start).Seconds(), eng.Stats()
+	}
+	var cowStats core.RestoreStats
+	rb.TrialsPerSec, cowStats = measure(false)
+	rb.TrialsPerSecNoCOW, _ = measure(true)
+	rb.CowSpeedup = rb.TrialsPerSec / rb.TrialsPerSecNoCOW
+	if cowStats.Trials > 0 {
+		rb.RestoredPagesPerTrial = float64(cowStats.RestoredPages) / float64(cowStats.Trials)
+	}
+
+	px := core.BuildPruneIndex(cfg.Arch, spec, g, 0)
+	pruned := 0
+	for i := 0; i < trials; i++ {
+		if _, ok := px.PruneTrial(g, ccfg.TrialSpec(g, spec.Name, i)); ok {
+			pruned++
+		}
+	}
+	rb.PrunedFraction = float64(pruned) / float64(trials)
+	return nil
+}
+
+// CheckPerfRegression compares the newest entry of the perf history at
+// path against the most recent earlier entry with the same HostKey and
+// returns an error when campaign trials_per_sec regressed by more than
+// the tolerance fraction (tolerance <= 0 selects 0.20). Entries from
+// other host keys are skipped — wall-clock rates are only comparable on
+// the same machine class — and a history with no comparable predecessor
+// passes vacuously.
+func CheckPerfRegression(path string, tolerance float64) error {
+	if tolerance <= 0 {
+		tolerance = 0.20
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var history []PerfReport
+	trimmed := bytes.TrimSpace(data)
+	switch {
+	case len(trimmed) == 0:
+		return fmt.Errorf("harness: %s: empty perf history", path)
+	case trimmed[0] == '{':
+		// Legacy format: one bare report object — nothing to compare.
+		var one PerfReport
+		if err := json.Unmarshal(trimmed, &one); err != nil {
+			return err
+		}
+		return nil
+	default:
+		if err := json.Unmarshal(trimmed, &history); err != nil {
+			return err
+		}
+	}
+	if len(history) == 0 {
+		return fmt.Errorf("harness: %s: empty perf history", path)
+	}
+	last := &history[len(history)-1]
+	for i := len(history) - 2; i >= 0; i-- {
+		prev := &history[i]
+		if prev.HostKey() != last.HostKey() {
+			continue
+		}
+		if floor := prev.TrialsPerSec * (1 - tolerance); last.TrialsPerSec < floor {
+			return fmt.Errorf("harness: perf regression on %s: %.1f trials/s is more than %.0f%% below the previous entry's %.1f (floor %.1f)",
+				last.HostKey(), last.TrialsPerSec, tolerance*100, prev.TrialsPerSec, floor)
+		}
+		return nil
+	}
+	return nil
 }
 
 // headCommit identifies the measured revision: CI's GITHUB_SHA when set,

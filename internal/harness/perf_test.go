@@ -79,3 +79,60 @@ func TestAppendPerfHistory(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckPerfRegression pins the CI throughput guard: a >20% trials/s
+// drop against the most recent same-host entry fails; smaller drops,
+// foreign-host predecessors, and histories with nothing to compare pass.
+func TestCheckPerfRegression(t *testing.T) {
+	mk := func(cpus int, rate float64) *PerfReport {
+		r := &PerfReport{TrialsPerSec: rate}
+		r.Host.OS, r.Host.Arch, r.Host.CPUs, r.Host.GoVer = "linux", "amd64", cpus, "go1.24.0"
+		return r
+	}
+	write := func(t *testing.T, reps ...*PerfReport) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+		for _, r := range reps {
+			if err := AppendPerfHistory(path, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return path
+	}
+
+	if err := CheckPerfRegression(write(t, mk(4, 100), mk(4, 85)), 0); err != nil {
+		t.Fatalf("15%% drop within tolerance failed: %v", err)
+	}
+	if err := CheckPerfRegression(write(t, mk(4, 100), mk(4, 75)), 0); err == nil {
+		t.Fatal("25% drop on the same host key should fail")
+	}
+	// The comparison partner is the most recent same-host entry, not the
+	// oldest: recovering after a slow entry passes.
+	if err := CheckPerfRegression(write(t, mk(4, 100), mk(4, 85), mk(4, 80)), 0); err != nil {
+		t.Fatalf("7%% drop vs most recent entry failed: %v", err)
+	}
+	// A foreign host key in between must be skipped, not compared.
+	if err := CheckPerfRegression(write(t, mk(4, 100), mk(32, 1000), mk(4, 75)), 0); err == nil {
+		t.Fatal("25% drop vs the same-host predecessor should fail despite a foreign entry in between")
+	}
+	if err := CheckPerfRegression(write(t, mk(32, 1000), mk(4, 10)), 0); err != nil {
+		t.Fatalf("no same-host predecessor should pass vacuously: %v", err)
+	}
+	if err := CheckPerfRegression(write(t, mk(4, 100)), 0); err != nil {
+		t.Fatalf("single-entry history should pass vacuously: %v", err)
+	}
+
+	t.Run("legacy-single-object", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+		data, err := json.MarshalIndent(mk(1, 200), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPerfRegression(path, 0); err != nil {
+			t.Fatalf("legacy single-object history should pass: %v", err)
+		}
+	})
+}
