@@ -25,7 +25,7 @@ import (
 var quickSubset = []string{"Triad", "SGEMM", "LUD", "Histogram", "BS", "WT", "BFS", "Hotspot"}
 
 func main() {
-	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,telemetry,perf,all")
+	exp := flag.String("exp", "all", "experiments: fig12,table2,fig13,fig15,fig16,fig17,fig18,fig19,discussion,hw,masking,ablation,falsepos,occupancy,ckptplace,inject,coverage,telemetry,perf,sampling,all")
 	quick := flag.Bool("quick", false, "use an 8-benchmark subset")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	sms := flag.Int("sms", 0, "override SM count (smaller = faster)")
@@ -33,6 +33,7 @@ func main() {
 	injectRuns := flag.Int("inject-runs", 5, "injection trials per benchmark")
 	perfOut := flag.String("perf-out", "BENCH_sim.json", "output path for the -exp perf report")
 	perfTrials := flag.Int("perf-trials", 50, "campaign trials measured by -exp perf")
+	samplingTrials := flag.Int("sampling-trials", 400, "uniform-grid budget for -exp sampling")
 	perfGuard := flag.Bool("perf-guard", true, "with -exp perf: fail if trials/s regressed >20% vs the previous same-host history entry")
 	flag.Parse()
 
@@ -128,8 +129,13 @@ func main() {
 		return err
 	})
 	run("telemetry", func() error { _, err := harness.TelemetryStudy(cfg); return err })
-	// perf writes BENCH_sim.json as a side effect, so it only runs when
-	// asked for by name, never as part of -exp all.
+	// perf and sampling write BENCH_sim.json as a side effect, so they
+	// only run when asked for by name, never as part of -exp all.
+	if want["sampling"] {
+		if _, err := harness.SamplingStudy(cfg, *perfOut, *samplingTrials); err != nil {
+			fail("sampling: %v", err)
+		}
+	}
 	if want["perf"] {
 		if _, err := harness.PerfBench(cfg, *perfOut, *perfTrials); err != nil {
 			fail("perf: %v", err)

@@ -70,6 +70,11 @@ func main() {
 	serve := flag.String("serve", "", "run as distributed coordinator on this address (see flameserve)")
 	state := flag.String("state", "flameinject-state", "with -serve: state directory for checkpoint + shard streams")
 	join := flag.String("join", "", "run as distributed worker against this coordinator URL (see flameworker)")
+	stratify := flag.Bool("stratify", false, "stratified importance sampling over (kernel, section, opcode-class) strata instead of the uniform site grid")
+	ciTarget := flag.Float64("ci-target", 0, "adaptive early stop: halt a benchmark once both its SDC and DUE Wilson 95% half-widths reach this target (0 = off; needs -stratify or -serve)")
+	pilot := flag.Int("pilot", 0, "with -stratify: uniform pilot trials per stratum in round 0 (0 = default)")
+	audit := flag.Bool("audit", false, "with -stratify: rerun the uniform grid at the same budget and require the stratified estimates to fall inside its Wilson CIs (exit 1 on failure)")
+	listStrata := flag.Bool("list-strata", false, "enumerate the injection-site strata per benchmark (sites, weights) and exit without running trials")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
 	prune := flag.Bool("prune", false, "pre-classify provably-masked trials without simulation (bit-identical results; reported as pruned_masked)")
 	noCOW := flag.Bool("no-cow", false, "disable page-granular golden restore/diff (full copy + full scan per trial; results are byte-identical)")
@@ -132,6 +137,26 @@ func main() {
 		names[i] = strings.TrimSpace(n)
 	}
 
+	if *ciTarget < 0 || *ciTarget >= 0.5 {
+		fail("-ci-target %v out of range (0, 0.5)", *ciTarget)
+	}
+	if *ciTarget > 0 && !*stratify && *serve == "" {
+		fail("-ci-target needs -stratify (adaptive sampler) or -serve (coordinator early stop)")
+	}
+	if *audit && !*stratify {
+		fail("-audit needs -stratify")
+	}
+	if *stratify {
+		switch {
+		case *serve != "":
+			fail("-stratify runs in-process; a distributed campaign uses the uniform grid (pair -serve with -ci-target for coordinator early stop)")
+		case *resume:
+			fail("-stratify cannot -resume: the adaptive schedule depends on every prior outcome")
+		case *strikes > 1:
+			fail("-stratify supports single-strike trials only")
+		}
+	}
+
 	// Distributed coordinator mode: serve shards to workers instead of
 	// computing trials locally.
 	if *serve != "" {
@@ -145,7 +170,7 @@ func main() {
 					Benchmarks: names, Trials: *trials, Seed: *seed, Model: *modelFlag,
 					StrikesPerTrial: *strikes, HangBudgetMult: *budget,
 					TrialTimeoutMS: trialTimeout.Milliseconds(),
-					Prune:          *prune, NoCOW: *noCOW,
+					Prune:          *prune, NoCOW: *noCOW, CITarget: *ciTarget,
 				},
 				StateDir: *state, Logf: logf,
 			},
@@ -160,6 +185,10 @@ func main() {
 		}
 		for _, s := range fr.Quarantined {
 			fmt.Printf("QUARANTINED %s: excluded after repeated lease failures\n", s)
+		}
+		if len(fr.EarlyStopped) > 0 {
+			fmt.Printf("early stop: %s converged under ci_target %g (%d shards cancelled)\n",
+				strings.Join(fr.EarlyStopped, ", "), *ciTarget, len(fr.Cancelled))
 		}
 		if *jsonOut != "" {
 			data, jerr := fr.Report.JSON()
@@ -189,6 +218,15 @@ func main() {
 			fail("%v", err)
 		}
 		specs[i] = b.Spec()
+	}
+
+	// One-shot strata listing: the enumerated injection-site partition
+	// the stratified sampler would draw from, without running trials.
+	if *listStrata {
+		opt := core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend}
+		fmt.Print(strataTable(arch, opt, specs, model))
+		stopProf()
+		return
 	}
 
 	// One-shot restore/prune profile: per-benchmark page accounting
@@ -264,7 +302,7 @@ func main() {
 		os.Exit(130)
 	}()
 
-	rep, err := campaign.Run(campaign.Config{
+	ccfg := campaign.Config{
 		Arch:            arch,
 		Opt:             core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend},
 		Specs:           specs,
@@ -280,7 +318,11 @@ func main() {
 		Skip:            skip,
 		Prune:           *prune,
 		NoCOW:           *noCOW,
-	})
+		Stratify:        *stratify,
+		CITarget:        *ciTarget,
+		Pilot:           *pilot,
+	}
+	rep, err := campaign.Run(ccfg)
 	stopped := errors.Is(err, campaign.ErrStopped)
 	if err != nil && !stopped {
 		fail("%v", err)
@@ -331,7 +373,51 @@ func main() {
 		stopProf()
 		os.Exit(3)
 	}
+
+	// Audit protocol: rerun the exact uniform grid at the same budget
+	// and require every stratified point estimate to land inside the
+	// grid's Wilson 95% interval.
+	if *audit {
+		ar, aerr := campaign.Audit(ccfg, rep)
+		if aerr != nil {
+			fail("audit: %v", aerr)
+		}
+		fmt.Print(ar)
+		if !ar.Pass {
+			stopProf()
+			os.Exit(1)
+		}
+	}
 	exitUncovered(rep2exit(rep, model, scheme), stopProf)
+}
+
+// strataTable renders the -list-strata view: every benchmark's
+// enumerated (kernel, section, opcode-class) strata with exact site
+// counts and their share of the injectable span.
+func strataTable(arch gpu.Config, opt core.Options, specs []*core.KernelSpec, model flame.FaultModel) string {
+	t := &stats.Table{Header: []string{
+		"benchmark", "stratum", "sites", "weight",
+	}}
+	var out strings.Builder
+	for _, spec := range specs {
+		g, err := core.GoldenRun(arch, spec, opt)
+		if err != nil {
+			fail("%s: %v", spec.Name, err)
+		}
+		sm, err := core.BuildStrata(arch, spec, g, model)
+		if err != nil {
+			fail("%s: %v", spec.Name, err)
+		}
+		inj := sm.InjectableSites()
+		for _, st := range sm.Strata {
+			t.Add(spec.Name, st.Key(), fmt.Sprintf("%d", st.Sites),
+				fmt.Sprintf("%.4f", float64(st.Sites)/float64(inj)))
+		}
+		fmt.Fprintf(&out, "%s: span %d sites, %d injectable (%d strata), %d no-injection tail\n",
+			spec.Name, sm.Span, inj, len(sm.Strata), sm.NoInjectionSites)
+	}
+	return fmt.Sprintf("injection-site strata: model=%s scheme=%s wcdl=%d\n%s%s",
+		model, opt.Scheme, opt.WCDL, out.String(), t.String())
 }
 
 // restoreProfile runs every selected benchmark's trial sequence once on

@@ -99,12 +99,32 @@ type Config struct {
 	// engine's first restore copies the full image, and later restores
 	// copy whatever the previous trial on that engine dirtied).
 	RestoreStats *core.RestoreStats
+
+	// Stratify switches the campaign to the stratified sampler
+	// (RunStratified): Trials becomes a per-benchmark budget, trials are
+	// drawn from enumerated (kernel, section, opcode-class) site strata
+	// with Neyman reallocation between rounds, and the report gains a
+	// per-benchmark sampling breakdown. Single-strike only.
+	Stratify bool
+	// CITarget, when positive, stops a stratified benchmark early once
+	// the stratified 95% CI half-widths of both its SDC and DUE rates
+	// drop below it. Zero runs the full budget. The distributed
+	// coordinator applies the same target to its uniform grid, cancelling
+	// a converged benchmark's un-leased shards.
+	CITarget float64
+	// Pilot is the per-stratum trial count of the stratified sampler's
+	// uniform pilot round (default 8, minimum 2).
+	Pilot int
 }
 
 type job struct{ b, t int }
 
-// Run executes the campaign and aggregates the report.
+// Run executes the campaign and aggregates the report. A Config with
+// Stratify set is routed to the stratified sampler.
 func Run(cfg Config) (*Report, error) {
+	if cfg.Stratify {
+		return RunStratified(cfg)
+	}
 	if len(cfg.Specs) == 0 {
 		return nil, fmt.Errorf("campaign: no workloads")
 	}
@@ -243,7 +263,7 @@ func (cfg *Config) TrialSpec(g *core.Golden, bench string, t int) core.TrialSpec
 		strikes = 1
 	}
 	rng := rand.New(rand.NewSource(trialSeed(benchSeed(cfg.Seed, bench), t)))
-	span := g.Window*9/10 + 1
+	span := g.ArmSpan()
 	arms := make([]int64, strikes)
 	for i := range arms {
 		arms[i] = rng.Int63n(span)

@@ -60,6 +60,110 @@ type BenchReport struct {
 	ExampleSDC      string `json:"example_sdc,omitempty"`
 	ExampleHang     string `json:"example_hang,omitempty"`
 	ExampleInternal string `json:"example_internal,omitempty"`
+
+	// Sampling is the stratified sampler's per-benchmark breakdown:
+	// site-space enumeration, per-stratum allocation and outcomes, the
+	// post-stratified SDC/DUE rate estimates, and why sampling stopped.
+	// Nil (and omitted from JSON) on uniform campaigns, so their reports
+	// are byte-identical to the pre-stratification format.
+	Sampling *SamplingReport `json:"sampling,omitempty"`
+}
+
+// RateCI is a rate estimate with its 95% confidence interval.
+type RateCI struct {
+	Rate float64 `json:"rate"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	// EffN is the effective binomial sample size behind the interval
+	// (equals the sampled trial count under proportional allocation).
+	EffN float64 `json:"eff_n"`
+}
+
+// HalfWidth is the interval's half-width, (Hi-Lo)/2.
+func (r RateCI) HalfWidth() float64 { return (r.Hi - r.Lo) / 2 }
+
+// StratumReport is one injection-site stratum's allocation and outcomes.
+type StratumReport struct {
+	// Key is the stratum's canonical "kernel/sN/class" key.
+	Key string `json:"key"`
+	// Sites is the stratum's exact arm-cycle site count (its weight).
+	Sites int64 `json:"sites"`
+	// Trials counts trials allocated to (and run in) the stratum.
+	Trials    int `json:"trials"`
+	Masked    int `json:"masked"`
+	Recovered int `json:"recovered"`
+	SDC       int `json:"sdc"`
+	DUE       int `json:"due"`
+	Hang      int `json:"hang"`
+	Internal  int `json:"internal,omitempty"`
+}
+
+// foldOutcome tallies one trial outcome into the stratum.
+func (s *StratumReport) foldOutcome(o core.Outcome) {
+	s.Trials++
+	switch o {
+	case core.OutcomeMasked:
+		s.Masked++
+	case core.OutcomeRecovered:
+		s.Recovered++
+	case core.OutcomeSDC:
+		s.SDC++
+	case core.OutcomeDUE:
+		s.DUE++
+	case core.OutcomeHang:
+		s.Hang++
+	case core.OutcomeInternal:
+		s.Internal++
+	}
+}
+
+// SamplingReport is the stratified sampler's per-benchmark summary.
+type SamplingReport struct {
+	// SpanSites is the arm-cycle space size; NoInjectionSites the tail
+	// past the last corruptible event, which the sampler excludes
+	// analytically (stratified trials never classify NoInjection).
+	SpanSites        int64 `json:"span_sites"`
+	NoInjectionSites int64 `json:"no_injection_sites"`
+	// Budget is the per-benchmark trial budget; TrialsUsed what adaptive
+	// stopping actually spent, across Rounds sampling rounds.
+	Budget     int `json:"budget"`
+	TrialsUsed int `json:"trials_used"`
+	Rounds     int `json:"rounds"`
+	// StopReason is why sampling ended: "ci_target" (both rate CIs hit
+	// the target half-width), "budget", "stopped" (interrupt), or
+	// "no_sites" (no corruptible site in the window).
+	StopReason string `json:"stop_reason"`
+	// SDCRate / DUERate are the post-stratified rate estimates over the
+	// injectable site space (the same conditional-on-injection rates a
+	// uniform campaign estimates as SDC/Injected and DUE/Injected).
+	SDCRate RateCI `json:"sdc_rate"`
+	DUERate RateCI `json:"due_rate"`
+	// Strata is the per-stratum breakdown, in enumeration order.
+	Strata []StratumReport `json:"strata"`
+}
+
+// buildSampling assembles a SamplingReport from per-stratum outcome
+// counts, computing the post-stratified rate estimates. It is shared by
+// the sampler and stream replay so both construct identical reports.
+func buildSampling(span, noInj int64, budget, used, rounds int, reason string, strata []StratumReport) *SamplingReport {
+	sdc := make([]stats.StratumCount, len(strata))
+	due := make([]stats.StratumCount, len(strata))
+	for i := range strata {
+		s := &strata[i]
+		n := s.Trials - s.Internal
+		sdc[i] = stats.StratumCount{Weight: s.Sites, N: n, K: s.SDC}
+		due[i] = stats.StratumCount{Weight: s.Sites, N: n, K: s.DUE}
+	}
+	rateCI := func(r stats.StratifiedResult) RateCI {
+		return RateCI{Rate: r.Rate, Lo: r.Lo, Hi: r.Hi, EffN: r.EffN}
+	}
+	return &SamplingReport{
+		SpanSites: span, NoInjectionSites: noInj,
+		Budget: budget, TrialsUsed: used, Rounds: rounds, StopReason: reason,
+		SDCRate: rateCI(stats.StratifiedWilson95(sdc)),
+		DUERate: rateCI(stats.StratifiedWilson95(due)),
+		Strata:  strata,
+	}
 }
 
 // fold adds one trial.
@@ -147,6 +251,12 @@ type Report struct {
 	StrikesPerTrial int           `json:"strikes_per_trial"`
 	Benchmarks      []BenchReport `json:"benchmarks"`
 	Fleet           BenchReport   `json:"fleet"`
+	// Stratified marks a stratified-sampler report (Trials is then the
+	// per-benchmark budget, not necessarily what each benchmark spent);
+	// CITarget is its early-stopping half-width target. Both omitted on
+	// uniform campaigns, keeping their JSON unchanged.
+	Stratified bool    `json:"stratified,omitempty"`
+	CITarget   float64 `json:"ci_target,omitempty"`
 }
 
 // Table renders the per-benchmark coverage table.
@@ -174,6 +284,19 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "fault-injection campaign: scheme=%s model=%s arch=%s wcdl=%d trials=%d/bench strikes=%d seed=%d\n",
 		r.Scheme, r.Model, r.Arch, r.WCDL, r.Trials, r.StrikesPerTrial, r.Seed)
 	b.WriteString(r.Table().String())
+	if r.Stratified {
+		for i := range r.Benchmarks {
+			br := &r.Benchmarks[i]
+			s := br.Sampling
+			if s == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "sampling %s: %d/%d trials, %d rounds, stop=%s, strata=%d, sdc=%.3f%% [%.3f%%, %.3f%%], due=%.3f%% [%.3f%%, %.3f%%]\n",
+				br.Benchmark, s.TrialsUsed, s.Budget, s.Rounds, s.StopReason, len(s.Strata),
+				s.SDCRate.Rate*100, s.SDCRate.Lo*100, s.SDCRate.Hi*100,
+				s.DUERate.Rate*100, s.DUERate.Lo*100, s.DUERate.Hi*100)
+		}
+	}
 	if r.Fleet.SDC == 0 && r.Fleet.Hang == 0 && r.Fleet.DUE == 0 {
 		b.WriteString("every injected fault was masked or detected and recovered\n")
 	} else {

@@ -68,6 +68,7 @@ func MarshalStartEvent(cfg *Config, parallel, wcdl int) ([]byte, error) {
 		Model: cfg.Model.String(), WCDL: wcdl, Seed: cfg.Seed,
 		TrialsPerBench: cfg.Trials, StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
 		Parallel: parallel, Benchmarks: benches, TotalTrials: len(benches) * cfg.Trials,
+		Stratified: cfg.Stratify, CITarget: cfg.CITarget, Pilot: cfg.Pilot,
 	})
 }
 
@@ -85,7 +86,8 @@ func MarshalTrialEvent(bench string, t int, r *core.TrialResult) ([]byte, error)
 		Event: "trial", Benchmark: bench, Trial: t,
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
-		Cycles: r.Cycles, Pruned: r.Pruned, Description: r.Description,
+		Cycles: r.Cycles, Pruned: r.Pruned, Stratum: r.Stratum,
+		Description: r.Description,
 	})
 }
 

@@ -35,6 +35,12 @@ type startEvent struct {
 	Parallel        int      `json:"parallel"`
 	Benchmarks      []string `json:"benchmarks"`
 	TotalTrials     int      `json:"total_trials"`
+	// Stratified campaigns carry their sampler parameters; all omitted
+	// on uniform campaigns, so those streams are byte-identical to the
+	// pre-stratification format.
+	Stratified bool    `json:"stratified,omitempty"`
+	CITarget   float64 `json:"ci_target,omitempty"`
+	Pilot      int     `json:"pilot,omitempty"`
 }
 
 // goldenEvent reports one workload's fault-free reference run.
@@ -65,8 +71,37 @@ type trialEvent struct {
 	// Pruned marks trials classified by the pruning oracle instead of
 	// simulation (omitted when false, so prune-off streams are
 	// byte-identical to the pre-pruning format).
-	Pruned      bool   `json:"pruned,omitempty"`
+	Pruned bool `json:"pruned,omitempty"`
+	// Stratum is the injection-site stratum the trial was drawn from
+	// (stratified campaigns only).
+	Stratum     string `json:"stratum,omitempty"`
 	Description string `json:"description,omitempty"`
+}
+
+// strataEvent reports one workload's site-space enumeration (stratified
+// campaigns; replay rebuilds the sampling breakdown from it).
+type strataEvent struct {
+	Event            string        `json:"event"` // "strata"
+	Benchmark        string        `json:"benchmark"`
+	SpanSites        int64         `json:"span_sites"`
+	NoInjectionSites int64         `json:"no_injection_sites"`
+	Strata           []stratumInfo `json:"strata"`
+}
+
+// stratumInfo is one stratum's identity and exact site count.
+type stratumInfo struct {
+	Key   string `json:"key"`
+	Sites int64  `json:"sites"`
+}
+
+// benchDoneEvent closes one workload's stratified sampling: how much of
+// the budget adaptive stopping spent, and why it stopped.
+type benchDoneEvent struct {
+	Event      string `json:"event"` // "bench_done"
+	Benchmark  string `json:"benchmark"`
+	TrialsUsed int    `json:"trials_used"`
+	Rounds     int    `json:"rounds"`
+	StopReason string `json:"stop_reason"`
 }
 
 // progressEvent summarizes throughput; emitted every ~2% of trials.
@@ -137,11 +172,26 @@ func (s *streamer) campaignStart(cfg *Config, parallel, wcdl int) {
 		Model: cfg.Model.String(), WCDL: wcdl, Seed: cfg.Seed,
 		TrialsPerBench: cfg.Trials, StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
 		Parallel: parallel, Benchmarks: benches, TotalTrials: s.total,
+		Stratified: cfg.Stratify, CITarget: cfg.CITarget, Pilot: cfg.Pilot,
 	})
 }
 
 func (s *streamer) golden(bench string, window int64) {
 	s.emitLocked(goldenEvent{Event: "golden", Benchmark: bench, WindowCycles: window})
+}
+
+func (s *streamer) strata(bench string, span, noInj int64, strata []stratumInfo) {
+	s.emitLocked(strataEvent{
+		Event: "strata", Benchmark: bench,
+		SpanSites: span, NoInjectionSites: noInj, Strata: strata,
+	})
+}
+
+func (s *streamer) benchDone(bench string, used, rounds int, reason string) {
+	s.emitLocked(benchDoneEvent{
+		Event: "bench_done", Benchmark: bench,
+		TrialsUsed: used, Rounds: rounds, StopReason: reason,
+	})
 }
 
 func (s *streamer) trialStart(bench string, t int) {
@@ -157,7 +207,8 @@ func (s *streamer) trial(bench string, t int, r *core.TrialResult) {
 		Event: "trial", Benchmark: bench, Trial: t,
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
-		Cycles: r.Cycles, Pruned: r.Pruned, Description: r.Description,
+		Cycles: r.Cycles, Pruned: r.Pruned, Stratum: r.Stratum,
+		Description: r.Description,
 	})
 	if s.done%s.every != 0 && s.done != s.total {
 		return
@@ -288,6 +339,8 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	var start *startEvent
 	windows := map[string]int64{}
+	strataBy := map[string]*strataEvent{}
+	doneBy := map[string]*benchDoneEvent{}
 	var trials []trialEvent
 	malformed := func(line int, raw []byte, err error) {
 		ig.Malformed++
@@ -325,6 +378,20 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 				continue
 			}
 			windows[e.Benchmark] = e.WindowCycles
+		case "strata":
+			var e strataEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				malformed(ig.Lines, raw, err)
+				continue
+			}
+			strataBy[e.Benchmark] = &e
+		case "bench_done":
+			var e benchDoneEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				malformed(ig.Lines, raw, err)
+				continue
+			}
+			doneBy[e.Benchmark] = &e
 		case "trial":
 			var e trialEvent
 			if err := json.Unmarshal(raw, &e); err != nil {
@@ -374,10 +441,22 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 		Arch: start.Arch, Scheme: start.Scheme, Model: start.Model,
 		WCDL: start.WCDL, Seed: start.Seed, Trials: start.TrialsPerBench,
 		StrikesPerTrial: start.StrikesPerTrial,
+		Stratified:      start.Stratified, CITarget: start.CITarget,
 	}
 	k := 0
 	for _, bench := range start.Benchmarks {
 		br := BenchReport{Benchmark: bench, WindowCycles: windows[bench]}
+		// Stratified streams rebuild the per-stratum breakdown from the
+		// bench's strata event plus each trial's stratum key.
+		var counts []StratumReport
+		keyIdx := map[string]int{}
+		if se := strataBy[bench]; start.Stratified && se != nil {
+			counts = make([]StratumReport, len(se.Strata))
+			for i, si := range se.Strata {
+				counts[i] = StratumReport{Key: si.Key, Sites: si.Sites}
+				keyIdx[si.Key] = i
+			}
+		}
 		folded := 0
 		for ; k < len(trials) && trials[k].Benchmark == bench; k++ {
 			e := &trials[k]
@@ -385,20 +464,42 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 				ig.Duplicates++
 				continue
 			}
+			outcome := outcomeByName[e.Outcome]
 			br.fold(&core.TrialResult{
-				Outcome:         outcomeByName[e.Outcome],
+				Outcome:         outcome,
 				ExcludedStrikes: e.ExcludedStrikes,
 				Pruned:          e.Pruned,
+				Stratum:         e.Stratum,
 				Description:     e.Description,
 			})
+			if i, ok := keyIdx[e.Stratum]; ok {
+				counts[i].foldOutcome(outcome)
+			}
 			folded++
 		}
-		if miss := start.TrialsPerBench - folded; miss > 0 {
+		expected := start.TrialsPerBench
+		if start.Stratified {
+			// A stratified benchmark legitimately uses fewer trials than its
+			// budget; only its bench_done record says how many actually ran.
+			expected = folded
+			if d := doneBy[bench]; d != nil {
+				expected = d.TrialsUsed
+			}
+		}
+		if miss := expected - folded; miss > 0 {
 			ig.Missing += miss
 			if ig.MissingByBench == nil {
 				ig.MissingByBench = map[string]int{}
 			}
 			ig.MissingByBench[bench] = miss
+		}
+		if se := strataBy[bench]; start.Stratified && se != nil {
+			used, rounds, reason := folded, 0, "unknown"
+			if d := doneBy[bench]; d != nil {
+				used, rounds, reason = d.TrialsUsed, d.Rounds, d.StopReason
+			}
+			br.Sampling = buildSampling(se.SpanSites, se.NoInjectionSites,
+				start.TrialsPerBench, used, rounds, reason, counts)
 		}
 		br.finish()
 		rep.Benchmarks = append(rep.Benchmarks, br)

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+// BuildStrata enumerates the single-strike injection-site space of a
+// golden run into (kernel, section, opcode-class) strata with exact
+// site counts. It replays the fault-free run once with a recording hook
+// combined after the scheme's own hooks — the recorder therefore sees
+// the executed-instruction stream in exactly the order a trial's
+// injector observes it — and feeds the main kernel's corruptible events
+// to a flame.StrataBuilder.
+//
+// The replay must be bit-identical to the golden run, so the recorder
+// only watches; a mismatch between the replay's cycle count and
+// g.Window is reported as an error rather than silently mis-weighting
+// strata.
+func BuildStrata(cfg gpu.Config, spec *KernelSpec, g *Golden, model flame.FaultModel) (*flame.StrataMap, error) {
+	sections := make([][2]int, len(g.Comp.Sections))
+	for i, s := range g.Comp.Sections {
+		sections[i] = [2]int{s.Start, s.End}
+	}
+	b := flame.NewStrataBuilder(g.Comp.Prog, spec.Name, sections, model, g.ArmSpan())
+	return buildStrata(cfg, spec, g, b)
+}
+
+func buildStrata(cfg gpu.Config, spec *KernelSpec, g *Golden, b *flame.StrataBuilder) (*flame.StrataMap, error) {
+	main := g.Comp.Prog
+	recorder := &gpu.Hooks{OnExecuted: func(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
+		// The injector attaches to the main kernel's launch only, and the
+		// device clock restarts per launch — record nothing else.
+		if d.Kernel() != main {
+			return
+		}
+		// Mirror Injector.pickLane's liveness gate: an event with no
+		// executing lane holding live registers never fires a strike (the
+		// injector stays armed through it), so it owns no arm cycles.
+		mask := w.LastExecMask()
+		live := false
+		for l := 0; l < len(w.Regs); l++ {
+			if mask&(1<<l) != 0 && w.Regs[l] != nil {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return
+		}
+		b.Observe(d.Cyc, pc)
+	}}
+	res, err := RunCompiledOpts(cfg, spec, g.Comp, nil, RunOpts{
+		SkipValidate: true,
+		Hooks:        recorder,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("strata replay: %w", err)
+	}
+	if res.Stats.Cycles != g.Window {
+		return nil, fmt.Errorf("strata replay diverged: %d cycles, golden window %d",
+			res.Stats.Cycles, g.Window)
+	}
+	return b.Finish(), nil
+}
+
+// ArmSpan is the single-strike arm-cycle space size: arms are drawn
+// uniformly from [0, ArmSpan()). Defined on Golden so the uniform
+// campaign's trial derivation and the stratified enumeration cannot
+// drift apart.
+func (g *Golden) ArmSpan() int64 { return g.Window*9/10 + 1 }

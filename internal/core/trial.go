@@ -235,6 +235,10 @@ type TrialResult struct {
 	// have produced; the flag keeps accelerated campaigns auditable).
 	// Set by the campaign layer, never by PruneTrial itself.
 	Pruned bool `json:",omitempty"`
+	// Stratum is the injection-site stratum key the trial was drawn
+	// from (stratified campaigns only; empty on the uniform grid).
+	// Set by the campaign sampler, never by RunTrial.
+	Stratum string `json:",omitempty"`
 }
 
 // RunTrial executes one injection trial against a golden run and

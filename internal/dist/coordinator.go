@@ -18,14 +18,17 @@ import (
 )
 
 // Shard lifecycle states. A shard starts pending, is leased to one
-// worker at a time, and ends done (every trial of its range persisted)
-// or quarantined (too many failed leases — a poison range excluded from
-// the campaign so it cannot wedge the fleet).
+// worker at a time, and ends done (every trial of its range persisted),
+// quarantined (too many failed leases — a poison range excluded from
+// the campaign so it cannot wedge the fleet), or cancelled (its
+// benchmark's live CI converged under the campaign's ci_target, so the
+// remaining trials are deliberately skipped).
 const (
 	statePending     = "pending"
 	stateLeased      = "leased"
 	stateDone        = "done"
 	stateQuarantined = "quarantined"
+	stateCancelled   = "cancelled"
 )
 
 // CoordConfig configures a Coordinator.
@@ -85,10 +88,34 @@ type Coordinator struct {
 	doneSeen map[string]bool   // workers that received a Done lease reply
 	tally    map[string]int    // outcome name -> distinct trials
 	cov      stats.Prop        // coverage over injected trials so far
+	bstats   map[string]*benchTally
+	stopped  map[string]bool // benchmarks early-stopped by ci_target
 	finished bool
 	final    *FinalReport
 	done     chan struct{}
 	started  time.Time
+}
+
+// benchTally is one benchmark's live injected/SDC/DUE counts, fed from
+// accepted event lines (and the shard-stream rescan on resume) — the
+// inputs of the ci_target early-stop rule.
+type benchTally struct {
+	injected, sdc, due int
+}
+
+// observe folds n persisted trials of one outcome into the tally,
+// mirroring the report's conditional-on-injection rate denominators.
+func (bt *benchTally) observe(outcome string, n int) {
+	if outcome == "no-injection" || outcome == "internal" {
+		return
+	}
+	bt.injected += n
+	switch outcome {
+	case "sdc":
+		bt.sdc += n
+	case "due":
+		bt.due += n
+	}
 }
 
 // NewCoordinator builds a coordinator: reconstructs the campaign,
@@ -132,9 +159,11 @@ func NewCoordinator(cc CoordConfig) (*Coordinator, error) {
 		leases:   map[string]*shardCtl{},
 		workers:  map[string]string{},
 		doneSeen: map[string]bool{},
-		tally:   map[string]int{},
-		done:    make(chan struct{}),
-		started: time.Now(),
+		tally:    map[string]int{},
+		bstats:   map[string]*benchTally{},
+		stopped:  map[string]bool{},
+		done:     make(chan struct{}),
+		started:  time.Now(),
 	}
 	for _, spec := range cfg.Specs {
 		g, err := core.GoldenRun(cfg.Arch, spec, cfg.Opt)
@@ -160,6 +189,13 @@ func NewCoordinator(cc CoordConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c.mu.Lock()
+	// Re-evaluate the early-stop rule on resumed data: a campaign killed
+	// after converging cancels its remaining pending shards before
+	// leasing anything out, and a bench restored with cancelled shards
+	// re-derives its stopped flag from the same (monotone) tallies.
+	for _, sp := range cfg.Specs {
+		c.maybeEarlyStopLocked(sp.Name)
+	}
 	c.checkFinishedLocked()
 	c.mu.Unlock()
 	return c, nil
@@ -186,8 +222,8 @@ func (c *Coordinator) resume() error {
 		for _, sc := range c.shards {
 			if s, ok := byID[sc.shard.ID]; ok {
 				sc.fails = s.Fails
-				if s.State == stateQuarantined {
-					sc.state = stateQuarantined
+				if s.State == stateQuarantined || s.State == stateCancelled {
+					sc.state = s.State
 				}
 				// done and leased both re-verify against the stream below.
 			}
@@ -199,8 +235,10 @@ func (c *Coordinator) resume() error {
 			return err
 		}
 		sc.seen = seen
+		bt := c.benchTallyFor(sc.shard.Bench)
 		for o, n := range tally {
 			c.tally[o] += n
+			bt.observe(o, n)
 		}
 		c.cov.Observe(cov.K, cov.N)
 		if sc.state != stateQuarantined && len(seen) == sc.shard.Trials() {
@@ -295,14 +333,59 @@ func (c *Coordinator) checkpointAndCheckLocked() {
 	c.checkFinishedLocked()
 }
 
+// benchTallyFor returns (allocating on first use) a benchmark's live
+// injected/SDC/DUE tally.
+func (c *Coordinator) benchTallyFor(bench string) *benchTally {
+	bt := c.bstats[bench]
+	if bt == nil {
+		bt = &benchTally{}
+		c.bstats[bench] = bt
+	}
+	return bt
+}
+
+// maybeEarlyStopLocked applies the adaptive stopping rule: when the
+// campaign carries a ci_target and a benchmark's live SDC and DUE
+// Wilson 95% half-widths over injected trials have both reached it,
+// the benchmark's still-pending shards are cancelled — their trials
+// would only narrow an interval that is already narrow enough. Leased
+// shards run to completion (their results are free by the time we
+// know), and done shards stay done.
+func (c *Coordinator) maybeEarlyStopLocked(bench string) {
+	target := c.cfg.CITarget
+	if target <= 0 || c.stopped[bench] {
+		return
+	}
+	bt := c.bstats[bench]
+	if bt == nil || bt.injected == 0 {
+		return
+	}
+	sLo, sHi := stats.Wilson95(bt.sdc, bt.injected)
+	dLo, dHi := stats.Wilson95(bt.due, bt.injected)
+	if (sHi-sLo)/2 > target || (dHi-dLo)/2 > target {
+		return
+	}
+	c.stopped[bench] = true
+	cancelled := 0
+	for _, sc := range c.shards {
+		if sc.shard.Bench == bench && sc.state == statePending {
+			sc.state = stateCancelled
+			cancelled++
+		}
+	}
+	c.cc.Logf("%s converged (sdc ±%.4f, due ±%.4f <= ci_target %.4f after %d injected trials); cancelled %d pending shards",
+		bench, (sHi-sLo)/2, (dHi-dLo)/2, target, bt.injected, cancelled)
+}
+
 // checkFinishedLocked finalizes once no shard can make further
-// progress: all done (complete) or the remainder quarantined (degraded).
+// progress: all done or cancelled (complete) or the remainder
+// quarantined (degraded).
 func (c *Coordinator) checkFinishedLocked() {
 	if c.finished {
 		return
 	}
 	for _, sc := range c.shards {
-		if sc.state != stateDone && sc.state != stateQuarantined {
+		if sc.state != stateDone && sc.state != stateQuarantined && sc.state != stateCancelled {
 			return
 		}
 	}
@@ -341,12 +424,17 @@ func (c *Coordinator) mergeLocked() (*FinalReport, error) {
 		}
 		buf = append(buf, line...)
 	}
-	var quarantined []campaign.Shard
+	var quarantined, cancelled []campaign.Shard
+	cancelledMissing := 0
 	allDone := true
 	for _, sc := range c.shards {
-		if sc.state == stateQuarantined {
+		switch sc.state {
+		case stateQuarantined:
 			quarantined = append(quarantined, sc.shard)
 			allDone = false
+		case stateCancelled:
+			cancelled = append(cancelled, sc.shard)
+			cancelledMissing += sc.shard.Trials() - len(sc.seen)
 		}
 		data, err := os.ReadFile(shardFilePath(c.cc.StateDir, sc.shard.ID))
 		if err != nil {
@@ -357,14 +445,24 @@ func (c *Coordinator) mergeLocked() (*FinalReport, error) {
 		}
 		buf = append(buf, data...)
 	}
+	var earlyStopped []string
+	for _, sp := range c.cfg.Specs {
+		if c.stopped[sp.Name] {
+			earlyStopped = append(earlyStopped, sp.Name)
+		}
+	}
 	rep, ig, err := campaign.ReplayIntegrity(bytes.NewReader(buf))
 	if err != nil {
 		return nil, err
 	}
 	return &FinalReport{
 		Report: rep, Integrity: ig,
-		Complete:    allDone && ig.Clean() && ig.Missing == 0,
-		Quarantined: quarantined,
+		// Complete tolerates exactly the trials a CI-target early stop
+		// deliberately skipped; anything else missing is degradation.
+		Complete:     allDone && ig.Clean() && ig.Missing == cancelledMissing,
+		Quarantined:  quarantined,
+		Cancelled:    cancelled,
+		EarlyStopped: earlyStopped,
 	}, nil
 }
 
@@ -580,6 +678,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		sc.seen[p.Trial] = true
 		c.tally[p.Outcome]++
+		c.benchTallyFor(sc.shard.Bench).observe(p.Outcome, 1)
 		if p.Outcome != "no-injection" && p.Outcome != "internal" {
 			c.cov.Add(p.Outcome == "masked" || p.Outcome == "recovered")
 		}
@@ -593,6 +692,11 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 			c.cc.Logf("append %s: %v", sc.shard, err)
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 			return
+		}
+		wasStopped := c.stopped[sc.shard.Bench]
+		c.maybeEarlyStopLocked(sc.shard.Bench)
+		if c.stopped[sc.shard.Bench] && !wasStopped {
+			c.checkpointAndCheckLocked()
 		}
 	}
 	writeJSON(w, http.StatusOK, EventsResponse{OK: true})
@@ -677,6 +781,8 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 			st.DoneShards++
 		case stateQuarantined:
 			st.Quarantined++
+		case stateCancelled:
+			st.Cancelled++
 		}
 		st.Shards = append(st.Shards, ShardStatus{
 			Shard: sc.shard, State: sc.state, Fails: sc.fails,
@@ -684,6 +790,11 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	st.Degraded = st.Quarantined > 0
+	for _, sp := range c.cfg.Specs {
+		if c.stopped[sp.Name] {
+			st.EarlyStopped = append(st.EarlyStopped, sp.Name)
+		}
+	}
 	for name, reason := range c.workers {
 		if reason == "" {
 			st.Workers = append(st.Workers, name)

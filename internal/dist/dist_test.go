@@ -338,6 +338,55 @@ func TestDistGracefulShutdownResume(t *testing.T) {
 	}
 }
 
+// TestDistEarlyStopCancelsShards: a campaign with a loose ci_target
+// converges long before the trial budget; the coordinator cancels the
+// converged benchmarks' pending shards, the final report is Complete
+// with the skipped trials accounted as exactly the cancelled ranges,
+// and a coordinator restarted on the state dir reaches the same
+// terminal state without re-leasing anything.
+func TestDistEarlyStopCancelsShards(t *testing.T) {
+	info := testInfo(24)
+	info.CITarget = 0.3
+	dir := t.TempDir()
+	c, srv, cancel := testCoord(t, info, dir)
+
+	if err := RunWorker(context.Background(), WorkerConfig{
+		URL: srv.URL, Name: "solo", FlushEvery: 2, Logf: t.Logf,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	fr := waitDone(t, c, 120*time.Second)
+	if !fr.Complete {
+		t.Fatalf("early-stopped campaign not complete: integrity=%s", fr.Integrity)
+	}
+	if len(fr.EarlyStopped) == 0 {
+		t.Fatalf("ci_target %.2f never converged: %+v", info.CITarget, fr.Integrity)
+	}
+	if len(fr.Cancelled) == 0 {
+		t.Fatal("converged campaign cancelled no shards")
+	}
+	skipped := 0
+	for _, sh := range fr.Cancelled {
+		skipped += sh.Trials()
+	}
+	if fr.Integrity.Missing != skipped {
+		t.Fatalf("missing %d != cancelled trials %d", fr.Integrity.Missing, skipped)
+	}
+	if got, want := fr.Report.Fleet.Trials, 2*24-skipped; got != want {
+		t.Fatalf("report folded %d trials, want %d", got, want)
+	}
+	cancel()
+	srv.Close()
+
+	// Restart on the same state dir: the cancelled shards must be
+	// restored (not re-leased) and the campaign finalizes immediately.
+	c2, _, _ := testCoord(t, info, dir)
+	fr2 := waitDone(t, c2, 10*time.Second)
+	if !fr2.Complete || len(fr2.Cancelled) != len(fr.Cancelled) {
+		t.Fatalf("resume lost cancellation: complete=%v cancelled=%v", fr2.Complete, fr2.Cancelled)
+	}
+}
+
 // TestDistStateDirMismatch: resuming a state dir that belongs to a
 // different campaign is refused instead of merging garbage.
 func TestDistStateDirMismatch(t *testing.T) {

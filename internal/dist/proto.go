@@ -60,6 +60,12 @@ type CampaignInfo struct {
 	// either way; the flags only affect the pruned_* counters and speed.
 	Prune bool `json:"prune,omitempty"`
 	NoCOW bool `json:"no_cow,omitempty"`
+	// CITarget > 0 arms the coordinator's adaptive early stop: once a
+	// benchmark's live SDC and DUE Wilson 95% half-widths over injected
+	// trials both drop to the target, its still-pending shards are
+	// cancelled instead of leased. Workers need it on the wire so a
+	// resumed campaign keeps the same stopping rule.
+	CITarget float64 `json:"ci_target,omitempty"`
 }
 
 // InfoFromConfig captures a campaign.Config's wire description.
@@ -84,6 +90,7 @@ func InfoFromConfig(cfg *campaign.Config) CampaignInfo {
 		TrialTimeoutMS:     cfg.TrialTimeout.Milliseconds(),
 		Prune:              cfg.Prune,
 		NoCOW:              cfg.NoCOW,
+		CITarget:           cfg.CITarget,
 	}
 }
 
@@ -125,6 +132,7 @@ func (ci *CampaignInfo) Config() (campaign.Config, error) {
 		TrialTimeout:    time.Duration(ci.TrialTimeoutMS) * time.Millisecond,
 		Prune:           ci.Prune,
 		NoCOW:           ci.NoCOW,
+		CITarget:        ci.CITarget,
 	}, nil
 }
 
@@ -241,6 +249,11 @@ type StatusResponse struct {
 	Leased      int `json:"shards_leased"`
 	DoneShards  int `json:"shards_done"`
 	Quarantined int `json:"shards_quarantined"`
+	Cancelled   int `json:"shards_cancelled,omitempty"`
+
+	// EarlyStopped lists benchmarks whose CIs converged under the
+	// campaign's ci_target, cancelling their remaining pending shards.
+	EarlyStopped []string `json:"early_stopped,omitempty"`
 
 	Workers        []string `json:"workers,omitempty"`
 	BannedWorkers  []string `json:"banned_workers,omitempty"`
@@ -256,10 +269,17 @@ type StatusResponse struct {
 type FinalReport struct {
 	Report    *campaign.Report    `json:"report"`
 	Integrity *campaign.Integrity `json:"integrity"`
-	// Complete: every shard finished and the merge was clean with zero
-	// missing trials — the report is byte-identical to a single-process
-	// run of the same campaign config.
+	// Complete: every shard finished (or was deliberately cancelled by a
+	// CI-target early stop) and the merge was clean — the only missing
+	// trials are the cancelled remainder. With no early stop this
+	// degenerates to the original guarantee: zero missing trials and a
+	// report byte-identical to a single-process run of the same config.
 	Complete bool `json:"complete"`
 	// Quarantined lists the poison shards excluded from the report.
 	Quarantined []campaign.Shard `json:"quarantined,omitempty"`
+	// Cancelled lists shards whose trials were deliberately skipped
+	// because their benchmark's CI converged under ci_target.
+	Cancelled []campaign.Shard `json:"cancelled,omitempty"`
+	// EarlyStopped lists the converged benchmarks.
+	EarlyStopped []string `json:"early_stopped,omitempty"`
 }

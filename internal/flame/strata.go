@@ -1,0 +1,205 @@
+package flame
+
+import (
+	"fmt"
+	"sort"
+
+	"flame/internal/isa"
+)
+
+// Stratified enumeration of the single-strike injection-site space.
+//
+// A single-strike campaign trial arms at a uniformly random cycle in
+// [0, span) and the injector fires at the FIRST corruptible executed
+// instruction at or after that cycle (Injector.Observe). Eligibility is
+// independent of the injector's RNG — the random lane/bit only choose
+// what to corrupt within the firing event, never whether it fires — so
+// every corruptible event of the fault-free golden schedule owns an
+// exact, disjoint interval of arm cycles: the cycles after the previous
+// corruptible event up to and including its own. Arm cycles past the
+// last corruptible event never fire (the no-injection tail), and a
+// corruptible event sharing a cycle with an earlier one owns zero arms.
+//
+// Partitioning those intervals by (kernel, section, opcode class) gives
+// strata with EXACT integer site counts: sampling stratum h uniformly
+// over its own arm cycles and weighting by Sites/ΣSites reproduces the
+// uniform-over-arms trial distribution without wasting trials on strata
+// a pilot round has already shown to be deterministic.
+
+// SiteStratum is one stratum of the arm-cycle space: all arm cycles
+// whose strike fires on an instruction of one (section, opcode class)
+// group of one kernel.
+type SiteStratum struct {
+	// Kernel is the main kernel's program name.
+	Kernel string
+	// Section is the index of the compiled extended region (section)
+	// containing the firing instruction, or -1 outside every section.
+	Section int
+	// Class is the firing instruction's opcode class.
+	Class isa.OpClass
+	// Sites is the exact number of arm cycles in the stratum.
+	Sites int64
+
+	// intervals are the stratum's disjoint arm-cycle ranges, ascending;
+	// cum[i] is the total site count of intervals[:i] for ArmAt's
+	// binary search.
+	intervals []armInterval
+	cum       []int64
+}
+
+// armInterval is an inclusive arm-cycle range [lo, hi].
+type armInterval struct{ lo, hi int64 }
+
+// Key returns the stratum's canonical report/seed key, e.g.
+// "triad/s0/alu" ("s-1" for instructions outside every section).
+func (s *SiteStratum) Key() string {
+	return fmt.Sprintf("%s/s%d/%s", s.Kernel, s.Section, s.Class)
+}
+
+// ArmAt returns the stratum's r-th arm cycle, r in [0, Sites).
+func (s *SiteStratum) ArmAt(r int64) int64 {
+	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > r })
+	iv := s.intervals[i]
+	prev := int64(0)
+	if i > 0 {
+		prev = s.cum[i-1]
+	}
+	return iv.lo + (r - prev)
+}
+
+// StrataMap is the full enumeration of one benchmark's single-strike
+// site space under one compilation and fault model.
+type StrataMap struct {
+	// Kernel is the main kernel's program name.
+	Kernel string
+	// Span is the arm-cycle space size (the campaign's g.Window*9/10+1).
+	Span int64
+	// NoInjectionSites counts arm cycles past the last corruptible event
+	// (trials armed there classify NoInjection; the stratified sampler
+	// never draws them, excluding the no-injection region analytically).
+	NoInjectionSites int64
+	// Strata are the corruptible strata, sorted by (Section, Class).
+	Strata []SiteStratum
+}
+
+// InjectableSites is the total arm-cycle count across all strata
+// (Span - NoInjectionSites).
+func (m *StrataMap) InjectableSites() int64 { return m.Span - m.NoInjectionSites }
+
+// StrataBuilder accumulates the golden schedule's corruptible events in
+// observation order and carves the arm-cycle space into strata. Feed it
+// exactly the events Injector.Observe would see (executed instructions
+// of the main kernel with at least one executing lane holding live
+// registers, in order) via Observe, then call Finish.
+type StrataBuilder struct {
+	prog     *isa.Program
+	kernel   string
+	sections [][2]int
+	model    FaultModel
+	span     int64
+	excluded map[isa.Reg]bool
+
+	prev  int64 // highest arm cycle already owned by some event
+	index map[[2]int]int
+	strat []SiteStratum
+}
+
+// NewStrataBuilder prepares an enumeration of prog's site space.
+// sections are the compiled section spans as [start, end) instruction
+// index pairs; span is the arm-cycle space size.
+func NewStrataBuilder(prog *isa.Program, kernel string, sections [][2]int, model FaultModel, span int64) *StrataBuilder {
+	return &StrataBuilder{
+		prog: prog, kernel: kernel, sections: sections, model: model, span: span,
+		excluded: addressControlSlice(prog),
+		prev:     -1,
+		index:    map[[2]int]int{},
+	}
+}
+
+// corruptibleSite mirrors Injector.Observe's eligibility exactly: a
+// strike fires on an instruction that defines a general register (not a
+// SwapCodes replica, and outside the address/control slice unless the
+// model is FullSite), or on a global store's data.
+func corruptibleSite(in *isa.Inst, model FaultModel, excluded map[isa.Reg]bool) bool {
+	if d := in.Defs(); d != isa.NoReg && in.Origin != isa.OrigDup &&
+		(model == FullSite || !excluded[d]) {
+		return true
+	}
+	return in.Op == isa.OpSt && in.Space == isa.SpaceGlobal
+}
+
+// sectionOf returns the index of the section containing instruction pc,
+// or -1.
+func (b *StrataBuilder) sectionOf(pc int) int {
+	for i, s := range b.sections {
+		if pc >= s[0] && pc < s[1] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Observe feeds one golden-schedule event: instruction pc executed at
+// cycle cyc with at least one executing lane holding live registers.
+// Events must arrive in the order the injector would observe them.
+func (b *StrataBuilder) Observe(cyc int64, pc int) {
+	if b.prev >= b.span-1 {
+		return // arm-cycle space exhausted
+	}
+	in := &b.prog.Insts[pc]
+	if !corruptibleSite(in, b.model, b.excluded) {
+		return
+	}
+	hi := cyc
+	if hi > b.span-1 {
+		hi = b.span - 1
+	}
+	if hi <= b.prev {
+		return // same-cycle later event: zero arms own it
+	}
+	lo := b.prev + 1
+	b.prev = hi
+
+	key := [2]int{b.sectionOf(pc), int(in.Op.Class())}
+	h, ok := b.index[key]
+	if !ok {
+		h = len(b.strat)
+		b.index[key] = h
+		b.strat = append(b.strat, SiteStratum{
+			Kernel: b.kernel, Section: key[0], Class: isa.OpClass(key[1]),
+		})
+	}
+	s := &b.strat[h]
+	if n := len(s.intervals); n > 0 && s.intervals[n-1].hi == lo-1 {
+		s.intervals[n-1].hi = hi
+	} else {
+		s.intervals = append(s.intervals, armInterval{lo, hi})
+	}
+	s.Sites += hi - lo + 1
+}
+
+// Finish seals the enumeration: strata are sorted by (Section, Class),
+// cumulative interval counts are built for ArmAt, and the no-injection
+// tail is computed.
+func (b *StrataBuilder) Finish() *StrataMap {
+	sort.Slice(b.strat, func(i, j int) bool {
+		if b.strat[i].Section != b.strat[j].Section {
+			return b.strat[i].Section < b.strat[j].Section
+		}
+		return b.strat[i].Class < b.strat[j].Class
+	})
+	for i := range b.strat {
+		s := &b.strat[i]
+		s.cum = make([]int64, len(s.intervals))
+		total := int64(0)
+		for j, iv := range s.intervals {
+			total += iv.hi - iv.lo + 1
+			s.cum[j] = total
+		}
+	}
+	return &StrataMap{
+		Kernel: b.kernel, Span: b.span,
+		NoInjectionSites: b.span - (b.prev + 1),
+		Strata:           b.strat,
+	}
+}

@@ -1,0 +1,146 @@
+package flame
+
+import (
+	"testing"
+
+	"flame/internal/isa"
+)
+
+// strataSrc covers every opcode class the builder buckets by: ALU
+// arithmetic, FP math, a predicate compare, loads, a global store, and
+// control flow (never corruptible).
+const strataSrc = `
+    mov r0, %tid.x
+    ld.param r1, [0]
+    shl r2, r0, 2
+    add r3, r1, r2
+    ld.global r4, [r3]
+    fmul r5, r4, 2.0f
+    setp.lt p0, r0, 4
+    st.global [r3], r5
+    exit
+`
+
+func buildTestStrata(t *testing.T, span int64, events []struct {
+	cyc int64
+	pc  int
+}) *StrataMap {
+	t.Helper()
+	p := isa.MustParse("k", strataSrc)
+	b := NewStrataBuilder(p, "k", [][2]int{{0, 5}, {5, 8}}, DataSlice, span)
+	for _, e := range events {
+		b.Observe(e.cyc, e.pc)
+	}
+	return b.Finish()
+}
+
+func TestStrataBuilderPartition(t *testing.T) {
+	// Golden schedule: pc 0 (mov, ALU, excluded? mov r0 from tid — check
+	// below), pc 4 (ld.global → mem), pc 5 (fmul → fp), pc 6 (setp →
+	// pred, control slice → not corruptible under DataSlice), pc 7
+	// (st.global → store), pc 8 (exit → never corruptible).
+	events := []struct {
+		cyc int64
+		pc  int
+	}{
+		{2, 4},  // ld.global r4: data load, corruptible — owns arms 0..2
+		{5, 5},  // fmul r5: corruptible — owns arms 3..5
+		{5, 6},  // setp p0: same cycle; control slice anyway
+		{7, 7},  // st.global: corruptible — owns arms 6..7
+		{9, 8},  // exit: not corruptible
+		{11, 4}, // ld.global again (second warp) — owns arms 8..11
+	}
+	m := buildTestStrata(t, 20, events)
+	if m.Span != 20 {
+		t.Fatalf("span %d", m.Span)
+	}
+	// Arms 12..19 fall past the last corruptible event.
+	if m.NoInjectionSites != 8 {
+		t.Fatalf("no-injection tail %d, want 8", m.NoInjectionSites)
+	}
+	if m.InjectableSites() != 12 {
+		t.Fatalf("injectable %d, want 12", m.InjectableSites())
+	}
+	type want struct {
+		key   string
+		sites int64
+	}
+	wants := []want{
+		{"k/s0/mem", 7},   // 0..2 and 8..11
+		{"k/s1/fp", 3},    // 3..5
+		{"k/s1/store", 2}, // 6..7
+	}
+	if len(m.Strata) != len(wants) {
+		t.Fatalf("strata: %+v", m.Strata)
+	}
+	total := int64(0)
+	for i, w := range wants {
+		s := &m.Strata[i]
+		if s.Key() != w.key || s.Sites != w.sites {
+			t.Fatalf("stratum %d: %s sites=%d, want %s sites=%d", i, s.Key(), s.Sites, w.key, w.sites)
+		}
+		total += s.Sites
+	}
+	if total != m.InjectableSites() {
+		t.Fatalf("site counts %d don't cover injectable space %d", total, m.InjectableSites())
+	}
+}
+
+// Every arm cycle in [0, span) must be owned by exactly one stratum or
+// the no-injection tail, and ArmAt must enumerate each stratum's arm
+// cycles bijectively.
+func TestStrataExactCover(t *testing.T) {
+	events := []struct {
+		cyc int64
+		pc  int
+	}{
+		{0, 1}, {0, 4}, {3, 5}, {3, 5}, {4, 7}, {8, 4}, {30, 5},
+	}
+	const span = 25 // clamps the cyc-30 event's interval at span-1
+	m := buildTestStrata(t, span, events)
+	owned := make(map[int64]string, span)
+	for i := range m.Strata {
+		s := &m.Strata[i]
+		for r := int64(0); r < s.Sites; r++ {
+			arm := s.ArmAt(r)
+			if arm < 0 || arm >= span {
+				t.Fatalf("%s: arm %d out of range", s.Key(), arm)
+			}
+			if prev, dup := owned[arm]; dup {
+				t.Fatalf("arm %d owned by both %s and %s", arm, prev, s.Key())
+			}
+			owned[arm] = s.Key()
+		}
+	}
+	if int64(len(owned))+m.NoInjectionSites != span {
+		t.Fatalf("%d owned + %d tail != span %d", len(owned), m.NoInjectionSites, span)
+	}
+	// The tail is the topmost arm cycles: nothing above the largest
+	// owned arm may be owned.
+	for arm := span - m.NoInjectionSites; arm < span; arm++ {
+		if s, ok := owned[arm]; ok {
+			t.Fatalf("tail arm %d owned by %s", arm, s)
+		}
+	}
+}
+
+// corruptibleSite must match Injector.Observe's eligibility: register
+// defs outside the address/control slice (or any def under FullSite),
+// plus global-store data.
+func TestCorruptibleSiteMirrorsObserve(t *testing.T) {
+	p := isa.MustParse("k", strataSrc)
+	excl := addressControlSlice(p)
+	for pc := range p.Insts {
+		in := &p.Insts[pc]
+		wantData := (in.Defs() != isa.NoReg && in.Origin != isa.OrigDup && !excl[in.Defs()]) ||
+			(in.Op == isa.OpSt && in.Space == isa.SpaceGlobal)
+		if got := corruptibleSite(in, DataSlice, excl); got != wantData {
+			t.Errorf("pc %d (%s): DataSlice corruptible=%v, want %v", pc, in.String(), got, wantData)
+		}
+		wantFull := (in.Defs() != isa.NoReg && in.Origin != isa.OrigDup) ||
+			(in.Op == isa.OpSt && in.Space == isa.SpaceGlobal)
+		if got := corruptibleSite(in, FullSite, excl); got != wantFull {
+			t.Errorf("pc %d (%s): FullSite corruptible=%v, want %v", pc, in.String(), got, wantFull)
+		}
+	}
+}

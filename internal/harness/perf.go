@@ -75,6 +75,12 @@ type PerfReport struct {
 		// scheme; detecting schemes disable pruning).
 		PrunedFraction float64 `json:"pruned_fraction"`
 	} `json:"restore_bound"`
+
+	// Sampling holds the stratified-sampling efficiency study from
+	// `flamebench -exp sampling` (see SamplingStudy). Entries carrying
+	// only Sampling have TrialsPerSec 0 and are skipped by the perf
+	// guard's baseline walk.
+	Sampling []SamplingBenchPerf `json:"sampling,omitempty"`
 }
 
 // HostKey is the machine-class key for comparing history entries: rates
@@ -321,12 +327,32 @@ func CheckPerfRegression(path string, tolerance float64) error {
 	if len(history) == 0 {
 		return fmt.Errorf("harness: %s: empty perf history", path)
 	}
-	last := &history[len(history)-1]
-	for i := len(history) - 2; i >= 0; i-- {
+	// Head: the newest entry that measured campaign throughput. Entries
+	// with no trials_per_sec (a sampling-only study, a partial write)
+	// cannot regress anything and are not the measurement under test.
+	li := -1
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].TrialsPerSec > 0 {
+			li = i
+			break
+		}
+	}
+	if li < 0 {
+		return nil // nothing measured: vacuous
+	}
+	last := &history[li]
+	for i := li - 1; i >= 0; i-- {
 		prev := &history[i]
-		if prev.HostKey() != last.HostKey() {
+		if prev.HostKey() != last.HostKey() || prev.TrialsPerSec <= 0 {
 			continue
 		}
+		// Legacy entries predate run keying: with no timestamp or commit
+		// the baseline is unattributable, so it cannot anchor a guard.
+		if prev.Timestamp == "" || prev.Host.Commit == "" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "harness: perf-guard baseline: commit %s @ %s, %.1f trials/s (head: %.1f trials/s)\n",
+			prev.Host.Commit, prev.Timestamp, prev.TrialsPerSec, last.TrialsPerSec)
 		if floor := prev.TrialsPerSec * (1 - tolerance); last.TrialsPerSec < floor {
 			return fmt.Errorf("harness: perf regression on %s: %.1f trials/s is more than %.0f%% below the previous entry's %.1f (floor %.1f)",
 				last.HostKey(), last.TrialsPerSec, tolerance*100, prev.TrialsPerSec, floor)

@@ -85,8 +85,9 @@ func TestAppendPerfHistory(t *testing.T) {
 // foreign-host predecessors, and histories with nothing to compare pass.
 func TestCheckPerfRegression(t *testing.T) {
 	mk := func(cpus int, rate float64) *PerfReport {
-		r := &PerfReport{TrialsPerSec: rate}
+		r := &PerfReport{Timestamp: "2026-08-05T00:00:00Z", TrialsPerSec: rate}
 		r.Host.OS, r.Host.Arch, r.Host.CPUs, r.Host.GoVer = "linux", "amd64", cpus, "go1.24.0"
+		r.Host.Commit = "abc1234"
 		return r
 	}
 	write := func(t *testing.T, reps ...*PerfReport) string {
@@ -133,6 +134,32 @@ func TestCheckPerfRegression(t *testing.T) {
 		}
 		if err := CheckPerfRegression(path, 0); err != nil {
 			t.Fatalf("legacy single-object history should pass: %v", err)
+		}
+	})
+
+	// Legacy array entries without a timestamp/commit cannot anchor the
+	// guard: they are skipped in favour of the next attributable entry,
+	// and a history with only legacy predecessors passes vacuously.
+	t.Run("legacy-baseline-skipped", func(t *testing.T) {
+		legacy := mk(4, 1000)
+		legacy.Timestamp, legacy.Host.Commit = "", ""
+		if err := CheckPerfRegression(write(t, legacy, mk(4, 10)), 0); err != nil {
+			t.Fatalf("unattributable legacy baseline should be skipped: %v", err)
+		}
+		if err := CheckPerfRegression(write(t, mk(4, 100), legacy, mk(4, 10)), 0); err == nil {
+			t.Fatal("90% drop vs the attributable baseline behind a legacy entry should fail")
+		}
+	})
+
+	// Sampling-only entries (no trials_per_sec) are neither the head nor
+	// a baseline: the guard compares across them.
+	t.Run("sampling-entry-skipped", func(t *testing.T) {
+		sampling := mk(4, 0)
+		if err := CheckPerfRegression(write(t, mk(4, 100), sampling, mk(4, 10)), 0); err == nil {
+			t.Fatal("90% drop should fail despite a sampling-only entry in between")
+		}
+		if err := CheckPerfRegression(write(t, mk(4, 100), mk(4, 95), sampling), 0); err != nil {
+			t.Fatalf("sampling-only head should compare the last measured entries: %v", err)
 		}
 	})
 }

@@ -1,0 +1,60 @@
+package isa
+
+// OpClass buckets opcodes into the coarse instruction classes the
+// stratified fault-injection sampler keys strata by. GPU SDC studies
+// show error sensitivity varies by orders of magnitude across these
+// classes (integer ALU results are often dead or masked, store data is
+// almost never), so (kernel, section, class) is the stratification the
+// campaign's variance-reduced estimator allocates trials over.
+type OpClass uint8
+
+const (
+	// ClassALU: integer arithmetic/logic, moves and selects.
+	ClassALU OpClass = iota
+	// ClassFP: floating-point arithmetic and conversions.
+	ClassFP
+	// ClassSFU: special-function-unit transcendentals.
+	ClassSFU
+	// ClassPred: predicate-defining comparisons (setp).
+	ClassPred
+	// ClassMem: memory reads (loads and atomics).
+	ClassMem
+	// ClassStore: memory writes (st) — the store-data injection site.
+	ClassStore
+	// ClassCtl: control and synchronization (never an injection site).
+	ClassCtl
+
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{
+	ClassALU: "alu", ClassFP: "fp", ClassSFU: "sfu", ClassPred: "pred",
+	ClassMem: "mem", ClassStore: "store", ClassCtl: "ctl",
+}
+
+// String returns the class's report spelling.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return "class(?)"
+}
+
+// Class returns the opcode's instruction class.
+func (op Opcode) Class() OpClass {
+	switch {
+	case op.IsSFU():
+		return ClassSFU
+	case op.IsFloat(), op == OpItoF:
+		return ClassFP
+	case op == OpSetp:
+		return ClassPred
+	case op == OpSt:
+		return ClassStore
+	case op == OpLd, op == OpAtom:
+		return ClassMem
+	case op == OpNop, op == OpBra, op == OpBar, op == OpMembar, op == OpExit:
+		return ClassCtl
+	}
+	return ClassALU
+}
