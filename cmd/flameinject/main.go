@@ -69,7 +69,10 @@ func main() {
 	resume := flag.Bool("resume", false, "with -events FILE: skip trials already classified in FILE, append new ones, report the union")
 	serve := flag.String("serve", "", "run as distributed coordinator on this address (see flameserve)")
 	state := flag.String("state", "flameinject-state", "with -serve: state directory for checkpoint + shard streams")
+	dashboard := flag.Bool("dashboard", false, "with -serve: serve the live HTML dashboard at GET /dashboard")
 	join := flag.String("join", "", "run as distributed worker against this coordinator URL (see flameworker)")
+	metricsAddr := flag.String("metrics-addr", "", "with -join: serve this worker's Prometheus /metrics on this address (e.g. :9090)")
+	fingerprint := flag.Bool("fingerprint", false, "trace strike propagation per trial: cycle depth to first corrupted store, detection latency, SDC corruption fingerprints (outcomes and exit codes unchanged)")
 	stratify := flag.Bool("stratify", false, "stratified importance sampling over (kernel, section, opcode-class) strata instead of the uniform site grid")
 	ciTarget := flag.Float64("ci-target", 0, "adaptive early stop: halt a benchmark once both its SDC and DUE Wilson 95% half-widths reach this target (0 = off; needs -stratify or -serve)")
 	pilot := flag.Int("pilot", 0, "with -stratify: uniform pilot trials per stratum in round 0 (0 = default)")
@@ -88,7 +91,7 @@ func main() {
 	if *join != "" {
 		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer cancel()
-		err := dist.RunWorker(ctx, dist.WorkerConfig{URL: *join, Logf: logf})
+		err := dist.RunWorker(ctx, dist.WorkerConfig{URL: *join, MetricsAddr: *metricsAddr, Logf: logf})
 		switch {
 		case err == nil:
 			return
@@ -171,8 +174,9 @@ func main() {
 					StrikesPerTrial: *strikes, HangBudgetMult: *budget,
 					TrialTimeoutMS: trialTimeout.Milliseconds(),
 					Prune:          *prune, NoCOW: *noCOW, CITarget: *ciTarget,
+					Trace:          *fingerprint,
 				},
-				StateDir: *state, Logf: logf,
+				StateDir: *state, Dashboard: *dashboard, Logf: logf,
 			},
 		})
 		interrupted := errors.Is(err, context.Canceled)
@@ -321,6 +325,7 @@ func main() {
 		Stratify:        *stratify,
 		CITarget:        *ciTarget,
 		Pilot:           *pilot,
+		Trace:           *fingerprint,
 	}
 	rep, err := campaign.Run(ccfg)
 	stopped := errors.Is(err, campaign.ErrStopped)

@@ -46,6 +46,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "lease deadline without a heartbeat")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat cadence told to workers (0 = lease-ttl/3)")
 	quarantine := flag.Int("quarantine-after", 3, "quarantine a shard after this many failed leases")
+	dashboard := flag.Bool("dashboard", false, "serve the live HTML dashboard at GET /dashboard (Prometheus metrics are always at GET /metrics)")
 
 	benchList := flag.String("bench", "", "comma-separated benchmark names (default: -suite)")
 	suite := flag.String("suite", "quick", "benchmark suite: quick or all")
@@ -59,6 +60,7 @@ func main() {
 	strikes := flag.Int("strikes", 1, "strikes armed per trial")
 	budget := flag.Int64("budget", 8, "hang watchdog: cycle budget multiplier")
 	trialTimeout := flag.Duration("trial-timeout", 0, "wall-clock timeout per trial on workers (0 = off)")
+	fingerprint := flag.Bool("fingerprint", false, "trace strike propagation on workers: cycle depth, detection latency, SDC corruption fingerprints (outcomes unchanged)")
 	jsonOut := flag.String("json", "", "write the final report JSON to this file (- for stdout)")
 	flag.Parse()
 
@@ -101,6 +103,7 @@ func main() {
 		StrikesPerTrial: *strikes,
 		HangBudgetMult: *budget,
 		TrialTimeoutMS: trialTimeout.Milliseconds(),
+		Trace:          *fingerprint,
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -111,7 +114,7 @@ func main() {
 		Coord: dist.CoordConfig{
 			Info: info, StateDir: *state, ShardSize: *shardSize,
 			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, QuarantineAfter: *quarantine,
-			Logf: logf,
+			Dashboard: *dashboard, Logf: logf,
 		},
 	})
 	interrupted := errors.Is(err, context.Canceled)

@@ -6,6 +6,7 @@
 //
 //	flamesim -bench Histogram -scheme flame
 //	flamesim -bench SGEMM -scheme flame -arch GV100 -inject -seed 7
+//	flamesim -bench SGEMM -inject -fingerprint -seed 7
 //	flamesim -bench Triad -telemetry -trace-out trace.json -interval 1000
 package main
 
@@ -20,6 +21,7 @@ import (
 	"flame/internal/core"
 	"flame/internal/flame"
 	"flame/internal/gpu"
+	"flame/internal/obs"
 	"flame/internal/prof"
 	"flame/internal/telemetry"
 )
@@ -34,6 +36,7 @@ func main() {
 	inject := flag.Bool("inject", false, "inject one soft error and recover")
 	seed := flag.Int64("seed", 1, "injection seed")
 	arm := flag.Int64("arm", 100, "injection arm cycle")
+	fingerprint := flag.Bool("fingerprint", false, "with -inject: trace the strike's propagation (cycles to the first corrupted global store, detection latency, divergence fingerprint)")
 	baseline := flag.Bool("baseline", true, "also run the baseline for comparison")
 	trace := flag.String("trace", "", "trace window \"FROM:TO\" (cycles) to stderr")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
@@ -138,7 +141,25 @@ func main() {
 		hooks = gpu.CombineHooks(hooks, tr.Hooks())
 	}
 
-	res, err := core.RunCompiledOpts(arch, spec, comp, inj, core.RunOpts{Hooks: hooks})
+	// Propagation tracing rides the same opt-in observer hooks: a golden
+	// run supplies the reference memory, and the tracer follows the
+	// strike's taint through the register dataflow to the first global
+	// store it could have corrupted.
+	var tracer *obs.Tracer
+	var golden *core.Golden
+	if *fingerprint {
+		if inj == nil {
+			fail("-fingerprint needs -inject")
+		}
+		if golden, err = core.GoldenRun(arch, spec, opt); err != nil {
+			fail("golden: %v", err)
+		}
+		tracer = obs.NewTracer()
+		tracer.BeginTrial(golden, inj)
+		hooks = gpu.CombineHooks(hooks, tracer.TrialHooks())
+	}
+
+	res, err := core.RunCompiledOpts(arch, spec, comp, inj, core.RunOpts{Hooks: hooks, KeepMem: tracer != nil})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -160,6 +181,9 @@ func main() {
 		} else {
 			fmt.Println("injection: no eligible instruction was corrupted")
 		}
+	}
+	if tracer != nil {
+		printPropagation(tracer, inj, res, golden)
 	}
 
 	if col != nil && *telem {
@@ -187,6 +211,51 @@ func main() {
 		}
 		fmt.Println(smp.Summary())
 	}
+}
+
+// printPropagation closes out the tracer's trial and renders the
+// propagation record: how far the strike travelled before it could
+// touch memory, when detection caught it, and — if the output actually
+// diverged — the corruption fingerprint campaigns group SDCs by.
+func printPropagation(tracer *obs.Tracer, inj *flame.Injector, res *core.Result, golden *core.Golden) {
+	tr := core.TrialResult{Outcome: core.OutcomeMasked, Strikes: inj.FiredStrikes()}
+	if memDiverged(res.Mem, golden.Mem) {
+		tr.Outcome = core.OutcomeSDC
+	} else if inj.Detected {
+		tr.Outcome = core.OutcomeRecovered
+	}
+	tracer.EndTrial(&tr, res.Mem, golden)
+	p := tr.Prop
+	if p == nil {
+		fmt.Println("propagation: no strike fired; nothing to trace")
+		return
+	}
+	if p.Depth >= 0 {
+		fmt.Printf("propagation: first corrupted global store %d cycles after the strike (cycle %d)\n",
+			p.Depth, p.StoreCycle)
+	} else {
+		fmt.Printf("propagation: taint never reached a global store (%d tainted instructions)\n",
+			p.TaintedInsts)
+	}
+	if p.DetectLatency >= 0 {
+		fmt.Printf("propagation: detected %d cycles after the strike\n", p.DetectLatency)
+	}
+	if p.Fingerprint != "" {
+		fmt.Printf("propagation: SDC fingerprint %s (%d words / %d pages diverged)\n",
+			p.Fingerprint, p.DivergedWords, p.DivergedPages)
+	}
+}
+
+func memDiverged(mem, golden []uint32) bool {
+	if len(mem) != len(golden) {
+		return true
+	}
+	for i := range mem {
+		if mem[i] != golden[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // writeFileWith creates path and streams through the writer function.

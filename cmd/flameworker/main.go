@@ -33,6 +33,7 @@ func main() {
 	url := flag.String("url", "", "coordinator base URL (required), e.g. http://host:8077")
 	name := flag.String("name", "", "worker name (default hostname-pid)")
 	flush := flag.Int("flush", 8, "trials per streamed batch (smaller = less loss on a crash)")
+	metricsAddr := flag.String("metrics-addr", "", "serve this worker's Prometheus /metrics on this address (e.g. :9090)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
 	if *url == "" {
@@ -49,7 +50,7 @@ func main() {
 		logf = nil
 	}
 	err := dist.RunWorker(ctx, dist.WorkerConfig{
-		URL: *url, Name: *name, FlushEvery: *flush, Logf: logf,
+		URL: *url, Name: *name, FlushEvery: *flush, MetricsAddr: *metricsAddr, Logf: logf,
 	})
 	switch {
 	case err == nil:

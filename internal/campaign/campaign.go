@@ -26,6 +26,7 @@ import (
 	"flame/internal/core"
 	"flame/internal/flame"
 	"flame/internal/gpu"
+	"flame/internal/obs"
 )
 
 // ErrStopped is returned by Run — alongside a valid partial report —
@@ -99,6 +100,15 @@ type Config struct {
 	// engine's first restore copies the full image, and later restores
 	// copy whatever the previous trial on that engine dirtied).
 	RestoreStats *core.RestoreStats
+
+	// Trace attaches a propagation tracer (internal/obs) to every
+	// simulated trial: trial events gain a prop record (strike-to-store
+	// propagation depth, detection latency, SDC memory fingerprints)
+	// and the report gains per-benchmark propagation sections. Outcomes,
+	// counters and coverage are unchanged — stripping the propagation
+	// sections yields a report byte-identical to an untraced run.
+	// Pruned trials skip simulation and therefore carry no record.
+	Trace bool
 
 	// Stratify switches the campaign to the stratified sampler
 	// (RunStratified): Trials becomes a per-benchmark budget, trials are
@@ -197,6 +207,13 @@ func Run(cfg Config) (*Report, error) {
 		eng := core.NewEngine(cfg.Arch)
 		eng.SetNoCOW(cfg.NoCOW)
 		engines[w] = eng
+		// One tracer per worker, like the engine: it is reset per trial
+		// and records only deterministic per-trial facts, so the traced
+		// report stays independent of worker count.
+		var obsv core.TrialObserver
+		if cfg.Trace {
+			obsv = obs.NewTracer()
+		}
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
@@ -205,6 +222,7 @@ func Run(cfg Config) (*Report, error) {
 					str.trialStart(spec.Name, j.t)
 				}
 				ts := cfg.TrialSpec(goldens[j.b], spec.Name, j.t)
+				ts.Observer = obsv
 				res, pruned := pruneIdx[j.b].PruneTrial(goldens[j.b], ts)
 				if pruned {
 					res.Pruned = true
@@ -231,15 +249,17 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	var rs core.RestoreStats
+	for _, eng := range engines {
+		rs.Add(eng.Stats())
+	}
 	if cfg.RestoreStats != nil {
-		for _, eng := range engines {
-			cfg.RestoreStats.Add(eng.Stats())
-		}
+		cfg.RestoreStats.Add(rs)
 	}
 
 	rep := aggregate(&cfg, goldens, results, ran)
 	if str != nil {
-		str.campaignDone(rep)
+		str.campaignDone(rep, rs)
 		if err := str.err(); err != nil {
 			return nil, fmt.Errorf("campaign: event stream: %w", err)
 		}

@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"math/bits"
+	"sort"
+
+	"flame/internal/core"
+	"flame/internal/stats"
+)
+
+// Propagation aggregation: traced campaigns (Config.Trace) fold every
+// trial's core.PropRecord into a per-benchmark PropReport — depth and
+// latency percentiles, fingerprint frequencies, error-shape histograms.
+// Every field is a deterministic function of the trial set (histograms
+// and counts are sums; percentiles sort), so traced reports remain
+// byte-identical at any -parallel and across stream replay.
+
+// PctSummary summarizes a cycle-count distribution by nearest-rank
+// percentiles.
+type PctSummary struct {
+	N   int   `json:"n"`
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+}
+
+// FingerprintCount is one SDC memory fingerprint and how many trials
+// produced it — trials sharing a fingerprint corrupted exactly the same
+// words by exactly the same XOR.
+type FingerprintCount struct {
+	Fingerprint string `json:"fingerprint"`
+	Count       int    `json:"count"`
+}
+
+// PropReport is a benchmark's (or the fleet's) propagation summary.
+type PropReport struct {
+	// Traced counts trials that carried a propagation record (injected,
+	// simulated trials of a traced campaign; pruned trials carry none).
+	Traced int `json:"traced"`
+	// StoreReached counts traced trials whose strike's taint reached a
+	// global store or atomic.
+	StoreReached int `json:"store_reached"`
+	// PruneFraction is the fraction of all trials classified without
+	// simulation (pruned_masked + pruned_no_injection over trials).
+	PruneFraction float64 `json:"prune_fraction"`
+	// Depth summarizes strike-to-first-tainted-store distances (cycles)
+	// over StoreReached trials; DepthHist is its log2 histogram (bucket
+	// i counts depths in [2^(i-1), 2^i), bucket 0 counts depth 0).
+	Depth     *PctSummary `json:"depth,omitempty"`
+	DepthHist []int       `json:"depth_hist,omitempty"`
+	// Latency maps outcome name to detection-latency percentiles
+	// (cycles from corruption to first detection) over detected trials.
+	Latency map[string]*PctSummary `json:"latency,omitempty"`
+	// MagHist / PageHist sum the per-trial SDC error-magnitude and
+	// words-per-page histograms (see core.PropRecord).
+	MagHist  []int `json:"mag_hist,omitempty"`
+	PageHist []int `json:"page_hist,omitempty"`
+	// Fingerprints lists the most frequent SDC fingerprints (count
+	// descending, hash ascending; capped at 8), DistinctFingerprints
+	// the total distinct count.
+	Fingerprints         []FingerprintCount `json:"fingerprints,omitempty"`
+	DistinctFingerprints int                `json:"distinct_fingerprints,omitempty"`
+}
+
+// maxFingerprints caps the per-benchmark fingerprint leaderboard.
+const maxFingerprints = 8
+
+// propAgg accumulates propagation records during folding; finish()
+// renders it into the report form. It lives behind a pointer on
+// BenchReport so the exported (marshaled) struct stays plain data.
+type propAgg struct {
+	traced, storeReached int
+	depths               []int64
+	depthHist            []int
+	latency              map[core.Outcome][]int64
+	magHist, pageHist    []int
+	fps                  map[string]int
+}
+
+// Log2Bucket maps a non-negative value to its histogram bucket:
+// 0 -> 0, v -> bits.Len(v) otherwise (so bucket i>=1 spans
+// [2^(i-1), 2^i)).
+func Log2Bucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// addHist adds v into bucket b of h, growing as needed.
+func addHist(h []int, b, v int) []int {
+	for len(h) <= b {
+		h = append(h, 0)
+	}
+	h[b] += v
+	return h
+}
+
+// sumHist adds histogram o into h element-wise.
+func sumHist(h, o []int) []int {
+	for i, v := range o {
+		h = addHist(h, i, v)
+	}
+	return h
+}
+
+// fold absorbs one trial's record.
+func (a *propAgg) fold(p *core.PropRecord, o core.Outcome) {
+	a.traced++
+	if p.Depth >= 0 {
+		a.storeReached++
+		a.depths = append(a.depths, p.Depth)
+		a.depthHist = addHist(a.depthHist, Log2Bucket(p.Depth), 1)
+	}
+	if p.DetectLatency >= 0 {
+		if a.latency == nil {
+			a.latency = map[core.Outcome][]int64{}
+		}
+		a.latency[o] = append(a.latency[o], p.DetectLatency)
+	}
+	a.magHist = sumHist(a.magHist, p.MagHist)
+	a.pageHist = sumHist(a.pageHist, p.PageHist)
+	if p.Fingerprint != "" {
+		if a.fps == nil {
+			a.fps = map[string]int{}
+		}
+		a.fps[p.Fingerprint]++
+	}
+}
+
+// merge absorbs another benchmark's accumulator (fleet aggregation).
+func (a *propAgg) merge(o *propAgg) {
+	a.traced += o.traced
+	a.storeReached += o.storeReached
+	a.depths = append(a.depths, o.depths...)
+	a.depthHist = sumHist(a.depthHist, o.depthHist)
+	for outcome, ls := range o.latency {
+		if a.latency == nil {
+			a.latency = map[core.Outcome][]int64{}
+		}
+		a.latency[outcome] = append(a.latency[outcome], ls...)
+	}
+	a.magHist = sumHist(a.magHist, o.magHist)
+	a.pageHist = sumHist(a.pageHist, o.pageHist)
+	for fp, n := range o.fps {
+		if a.fps == nil {
+			a.fps = map[string]int{}
+		}
+		a.fps[fp] += n
+	}
+}
+
+// pctSummary renders a distribution (zero observations: nil).
+func pctSummary(xs []int64) *PctSummary {
+	if len(xs) == 0 {
+		return nil
+	}
+	return &PctSummary{
+		N:   len(xs),
+		P50: stats.PercentileInt64(xs, 50),
+		P90: stats.PercentileInt64(xs, 90),
+		P99: stats.PercentileInt64(xs, 99),
+	}
+}
+
+// finish renders the accumulator into report form; prunedFrac is the
+// benchmark's pruned-trial fraction. Returns nil when nothing was
+// traced, so untraced campaigns keep their pre-tracing JSON
+// byte-identical.
+func (a *propAgg) finish(prunedFrac float64) *PropReport {
+	if a == nil || a.traced == 0 {
+		return nil
+	}
+	pr := &PropReport{
+		Traced:        a.traced,
+		StoreReached:  a.storeReached,
+		PruneFraction: prunedFrac,
+		Depth:         pctSummary(a.depths),
+		DepthHist:     a.depthHist,
+		MagHist:       a.magHist,
+		PageHist:      a.pageHist,
+	}
+	if len(a.latency) > 0 {
+		pr.Latency = map[string]*PctSummary{}
+		for o, ls := range a.latency {
+			pr.Latency[o.String()] = pctSummary(ls)
+		}
+	}
+	if len(a.fps) > 0 {
+		pr.DistinctFingerprints = len(a.fps)
+		top := make([]FingerprintCount, 0, len(a.fps))
+		for fp, n := range a.fps {
+			top = append(top, FingerprintCount{Fingerprint: fp, Count: n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Count != top[j].Count {
+				return top[i].Count > top[j].Count
+			}
+			return top[i].Fingerprint < top[j].Fingerprint
+		})
+		if len(top) > maxFingerprints {
+			top = top[:maxFingerprints]
+		}
+		pr.Fingerprints = top
+	}
+	return pr
+}

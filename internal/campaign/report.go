@@ -67,6 +67,17 @@ type BenchReport struct {
 	// Nil (and omitted from JSON) on uniform campaigns, so their reports
 	// are byte-identical to the pre-stratification format.
 	Sampling *SamplingReport `json:"sampling,omitempty"`
+
+	// Propagation is the traced campaign's strike-propagation summary
+	// (Config.Trace): depth/latency percentiles, fingerprint
+	// frequencies, error-shape histograms. Nil (and omitted from JSON)
+	// on untraced campaigns, so their reports are byte-identical to the
+	// pre-tracing format — and stripping it from a traced report yields
+	// the untraced bytes, which the equivalence test asserts.
+	Propagation *PropReport `json:"propagation,omitempty"`
+
+	// prop accumulates the records fold absorbs; finish renders it.
+	prop *propAgg
 }
 
 // RateCI is a rate estimate with its 95% confidence interval.
@@ -203,6 +214,12 @@ func (b *BenchReport) fold(t *core.TrialResult) {
 			b.PrunedNoInjection++
 		}
 	}
+	if t.Prop != nil {
+		if b.prop == nil {
+			b.prop = &propAgg{}
+		}
+		b.prop.fold(t.Prop, t.Outcome)
+	}
 }
 
 // merge accumulates another report's counters (fleet aggregation).
@@ -227,6 +244,12 @@ func (b *BenchReport) merge(o *BenchReport) {
 	if b.ExampleInternal == "" {
 		b.ExampleInternal = o.ExampleInternal
 	}
+	if o.prop != nil {
+		if b.prop == nil {
+			b.prop = &propAgg{}
+		}
+		b.prop.merge(o.prop)
+	}
 }
 
 // finish computes the derived rates.
@@ -236,6 +259,13 @@ func (b *BenchReport) finish() {
 		b.Coverage = float64(b.Masked+b.Recovered) / float64(b.Injected)
 	}
 	b.CoverageLo, b.CoverageHi = stats.Wilson95(b.Masked+b.Recovered, b.Injected)
+	if b.prop != nil {
+		frac := 0.0
+		if b.Trials > 0 {
+			frac = float64(b.PrunedMasked+b.PrunedNoInjection) / float64(b.Trials)
+		}
+		b.Propagation = b.prop.finish(frac)
+	}
 }
 
 // Report is a full campaign summary. Every field is a deterministic
@@ -316,6 +346,16 @@ func (r *Report) String() string {
 	if pruned := r.Fleet.PrunedMasked + r.Fleet.PrunedNoInjection; pruned > 0 {
 		fmt.Fprintf(&b, "pruned without simulation: %d trials (%d masked, %d no-injection)\n",
 			pruned, r.Fleet.PrunedMasked, r.Fleet.PrunedNoInjection)
+	}
+	if p := r.Fleet.Propagation; p != nil {
+		fmt.Fprintf(&b, "propagation: %d traced, %d reached a store", p.Traced, p.StoreReached)
+		if p.Depth != nil {
+			fmt.Fprintf(&b, ", depth p50/p90/p99 = %d/%d/%d cycles", p.Depth.P50, p.Depth.P90, p.Depth.P99)
+		}
+		if p.DistinctFingerprints > 0 {
+			fmt.Fprintf(&b, ", %d distinct sdc fingerprints", p.DistinctFingerprints)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

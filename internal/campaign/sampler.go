@@ -9,6 +9,7 @@ import (
 
 	"flame/internal/core"
 	"flame/internal/flame"
+	"flame/internal/obs"
 	"flame/internal/stats"
 )
 
@@ -148,12 +149,18 @@ func RunStratified(cfg Config) (*Report, error) {
 		eng := core.NewEngine(cfg.Arch)
 		eng.SetNoCOW(cfg.NoCOW)
 		engines[w] = eng
+		// One tracer per worker, reset per trial (see Run).
+		var obsv core.TrialObserver
+		if cfg.Trace {
+			obsv = obs.NewTracer()
+		}
 		go func() {
 			defer wwg.Done()
 			for j := range jobs {
 				if str != nil {
 					str.trialStart(j.bench, j.trial)
 				}
+				j.ts.Observer = obsv
 				res, pruned := j.px.PruneTrial(j.g, j.ts)
 				if pruned {
 					res.Pruned = true
@@ -311,16 +318,18 @@ func RunStratified(cfg Config) (*Report, error) {
 	}
 	close(jobs)
 	wwg.Wait()
+	var rs core.RestoreStats
+	for _, eng := range engines {
+		rs.Add(eng.Stats())
+	}
 	if cfg.RestoreStats != nil {
-		for _, eng := range engines {
-			cfg.RestoreStats.Add(eng.Stats())
-		}
+		cfg.RestoreStats.Add(rs)
 	}
 
 	rep.Fleet.Benchmark = "fleet"
 	rep.Fleet.finish()
 	if str != nil {
-		str.campaignDone(rep)
+		str.campaignDone(rep, rs)
 		if err := str.err(); err != nil {
 			return nil, fmt.Errorf("campaign: event stream: %w", err)
 		}

@@ -69,6 +69,7 @@ func MarshalStartEvent(cfg *Config, parallel, wcdl int) ([]byte, error) {
 		TrialsPerBench: cfg.Trials, StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
 		Parallel: parallel, Benchmarks: benches, TotalTrials: len(benches) * cfg.Trials,
 		Stratified: cfg.Stratify, CITarget: cfg.CITarget, Pilot: cfg.Pilot,
+		Trace: cfg.Trace,
 	})
 }
 
@@ -87,7 +88,7 @@ func MarshalTrialEvent(bench string, t int, r *core.TrialResult) ([]byte, error)
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
 		Cycles: r.Cycles, Pruned: r.Pruned, Stratum: r.Stratum,
-		Description: r.Description,
+		Description: r.Description, Prop: r.Prop,
 	})
 }
 

@@ -41,6 +41,9 @@ type startEvent struct {
 	Stratified bool    `json:"stratified,omitempty"`
 	CITarget   float64 `json:"ci_target,omitempty"`
 	Pilot      int     `json:"pilot,omitempty"`
+	// Trace marks a propagation-traced campaign (omitted otherwise, so
+	// untraced streams keep the pre-tracing format).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // goldenEvent reports one workload's fault-free reference run.
@@ -76,6 +79,11 @@ type trialEvent struct {
 	// (stratified campaigns only).
 	Stratum     string `json:"stratum,omitempty"`
 	Description string `json:"description,omitempty"`
+	// Prop is the propagation/fingerprint record (traced campaigns
+	// only; omitted otherwise so untraced streams keep the pre-tracing
+	// format). Replay folds it back so traced reports rebuild
+	// byte-identically.
+	Prop *core.PropRecord `json:"prop,omitempty"`
 }
 
 // strataEvent reports one workload's site-space enumeration (stratified
@@ -115,7 +123,13 @@ type progressEvent struct {
 	Tallies      map[string]int  `json:"tallies"`
 }
 
-// doneEvent closes a stream with the fleet summary.
+// doneEvent closes a stream with the fleet summary. The restore-page
+// and prune counters are observability side channels: RestoredPages
+// depends on worker scheduling (each engine's first restore copies the
+// full image), so it belongs in the stream and /metrics, never in the
+// Report, which must stay byte-identical at any -parallel. All four
+// are omitted when zero, keeping pre-existing stream shapes unchanged
+// where the feature is off.
 type doneEvent struct {
 	Event        string  `json:"event"` // "campaign_done"
 	Trials       int     `json:"trials"`
@@ -128,6 +142,10 @@ type doneEvent struct {
 	Coverage     float64 `json:"coverage"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	TrialsPerSec float64 `json:"trials_per_sec"`
+	Pruned       int     `json:"pruned,omitempty"`
+	RestorePages int64   `json:"restored_pages,omitempty"`
+	DirtyPages   int64   `json:"dirty_pages,omitempty"`
+	DiffPages    int64   `json:"diff_pages,omitempty"`
 }
 
 // streamer serializes events from concurrent workers onto one writer.
@@ -173,6 +191,7 @@ func (s *streamer) campaignStart(cfg *Config, parallel, wcdl int) {
 		TrialsPerBench: cfg.Trials, StrikesPerTrial: maxInt(1, cfg.StrikesPerTrial),
 		Parallel: parallel, Benchmarks: benches, TotalTrials: s.total,
 		Stratified: cfg.Stratify, CITarget: cfg.CITarget, Pilot: cfg.Pilot,
+		Trace: cfg.Trace,
 	})
 }
 
@@ -208,7 +227,7 @@ func (s *streamer) trial(bench string, t int, r *core.TrialResult) {
 		Outcome: r.Outcome.String(), Detected: r.Detected,
 		Strikes: r.Strikes, ExcludedStrikes: r.ExcludedStrikes,
 		Cycles: r.Cycles, Pruned: r.Pruned, Stratum: r.Stratum,
-		Description: r.Description,
+		Description: r.Description, Prop: r.Prop,
 	})
 	if s.done%s.every != 0 && s.done != s.total {
 		return
@@ -234,7 +253,7 @@ func (s *streamer) trial(bench string, t int, r *core.TrialResult) {
 	})
 }
 
-func (s *streamer) campaignDone(rep *Report) {
+func (s *streamer) campaignDone(rep *Report, rs core.RestoreStats) {
 	elapsed := time.Since(s.start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
@@ -245,6 +264,8 @@ func (s *streamer) campaignDone(rep *Report) {
 		Event: "campaign_done", Trials: f.Trials, Injected: f.Injected,
 		Masked: f.Masked, Recovered: f.Recovered, SDC: f.SDC, DUE: f.DUE,
 		Hang: f.Hang, Coverage: f.Coverage, ElapsedSec: elapsed, TrialsPerSec: rate,
+		Pruned:       f.PrunedMasked + f.PrunedNoInjection,
+		RestorePages: rs.RestoredPages, DirtyPages: rs.DirtyPages, DiffPages: rs.DiffPages,
 	})
 }
 
@@ -471,6 +492,7 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 				Pruned:          e.Pruned,
 				Stratum:         e.Stratum,
 				Description:     e.Description,
+				Prop:            e.Prop,
 			})
 			if i, ok := keyIdx[e.Stratum]; ok {
 				counts[i].foldOutcome(outcome)

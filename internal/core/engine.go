@@ -136,7 +136,10 @@ func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialR
 			delete(e.devs, spec)
 		}
 	}()
-	ro := &RunOpts{MaxCycles: ts.MaxCycles, Hooks: ts.Hooks, Stop: ts.stopFunc()}
+	if ts.Observer != nil {
+		ts.Observer.BeginTrial(g, inj)
+	}
+	ro := &RunOpts{MaxCycles: ts.MaxCycles, Hooks: ts.observerHooks(), Stop: ts.stopFunc()}
 	dev, err := e.device(spec)
 	if err == nil {
 		// Restore the post-setup snapshot. The dirty-page path copies
@@ -185,6 +188,13 @@ func (e *Engine) RunTrial(spec *KernelSpec, g *Golden, ts TrialSpec) (tr *TrialR
 		e.stats.DiffPages += int64(pages)
 		return addr, eq
 	})
+	if ts.Observer != nil {
+		var mem []uint32
+		if dev != nil {
+			mem = dev.Mem.Words()
+		}
+		ts.Observer.EndTrial(tr, mem, g)
+	}
 	return tr
 }
 

@@ -208,6 +208,11 @@ type TrialSpec struct {
 	// Hooks are extra observer hooks combined after the scheme's own on
 	// every launch of the trial (main kernel and Steps alike).
 	Hooks *gpu.Hooks
+	// Observer, when non-nil, watches the trial (propagation tracing /
+	// fingerprinting; see TrialObserver). Set by the campaign runner,
+	// never by Config.TrialSpec — the spec derivation stays a pure
+	// function of (seed, benchmark, trial).
+	Observer TrialObserver
 }
 
 // TrialResult is one classified trial.
@@ -239,6 +244,10 @@ type TrialResult struct {
 	// from (stratified campaigns only; empty on the uniform grid).
 	// Set by the campaign sampler, never by RunTrial.
 	Stratum string `json:",omitempty"`
+	// Prop is the propagation/fingerprint record a TrialObserver
+	// attached (nil when no observer ran — the untraced result encodes
+	// identically to the pre-tracing format).
+	Prop *PropRecord `json:",omitempty"`
 }
 
 // RunTrial executes one injection trial against a golden run and
@@ -255,11 +264,14 @@ func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) (tr *Tr
 	inj := flame.NewCampaignInjector(ts.Arms, g.MaxDelay, ts.Model, ts.Seed)
 	tr = &TrialResult{}
 	defer recoverTrialPanic(tr, inj)
+	if ts.Observer != nil {
+		ts.Observer.BeginTrial(g, inj)
+	}
 	res, err := RunCompiledOpts(cfg, spec, g.Comp, inj, RunOpts{
 		MaxCycles:    ts.MaxCycles,
 		SkipValidate: true, // classification diffs against the golden memory
 		KeepMem:      true,
-		Hooks:        ts.Hooks,
+		Hooks:        ts.observerHooks(),
 		Stop:         ts.stopFunc(),
 	})
 	tr.Strikes = inj.FiredStrikes()
@@ -272,6 +284,13 @@ func RunTrial(cfg gpu.Config, spec *KernelSpec, g *Golden, ts TrialSpec) (tr *Tr
 		tr.Cycles = res.Stats.Cycles
 	}
 	classifyTrial(tr, err, func() (int64, bool) { return memDiff(res.Mem, g.Mem) })
+	if ts.Observer != nil {
+		var mem []uint32
+		if res != nil {
+			mem = res.Mem
+		}
+		ts.Observer.EndTrial(tr, mem, g)
+	}
 	return tr
 }
 

@@ -35,9 +35,13 @@ type shardCkpt struct {
 
 // checkpointData is checkpoint.json.
 type checkpointData struct {
-	Epoch  int          `json:"epoch"`
-	Info   CampaignInfo `json:"info"`
-	Shards []shardCkpt  `json:"shards"`
+	Epoch int          `json:"epoch"`
+	Info  CampaignInfo `json:"info"`
+	// LeaseSeq persists the lease counter so flame_leases_granted_total
+	// stays monotone across coordinator restarts (lease IDs were already
+	// unique across restarts via the epoch).
+	LeaseSeq int         `json:"lease_seq,omitempty"`
+	Shards   []shardCkpt `json:"shards"`
 }
 
 // matches rejects resuming a state dir that belongs to a different
@@ -102,7 +106,7 @@ func (c *Coordinator) saveCheckpoint() error {
 // no live workers to honor the old leases, and their IDs carry the old
 // epoch so stale traffic is rejected anyway.
 func (c *Coordinator) saveCheckpointLocked() error {
-	ck := checkpointData{Epoch: c.epoch, Info: c.cc.Info}
+	ck := checkpointData{Epoch: c.epoch, Info: c.cc.Info, LeaseSeq: c.leaseSeq}
 	for _, sc := range c.shards {
 		st := sc.state
 		if st == stateLeased {
@@ -136,10 +140,12 @@ func appendShardFile(path string, lines []byte) error {
 
 // scanShardFile rebuilds a shard's progress from its stream: the set of
 // distinct in-range trials persisted, their outcome tally, and the
-// coverage proportion over injected trials. Lines that do not parse
-// (a torn final write from a crash) or fall outside the shard's range
-// are skipped — the merge-time ReplayIntegrity accounts for them.
-func scanShardFile(path string, shard campaign.Shard) (map[int]bool, map[string]int, stats.Prop, error) {
+// coverage proportion over injected trials; propagation records fold
+// into pt (when non-nil) so /metrics tallies survive a restart. Lines
+// that do not parse (a torn final write from a crash) or fall outside
+// the shard's range are skipped — the merge-time ReplayIntegrity
+// accounts for them.
+func scanShardFile(path string, shard campaign.Shard, pt *propTally) (map[int]bool, map[string]int, stats.Prop, error) {
 	seen := map[int]bool{}
 	tally := map[string]int{}
 	var cov stats.Prop
@@ -162,6 +168,9 @@ func scanShardFile(path string, shard campaign.Shard) (map[int]bool, map[string]
 		}
 		seen[p.Trial] = true
 		tally[p.Outcome]++
+		if pt != nil {
+			pt.fold(p.Prop)
+		}
 		if p.Outcome != "no-injection" && p.Outcome != "internal" {
 			cov.Add(p.Outcome == "masked" || p.Outcome == "recovered")
 		}

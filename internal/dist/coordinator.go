@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"net/http"
 	"os"
 	"sort"
@@ -53,6 +54,9 @@ type CoordConfig struct {
 	// backoff: fail n waits base<<(n-1), capped (defaults 250ms / 15s).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// Dashboard serves the self-contained HTML dashboard at GET
+	// /dashboard (it polls /v1/status and /metrics client-side).
+	Dashboard bool
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +69,7 @@ type shardCtl struct {
 	notBefore time.Time // pending shard not leasable before this
 	leaseID   string
 	worker    string
+	leasedAt  time.Time // when the current lease was granted, status only
 	deadline  time.Time
 	progress  int          // worker-reported trials finished, status only
 	seen      map[int]bool // distinct trial indices persisted to disk
@@ -87,6 +92,7 @@ type Coordinator struct {
 	workers  map[string]string // name -> "" (ok) or ban reason
 	doneSeen map[string]bool   // workers that received a Done lease reply
 	tally    map[string]int    // outcome name -> distinct trials
+	prop     propTally         // propagation records over persisted trials
 	cov      stats.Prop        // coverage over injected trials so far
 	bstats   map[string]*benchTally
 	stopped  map[string]bool // benchmarks early-stopped by ci_target
@@ -215,6 +221,7 @@ func (c *Coordinator) resume() error {
 			return err
 		}
 		c.epoch = ck.Epoch
+		c.leaseSeq = ck.LeaseSeq
 		byID := map[int]shardCkpt{}
 		for _, s := range ck.Shards {
 			byID[s.ID] = s
@@ -230,7 +237,7 @@ func (c *Coordinator) resume() error {
 		}
 	}
 	for _, sc := range c.shards {
-		seen, tally, cov, err := scanShardFile(shardFilePath(c.cc.StateDir, sc.shard.ID), sc.shard)
+		seen, tally, cov, err := scanShardFile(shardFilePath(c.cc.StateDir, sc.shard.ID), sc.shard, &c.prop)
 		if err != nil {
 			return err
 		}
@@ -515,6 +522,10 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/release", c.handleRelease)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/report", c.handleReport)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	if c.cc.Dashboard {
+		mux.HandleFunc("GET /dashboard", handleDashboard)
+	}
 	return mux
 }
 
@@ -614,12 +625,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("e%d-l%d-s%d", c.epoch, c.leaseSeq, pick.shard.ID)
 	pick.state = stateLeased
 	pick.leaseID, pick.worker = id, req.Worker
+	pick.leasedAt = now
 	pick.deadline = now.Add(c.cc.LeaseTTL)
 	c.leases[id] = pick
 	c.cc.Logf("leased %s to %q as %s (attempt %d)", pick.shard, req.Worker, id, pick.fails+1)
 	sh := pick.shard
 	writeJSON(w, http.StatusOK, LeaseResponse{
 		Shard: &sh, LeaseID: id,
+		Attempt:     pick.fails + 1,
 		DeadlineMS:  c.cc.LeaseTTL.Milliseconds(),
 		HeartbeatMS: c.cc.Heartbeat.Milliseconds(),
 	})
@@ -643,12 +656,13 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 // trialProbe is the subset of a trial event the coordinator validates
-// before persisting a worker's line.
+// (and tallies for /metrics) before persisting a worker's line.
 type trialProbe struct {
-	Event     string `json:"event"`
-	Benchmark string `json:"benchmark"`
-	Trial     int    `json:"trial"`
-	Outcome   string `json:"outcome"`
+	Event     string           `json:"event"`
+	Benchmark string           `json:"benchmark"`
+	Trial     int              `json:"trial"`
+	Outcome   string           `json:"outcome"`
+	Prop      *core.PropRecord `json:"prop"`
 }
 
 func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -678,6 +692,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		sc.seen[p.Trial] = true
 		c.tally[p.Outcome]++
+		c.prop.fold(p.Prop)
 		c.benchTallyFor(sc.shard.Bench).observe(p.Outcome, 1)
 		if p.Outcome != "no-injection" && p.Outcome != "internal" {
 			c.cov.Add(p.Outcome == "masked" || p.Outcome == "recovered")
@@ -784,10 +799,14 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		case stateCancelled:
 			st.Cancelled++
 		}
-		st.Shards = append(st.Shards, ShardStatus{
-			Shard: sc.shard, State: sc.state, Fails: sc.fails,
+		ss := ShardStatus{
+			Shard: sc.shard, State: sc.state, Retries: sc.fails,
 			Worker: sc.worker, Done: len(sc.seen),
-		})
+		}
+		if sc.state == stateLeased {
+			ss.LeaseAgeSec = time.Since(sc.leasedAt).Seconds()
+		}
+		st.Shards = append(st.Shards, ss)
 	}
 	st.Degraded = st.Quarantined > 0
 	for _, sp := range c.cfg.Specs {
@@ -850,11 +869,22 @@ func Signature(g *core.Golden) GoldenSig {
 	return GoldenSig{Window: g.Window, Hash: fmt.Sprintf("%016x", h.Sum64())}
 }
 
+// writeJSONLogf receives encode failures from writeJSON; a variable so
+// tests can capture it. A failed encode cannot be turned into an error
+// response (the status line is already written), but it must not vanish
+// silently — a worker seeing a truncated body will retry, and the log
+// line is the only trace of why.
+var writeJSONLogf = func(format string, args ...any) {
+	log.Printf(format, args...)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		writeJSONLogf("dist: writeJSON %T: %v", v, err)
+	}
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -1,0 +1,297 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flame/internal/core"
+)
+
+// TestWriteJSONContentTypeAndEncodeErrors: every writeJSON response
+// carries the JSON Content-Type, and an encode failure is logged
+// instead of dropped (the status line is already out, so logging is the
+// only trace left).
+func TestWriteJSONContentTypeAndEncodeErrors(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]int{"a": 1})
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", got)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != `{"a":1}` {
+		t.Fatalf("body = %q", got)
+	}
+
+	var mu sync.Mutex
+	var logged []string
+	orig := writeJSONLogf
+	writeJSONLogf = func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	defer func() { writeJSONLogf = orig }()
+
+	// A channel is not marshalable: Encode fails after the header went
+	// out, and the failure must reach the log.
+	writeJSON(httptest.NewRecorder(), http.StatusOK, make(chan int))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 || !strings.Contains(logged[0], "unsupported type") {
+		t.Fatalf("encode failure not logged: %q", logged)
+	}
+}
+
+// metricsTestCoordinator builds a coordinator with hand-set state — no
+// golden runs, no HTTP — so the rendered metrics page is a pure
+// function of the struct and can be pinned byte-for-byte.
+func metricsTestCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	info := testInfo(6)
+	info.Trace = true
+	cfg, err := info.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{
+		cc:       CoordConfig{Info: info},
+		cfg:      cfg,
+		epoch:    2,
+		leaseSeq: 7,
+		leases:   map[string]*shardCtl{},
+		workers:  map[string]string{"w0": "", "w1": "", "evil": "golden vote failed"},
+		tally:    map[string]int{"masked": 5, "sdc": 2, "due": 1, "no-injection": 1},
+		bstats: map[string]*benchTally{
+			"Triad":     {injected: 5, sdc: 2, due: 1},
+			"Histogram": {injected: 3, sdc: 0, due: 0},
+		},
+		stopped: map[string]bool{"Histogram": true},
+	}
+	mkShard := func(id, lo, hi int, bench, state string, fails, seen int) *shardCtl {
+		sc := &shardCtl{state: state, fails: fails, seen: map[int]bool{}}
+		sc.shard.ID, sc.shard.Lo, sc.shard.Hi, sc.shard.Bench = id, lo, hi, bench
+		for i := 0; i < seen; i++ {
+			sc.seen[lo+i] = true
+		}
+		return sc
+	}
+	c.shards = []*shardCtl{
+		mkShard(0, 0, 3, "Triad", stateDone, 0, 3),
+		mkShard(1, 3, 6, "Triad", stateLeased, 1, 2),
+		mkShard(2, 0, 3, "Histogram", stateDone, 0, 3),
+		mkShard(3, 3, 6, "Histogram", stateCancelled, 0, 0),
+	}
+	c.leases["e2-l7-s1"] = c.shards[1]
+	for _, v := range []int64{0, 3, 9, 40} {
+		c.prop.fold(&core.PropRecord{StrikeCycle: 1, StoreCycle: 1 + v, Depth: v, DetectLatency: -1})
+	}
+	c.prop.fold(&core.PropRecord{StrikeCycle: 1, StoreCycle: -1, Depth: -1, DetectLatency: -1,
+		Fingerprint: "00000000deadbeef"})
+	c.prop.fold(&core.PropRecord{StrikeCycle: 1, StoreCycle: -1, Depth: -1, DetectLatency: -1,
+		Fingerprint: "00000000deadbeef"})
+	c.prop.fold(&core.PropRecord{StrikeCycle: 1, StoreCycle: -1, Depth: -1, DetectLatency: -1,
+		Fingerprint: "0123456789abcdef"})
+	return c
+}
+
+// TestMetricsGolden pins the exact Prometheus exposition bytes the
+// coordinator serves, so accidental format drift (label order, HELP
+// text, histogram bucketing) is caught. Regenerate with
+// UPDATE_METRICS_GOLDEN=1 go test ./internal/dist -run TestMetricsGolden
+func TestMetricsGolden(t *testing.T) {
+	c := metricsTestCoordinator(t)
+	got := c.renderMetricsLocked(12.5)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_METRICS_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_METRICS_GOLDEN=1)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("metrics page drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestStatusAndMetricsUnderLoad hammers the read-only endpoints while a
+// worker streams a real campaign — the race detector turns any unlocked
+// read in the handlers into a failure, and the final merged report must
+// still be byte-identical.
+func TestStatusAndMetricsUnderLoad(t *testing.T) {
+	info := testInfo(6)
+	want := singleReport(t, info)
+	c, srv, _ := testCoord(t, info, t.TempDir())
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		path := "/v1/status"
+		if i%2 == 1 {
+			path = "/metrics"
+		}
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					continue // server may be mid-shutdown at test end
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+
+	if err := RunWorker(context.Background(), WorkerConfig{
+		URL: srv.URL, Name: "loaded", FlushEvery: 1, Logf: t.Logf,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	fr := waitDone(t, c, 60*time.Second)
+	close(stop)
+	readers.Wait()
+	checkByteIdentical(t, fr, want)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"flame_campaign_trials_done_total 12",
+		`flame_shards{state="done"}`,
+		"flame_leases_granted_total",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestDistTracedByteIdentical: a traced distributed campaign (baseline
+// scheme, full-site model, so SDCs occur and carry fingerprints) merges
+// byte-identical to the traced single-process run, and the
+// coordinator's /metrics carries the propagation tallies — including
+// after a coordinator restart, which must rebuild them from the shard
+// streams without losing counts.
+func TestDistTracedByteIdentical(t *testing.T) {
+	info := testInfo(6)
+	info.Scheme = "baseline"
+	info.Model = "full"
+	info.Trace = true
+	want := singleReport(t, info)
+	dir := t.TempDir()
+	c, srv, cancel := testCoord(t, info, dir)
+
+	if err := RunWorker(context.Background(), WorkerConfig{
+		URL: srv.URL, Name: "tracer", FlushEvery: 2, Logf: t.Logf,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	fr := waitDone(t, c, 60*time.Second)
+	checkByteIdentical(t, fr, want)
+	if fr.Report.Fleet.Propagation == nil || fr.Report.Fleet.Propagation.Traced == 0 {
+		t.Fatal("merged traced report has no propagation section")
+	}
+
+	readCounters := func(url string) (traced float64, page string) {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		page = string(data)
+		for _, line := range strings.Split(page, "\n") {
+			if strings.HasPrefix(line, "flame_propagation_traced_total ") {
+				fmt.Sscanf(line, "flame_propagation_traced_total %g", &traced)
+			}
+		}
+		return traced, page
+	}
+	traced1, page := readCounters(srv.URL)
+	if traced1 == 0 {
+		t.Fatalf("live metrics carry no propagation tally:\n%s", page)
+	}
+	if !strings.Contains(page, "flame_propagation_cycles_bucket") {
+		t.Fatalf("metrics missing propagation depth histogram:\n%s", page)
+	}
+	cancel()
+	srv.Close()
+
+	// Restart on the same state dir: the tallies must be rebuilt from
+	// the shard streams, not reset.
+	c2, srv2, _ := testCoord(t, info, dir)
+	waitDone(t, c2, 10*time.Second)
+	traced2, page2 := readCounters(srv2.URL)
+	if traced2 != traced1 {
+		t.Fatalf("propagation tally not monotone across restart: %v -> %v\n%s", traced1, traced2, page2)
+	}
+}
+
+// TestDashboardServed: the dashboard is gated by CoordConfig.Dashboard
+// and serves a self-contained HTML page that references the two
+// endpoints it polls.
+func TestDashboardServed(t *testing.T) {
+	info := testInfo(3)
+	c, err := NewCoordinator(CoordConfig{
+		Info: info, StateDir: t.TempDir(), Dashboard: true, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{"/v1/status", "/metrics", "<html"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Without the flag the route does not exist.
+	c2, err := NewCoordinator(CoordConfig{Info: info, StateDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ungated /dashboard returned %d, want 404", resp2.StatusCode)
+	}
+}

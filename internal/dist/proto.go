@@ -66,6 +66,13 @@ type CampaignInfo struct {
 	// cancelled instead of leased. Workers need it on the wire so a
 	// resumed campaign keeps the same stopping rule.
 	CITarget float64 `json:"ci_target,omitempty"`
+	// Trace arms propagation tracing on every worker: trial lines carry
+	// prop records, the merged report gains its propagation sections,
+	// and the coordinator's /metrics exposes fingerprint and depth
+	// tallies. Outcomes are unchanged (tracing observes executed
+	// instructions only), so the merged report minus its propagation
+	// sections stays byte-identical to an untraced run.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // InfoFromConfig captures a campaign.Config's wire description.
@@ -91,6 +98,7 @@ func InfoFromConfig(cfg *campaign.Config) CampaignInfo {
 		Prune:              cfg.Prune,
 		NoCOW:              cfg.NoCOW,
 		CITarget:           cfg.CITarget,
+		Trace:              cfg.Trace,
 	}
 }
 
@@ -133,6 +141,7 @@ func (ci *CampaignInfo) Config() (campaign.Config, error) {
 		Prune:           ci.Prune,
 		NoCOW:           ci.NoCOW,
 		CITarget:        ci.CITarget,
+		Trace:           ci.Trace,
 	}, nil
 }
 
@@ -171,10 +180,14 @@ type LeaseResponse struct {
 	// off); ask again after this many milliseconds.
 	RetryMS int64 `json:"retry_ms,omitempty"`
 	// Shard + lease terms, when granted.
-	Shard       *campaign.Shard `json:"shard,omitempty"`
-	LeaseID     string          `json:"lease_id,omitempty"`
-	DeadlineMS  int64           `json:"deadline_ms,omitempty"`  // lease TTL
-	HeartbeatMS int64           `json:"heartbeat_ms,omitempty"` // expected cadence
+	Shard   *campaign.Shard `json:"shard,omitempty"`
+	LeaseID string          `json:"lease_id,omitempty"`
+	// Attempt is 1 for a shard's first lease, higher after failed
+	// leases — workers log it so a retried shard is visible in -join
+	// progress output.
+	Attempt     int   `json:"attempt,omitempty"`
+	DeadlineMS  int64 `json:"deadline_ms,omitempty"`  // lease TTL
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"` // expected cadence
 }
 
 // HeartbeatRequest renews a lease.
@@ -225,11 +238,16 @@ type ReleaseRequest struct {
 
 // ShardStatus describes one shard in the status report.
 type ShardStatus struct {
-	Shard  campaign.Shard `json:"shard"`
-	State  string         `json:"state"`
-	Fails  int            `json:"fails,omitempty"`
-	Worker string         `json:"worker,omitempty"`
-	Done   int            `json:"done"` // distinct trials on disk
+	Shard campaign.Shard `json:"shard"`
+	State string         `json:"state"`
+	// Retries counts failed leases (expiries and short completions).
+	Retries int    `json:"retries,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	// LeaseAgeSec is how long the current lease has been out (leased
+	// shards only) — a stalling worker shows up as a growing age with a
+	// flat Done.
+	LeaseAgeSec float64 `json:"lease_age_sec,omitempty"`
+	Done        int     `json:"done"` // distinct trials on disk
 }
 
 // StatusResponse is the live progress view served at /v1/status,

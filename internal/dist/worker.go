@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"flame/internal/campaign"
 	"flame/internal/core"
+	"flame/internal/obs"
 )
 
 // WorkerConfig configures RunWorker.
@@ -29,6 +31,10 @@ type WorkerConfig struct {
 	// FlushEvery batches this many trial lines per events post
 	// (default 8). Smaller batches lose less work when the worker dies.
 	FlushEvery int
+	// MetricsAddr, when set, serves this worker's Prometheus-text
+	// /metrics endpoint on the address (e.g. ":9090") for the lifetime
+	// of RunWorker.
+	MetricsAddr string
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -79,10 +85,48 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 		wc.Logf = func(string, ...any) {}
 	}
 	w := &worker{wc: wc}
+	if wc.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", wc.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("dist: metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", w.handleMetrics)
+		srv := &http.Server{Handler: mux}
+		defer srv.Close()
+		go srv.Serve(ln)
+		wc.Logf("metrics on http://%s/metrics", ln.Addr())
+	}
 	if err := w.setup(ctx); err != nil {
 		return err
 	}
 	return w.loop(ctx)
+}
+
+// workerMetrics is the worker's own /metrics state: plain monotone
+// counters updated from the trial loop, read from the HTTP handler —
+// atomics, because those are different goroutines.
+type workerMetrics struct {
+	trials, pruned  atomic.Int64
+	leases, lost    atomic.Int64
+	flushes         atomic.Int64
+	restored, dirty atomic.Int64
+	diff            atomic.Int64
+}
+
+func (w *worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	p := obs.NewProm()
+	p.Gauge("flame_worker_info", "Worker identity; the value is always 1.", 1, "name", w.wc.Name)
+	p.Counter("flame_worker_trials_total", "Trials computed (including pruned).", float64(w.m.trials.Load()))
+	p.Counter("flame_worker_pruned_total", "Trials classified without simulation.", float64(w.m.pruned.Load()))
+	p.Counter("flame_worker_leases_total", "Shard leases acquired.", float64(w.m.leases.Load()))
+	p.Counter("flame_worker_leases_lost_total", "Leases lost to expiry or coordinator restart.", float64(w.m.lost.Load()))
+	p.Counter("flame_worker_flushes_total", "Event batches streamed to the coordinator.", float64(w.m.flushes.Load()))
+	p.Counter("flame_worker_restored_pages_total", "Pages copied back from the golden image before launches.", float64(w.m.restored.Load()))
+	p.Counter("flame_worker_dirty_pages_total", "Pages written by trials.", float64(w.m.dirty.Load()))
+	p.Counter("flame_worker_diff_pages_total", "Pages compared during classification.", float64(w.m.diff.Load()))
+	rw.Header().Set("Content-Type", obs.ContentType)
+	rw.Write(p.Bytes())
 }
 
 // worker is one campaign replica: its own engine, goldens, and specs,
@@ -94,8 +138,10 @@ type worker struct {
 	specs   map[string]*core.KernelSpec
 	goldens map[string]*core.Golden
 	prune   map[string]*core.PruneIndex // nil unless cfg.Prune
+	tracer  core.TrialObserver          // nil unless cfg.Trace
 	sigs    map[string]GoldenSig
 	hb      time.Duration
+	m       workerMetrics
 }
 
 // setup fetches the campaign, replicates the golden runs, and joins
@@ -112,6 +158,11 @@ func (w *worker) setup(ctx context.Context) error {
 	w.cfg = cfg
 	w.eng = core.NewEngine(cfg.Arch)
 	w.eng.SetNoCOW(cfg.NoCOW)
+	if cfg.Trace {
+		// One tracer for the whole worker: trials run sequentially, and
+		// the tracer resets per trial (BeginTrial).
+		w.tracer = obs.NewTracer()
+	}
 	w.specs = map[string]*core.KernelSpec{}
 	w.goldens = map[string]*core.Golden{}
 	if cfg.Prune {
@@ -197,7 +248,10 @@ func (w *worker) loop(ctx context.Context) error {
 			}
 			err := w.runShard(ctx, lr)
 			switch {
-			case err == nil || errors.Is(err, errLeaseLost):
+			case errors.Is(err, errLeaseLost):
+				w.m.lost.Add(1)
+				// lease again
+			case err == nil:
 				// lease again
 			default:
 				return err
@@ -214,7 +268,12 @@ func (w *worker) runShard(ctx context.Context, lr LeaseResponse) error {
 	if spec == nil || g == nil {
 		return fmt.Errorf("dist: leased unknown benchmark %q", sh.Bench)
 	}
-	w.wc.Logf("lease %s: running %s", lr.LeaseID, sh)
+	w.m.leases.Add(1)
+	if lr.Attempt > 1 {
+		w.wc.Logf("lease %s: running %s (attempt %d — previous lease failed)", lr.LeaseID, sh, lr.Attempt)
+	} else {
+		w.wc.Logf("lease %s: running %s", lr.LeaseID, sh)
+	}
 
 	// Heartbeat until the shard is finished or the lease is canceled.
 	// The deferred cancel must run before the Wait: the heartbeat loop
@@ -263,6 +322,7 @@ func (w *worker) runShard(ctx context.Context, lr LeaseResponse) error {
 		if !er.OK {
 			return errLeaseLost
 		}
+		w.m.flushes.Add(1)
 		batch = batch[:0]
 		return nil
 	}
@@ -288,12 +348,19 @@ func (w *worker) runShard(ctx context.Context, lr LeaseResponse) error {
 			}
 		}
 		ts := w.cfg.TrialSpec(g, sh.Bench, t)
+		ts.Observer = w.tracer
 		res, pruned := w.prune[sh.Bench].PruneTrial(g, ts)
 		if pruned {
 			res.Pruned = true
+			w.m.pruned.Add(1)
 		} else {
 			res = w.eng.RunTrial(spec, g, ts)
+			s := w.eng.Stats()
+			w.m.restored.Store(s.RestoredPages)
+			w.m.dirty.Store(s.DirtyPages)
+			w.m.diff.Store(s.DiffPages)
 		}
+		w.m.trials.Add(1)
 		line, err := campaign.MarshalTrialEvent(sh.Bench, t, res)
 		if err != nil {
 			return err

@@ -68,6 +68,12 @@ type Strike struct {
 	// Excluded reports whether the corrupted site lies in the
 	// address/control slice (only reachable under FullSite).
 	Excluded bool
+	// SM, Warp and Lane identify the struck execution site (valid once
+	// Injected): the SM index, the warp's slot ID on that SM, and the
+	// lane whose register or store data was corrupted. Propagation
+	// tracers key their taint state on (SM, Warp) to follow the
+	// corrupted value through subsequent instructions.
+	SM, Warp, Lane int
 	// Description says what was corrupted, for logs.
 	Description string
 
@@ -288,6 +294,7 @@ func (inj *Injector) Observe(d *gpu.Device, sm *gpu.SM, w *gpu.Warp, pc int) {
 	default:
 		return // not a corruptible instruction; stay armed
 	}
+	s.SM, s.Warp, s.Lane = sm.ID, w.ID, lane
 	s.Injected = true
 	s.InjectedAt = d.Cyc
 	delay := int64(0)

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -53,6 +54,29 @@ func Max(xs []float64) (float64, int) {
 // overhead ("+0.60%", "-2.30%").
 func OverheadPct(norm float64) string {
 	return fmt.Sprintf("%+.2f%%", (norm-1)*100)
+}
+
+// PercentileInt64 returns the p-th percentile (0 < p <= 100) of xs by
+// the nearest-rank method on a sorted copy: the smallest value with at
+// least ceil(p/100*n) observations at or below it. Zero for empty
+// input. Nearest-rank keeps the result an actual observation (exact
+// for cycle counts) and is order-independent, so campaign aggregation
+// over it stays deterministic at any worker count.
+func PercentileInt64(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Wilson returns the Wilson score confidence interval for a binomial

@@ -9,8 +9,18 @@
 #      restart it on the same state dir (it must resume from checkpoint
 #      + shard streams while the surviving workers reconnect).
 #   3. Assert the merged distributed report is byte-identical to A.
+#   4. Observability: sample /metrics before the coordinator murder and
+#      after the restart — flame_campaign_trials_done_total must be
+#      monotone (the restarted coordinator rebuilds its counters from
+#      the shard streams, never resets them) — and snapshot the live
+#      dashboard HTML as an artifact.
+#   5. A second, traced campaign (-fingerprint, baseline scheme under
+#      the full-site model so SDCs occur): the merged report must again
+#      match single-process byte-for-byte, and /metrics must carry the
+#      propagation histogram and fingerprint tallies.
 #
-# Artifacts (state dir, logs, reports) land in $OUT (default: a temp dir).
+# Artifacts (state dir, logs, reports, metrics, dashboard.html) land in
+# $OUT (default: a temp dir).
 set -u -o pipefail
 
 BENCHES="${BENCHES:-Triad,Histogram,BFS}"
@@ -47,9 +57,14 @@ rc=$?
 start_coordinator() {
     "$OUT/flameserve" -addr "$ADDR" -state "$STATE" \
         -bench "$BENCHES" -trials "$TRIALS" -seed "$SEED" \
-        -shard-size 2 -lease-ttl 3s \
+        -shard-size 2 -lease-ttl 3s -dashboard \
         -json "$OUT/dist.json" >"$OUT/dist.txt" 2>>"$OUT/serve.log" &
     SERVE_PID=$!
+}
+
+# metric_value NAME FILE -> the (label-less) sample value, or empty.
+metric_value() {
+    sed -n "s/^$1 \([0-9.]*\)$/\1/p" "$2"
 }
 
 start_worker() { # $1 = name
@@ -83,11 +98,36 @@ for i in $(seq 1 100); do
 done
 grep -q "expired" "$OUT/serve.log" || die "no lease expiry recorded — w1's death went unnoticed"
 
+# Observability snapshot before the murder: the Prometheus page and the
+# live dashboard (served because the coordinator runs with -dashboard).
+curl -fsS "$URL/metrics" >"$OUT/metrics-before.txt" \
+    || die "GET /metrics failed on the live coordinator"
+done_before=$(metric_value flame_campaign_trials_done_total "$OUT/metrics-before.txt")
+[ -n "$done_before" ] || die "flame_campaign_trials_done_total missing from /metrics"
+grep -q 'flame_shards{state="' "$OUT/metrics-before.txt" || die "shard-state gauges missing from /metrics"
+curl -fsS "$URL/dashboard" >"$OUT/dashboard.html" || die "GET /dashboard failed"
+grep -q "<html" "$OUT/dashboard.html" || die "dashboard snapshot is not HTML"
+
 log "kill -9 the coordinator and restart it from its state dir"
 kill -9 "$SERVE_PID" 2>/dev/null
 wait "$SERVE_PID" 2>/dev/null
 sleep 1
 start_coordinator
+
+# Counter monotonicity across the restart: the rebuilt
+# flame_campaign_trials_done_total must never be below the pre-kill
+# sample (it is re-derived from the shard streams, which survived).
+for i in $(seq 1 100); do
+    if curl -fsS "$URL/metrics" >"$OUT/metrics-after.txt" 2>/dev/null; then break; fi
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+[ -s "$OUT/metrics-after.txt" ] || die "restarted coordinator never served /metrics"
+done_after=$(metric_value flame_campaign_trials_done_total "$OUT/metrics-after.txt")
+[ -n "$done_after" ] || die "flame_campaign_trials_done_total missing after restart"
+[ "${done_after%.*}" -ge "${done_before%.*}" ] \
+    || die "trials_done_total went backwards across restart: $done_before -> $done_after"
+log "trials_done_total monotone across restart: $done_before -> $done_after"
 
 # The surviving workers retry through the outage and finish the campaign.
 wait "$SERVE_PID"
@@ -113,5 +153,51 @@ done
 
 # The re-lease after w1's murder must be visible in the coordinator log.
 grep -q "expired" "$OUT/serve.log" || die "no lease expiry recorded — w1's death went unnoticed"
+
+# --- Traced campaign: propagation fingerprints end to end ------------
+# Baseline scheme under the full-site model so strikes become SDCs and
+# carry corruption fingerprints. The traced distributed report must
+# still merge byte-identical to single-process, and /metrics must carry
+# the propagation histogram + fingerprint tallies while trials stream.
+FP_BENCHES="${FP_BENCHES:-Triad,Histogram}"
+log "traced campaign (-fingerprint, baseline scheme, full-site model)"
+"$OUT/flameinject" -bench "$FP_BENCHES" -trials "$TRIALS" -seed "$SEED" \
+    -scheme baseline -model full -fingerprint \
+    -json "$OUT/single-fp.json" >"$OUT/single-fp.txt" 2>>"$OUT/single.log"
+rc=$?
+[ $rc -eq 0 ] || [ $rc -eq 2 ] || die "traced flameinject exited $rc"
+
+"$OUT/flameserve" -addr "$ADDR" -state "$OUT/state-fp" \
+    -bench "$FP_BENCHES" -trials "$TRIALS" -seed "$SEED" \
+    -scheme baseline -model full -fingerprint -shard-size 2 \
+    -json "$OUT/dist-fp.json" >"$OUT/dist-fp.txt" 2>>"$OUT/serve.log" &
+FP_PID=$!
+start_worker fp
+
+# Keep the freshest /metrics page that carries propagation tallies; the
+# coordinator exits as soon as the campaign completes.
+while kill -0 "$FP_PID" 2>/dev/null; do
+    if curl -fsS "$URL/metrics" >"$OUT/metrics-fp.tmp" 2>/dev/null \
+        && grep -q "^flame_propagation_traced_total " "$OUT/metrics-fp.tmp"; then
+        mv "$OUT/metrics-fp.tmp" "$OUT/metrics-fp.txt"
+    fi
+    sleep 0.1
+done
+wait "$FP_PID"
+rc=$?
+[ $rc -eq 0 ] || [ $rc -eq 2 ] || die "traced coordinator exited $rc (see serve.log)"
+eval 'wait $WPID_fp' || die "traced worker failed (see worker-fp.log)"
+
+cmp -s "$OUT/single-fp.json" "$OUT/dist-fp.json" \
+    || die "traced distributed report differs from single-process"
+grep -q '"propagation"' "$OUT/dist-fp.json" \
+    || die "traced report carries no propagation section"
+[ -s "$OUT/metrics-fp.txt" ] || die "never sampled propagation tallies from /metrics"
+grep -q "^flame_propagation_cycles_bucket" "$OUT/metrics-fp.txt" \
+    || die "propagation depth histogram missing from /metrics"
+grep -q "^flame_propagation_fingerprint_total" "$OUT/metrics-fp.txt" \
+    || die "fingerprint tallies missing from /metrics"
+log "PASS: traced report byte-identical; propagation metrics exported"
+
 log "artifacts in $OUT"
 log "OK"
