@@ -7,6 +7,7 @@
 //
 //	flamecc -bench LUD -scheme flame
 //	flamecc -in kernel.fasm -scheme dup-renaming -wcdl 30 -dump
+//	flamecc -bench Triad -scheme renaming -avf     # static AVF prediction
 package main
 
 import (
@@ -15,8 +16,11 @@ import (
 	"os"
 	"strings"
 
+	"flame/internal/avf"
 	"flame/internal/bench"
 	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
 	"flame/internal/isa"
 	"flame/internal/regions"
 	"flame/internal/vet"
@@ -44,6 +48,9 @@ func main() {
 	dump := flag.Bool("dump", true, "dump the compiled program")
 	verify := flag.Bool("verify", true, "check idempotence invariants of the result")
 	runVet := flag.Bool("vet", false, "run the full flamevet static analysis on the result (exit 1 on errors)")
+	avfRep := flag.Bool("avf", false, "print the static AVF vulnerability prediction (needs -bench: runs the fault-free golden)")
+	archName := flag.String("arch", "GTX480", "GPU architecture for -avf: GTX480, TITANX, GV100, RTX2060")
+	modelFlag := flag.String("model", "data", "fault model for -avf: data or full")
 	flag.Parse()
 
 	scheme, ok := schemeByFlag[strings.ToLower(*schemeFlag)]
@@ -52,12 +59,14 @@ func main() {
 	}
 
 	var prog *isa.Program
+	var bm *bench.Benchmark
 	switch {
 	case *benchName != "":
 		b, err := bench.ByName(*benchName)
 		if err != nil {
 			fail("%v (known: %s)", err, benchNames())
 		}
+		bm = b
 		prog = b.Prog()
 	case *in != "":
 		src, err := os.ReadFile(*in)
@@ -119,6 +128,25 @@ func main() {
 		if rep.Errors() > 0 {
 			os.Exit(1)
 		}
+	}
+	if *avfRep {
+		if bm == nil {
+			fail("-avf needs -bench NAME (the prediction runs the benchmark's fault-free golden)")
+		}
+		arch, err := gpu.ConfigByName(*archName)
+		if err != nil {
+			fail("%v", err)
+		}
+		model, err := flame.ParseFaultModel(*modelFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		p, err := avf.Predict(arch, bm.Spec(), core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend}, model)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println()
+		fmt.Print(p.String())
 	}
 }
 

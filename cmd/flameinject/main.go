@@ -76,6 +76,7 @@ func main() {
 	stratify := flag.Bool("stratify", false, "stratified importance sampling over (kernel, section, opcode-class) strata instead of the uniform site grid")
 	ciTarget := flag.Float64("ci-target", 0, "adaptive early stop: halt a benchmark once both its SDC and DUE Wilson 95% half-widths reach this target (0 = off; needs -stratify or -serve)")
 	pilot := flag.Int("pilot", 0, "with -stratify: uniform pilot trials per stratum in round 0 (0 = default)")
+	strataKey := flag.String("strata-key", "", "with -stratify or -list-strata: stratification key, section-class (default) or liveness (adds the static dead/short/long/store site-class dimension)")
 	audit := flag.Bool("audit", false, "with -stratify: rerun the uniform grid at the same budget and require the stratified estimates to fall inside its Wilson CIs (exit 1 on failure)")
 	listStrata := flag.Bool("list-strata", false, "enumerate the injection-site strata per benchmark (sites, weights) and exit without running trials")
 	noskip := flag.Bool("noskip", false, "disable event-driven cycle skipping (naive per-cycle loop)")
@@ -149,6 +150,13 @@ func main() {
 	if *audit && !*stratify {
 		fail("-audit needs -stratify")
 	}
+	skey, err := core.ParseStrataKey(*strataKey)
+	if err != nil {
+		fail("-strata-key: %v", err)
+	}
+	if *strataKey != "" && !*stratify && !*listStrata {
+		fail("-strata-key needs -stratify or -list-strata")
+	}
 	if *stratify {
 		switch {
 		case *serve != "":
@@ -174,7 +182,7 @@ func main() {
 					StrikesPerTrial: *strikes, HangBudgetMult: *budget,
 					TrialTimeoutMS: trialTimeout.Milliseconds(),
 					Prune:          *prune, NoCOW: *noCOW, CITarget: *ciTarget,
-					Trace:          *fingerprint,
+					Trace: *fingerprint,
 				},
 				StateDir: *state, Dashboard: *dashboard, Logf: logf,
 			},
@@ -228,7 +236,7 @@ func main() {
 	// the stratified sampler would draw from, without running trials.
 	if *listStrata {
 		opt := core.Options{Scheme: scheme, WCDL: *wcdl, ExtendRegions: *extend}
-		fmt.Print(strataTable(arch, opt, specs, model))
+		fmt.Print(strataTable(arch, opt, specs, model, skey))
 		stopProf()
 		return
 	}
@@ -325,6 +333,7 @@ func main() {
 		Stratify:        *stratify,
 		CITarget:        *ciTarget,
 		Pilot:           *pilot,
+		StrataKey:       *strataKey,
 		Trace:           *fingerprint,
 	}
 	rep, err := campaign.Run(ccfg)
@@ -399,7 +408,7 @@ func main() {
 // strataTable renders the -list-strata view: every benchmark's
 // enumerated (kernel, section, opcode-class) strata with exact site
 // counts and their share of the injectable span.
-func strataTable(arch gpu.Config, opt core.Options, specs []*core.KernelSpec, model flame.FaultModel) string {
+func strataTable(arch gpu.Config, opt core.Options, specs []*core.KernelSpec, model flame.FaultModel, key core.StrataKey) string {
 	t := &stats.Table{Header: []string{
 		"benchmark", "stratum", "sites", "weight",
 	}}
@@ -409,7 +418,7 @@ func strataTable(arch gpu.Config, opt core.Options, specs []*core.KernelSpec, mo
 		if err != nil {
 			fail("%s: %v", spec.Name, err)
 		}
-		sm, err := core.BuildStrata(arch, spec, g, model)
+		sm, err := core.BuildStrataKeyed(arch, spec, g, model, key)
 		if err != nil {
 			fail("%s: %v", spec.Name, err)
 		}

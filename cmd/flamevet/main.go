@@ -12,6 +12,15 @@
 //	flamevet -in kernel.fasm -scheme dup-checkpointing
 //	flamevet -list                                 # the check registry
 //
+// With -avf it instead runs the AVF cross-validation gate: the static
+// vulnerability engine (internal/avf) predicts per-benchmark×scheme
+// masked/recovered fractions, a real injection campaign measures them,
+// and every prediction must be consistent with the measured Wilson 95%
+// CI (point containment for sharp pairs, ACE-band overlap for all):
+//
+//	flamevet -avf -bench Triad,Histogram,SRAD,GUPS -scheme renaming,flame \
+//	         -avf-trials 200 -json avf-report.json
+//
 // Exit status: 0 when no finding reaches the -fail-on severity (default
 // error), 1 when one does, 2 on usage or harness errors.
 package main
@@ -24,6 +33,8 @@ import (
 
 	"flame/internal/bench"
 	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
 	"flame/internal/isa"
 	"flame/internal/vet"
 )
@@ -59,6 +70,13 @@ func run() int {
 	failOn := flag.String("fail-on", "error", "lowest severity that fails the run: info, warning, error")
 	quiet := flag.Bool("q", false, "suppress per-target progress lines")
 	list := flag.Bool("list", false, "print the check registry and exit")
+	avfGate := flag.Bool("avf", false, "run the AVF model-vs-campaign cross-validation gate (needs -bench)")
+	avfTrials := flag.Int("avf-trials", 200, "injection trials per benchmark in the AVF gate campaign")
+	avfSharp := flag.Float64("avf-sharp", 0, "residual threshold for the strict point check (0 = default 0.02)")
+	archName := flag.String("arch", "GTX480", "GPU architecture for the AVF gate: GTX480, TITANX, GV100, RTX2060")
+	modelFlag := flag.String("model", "data", "fault model for the AVF gate: data or full")
+	parallel := flag.Int("parallel", 0, "AVF gate campaign workers (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 42, "AVF gate campaign seed")
 	flag.Parse()
 
 	if *list {
@@ -83,6 +101,11 @@ func run() int {
 	schemes, err := parseSchemes(*schemeFlag)
 	if err != nil {
 		return usage("%v", err)
+	}
+
+	if *avfGate {
+		return runAVF(*benchFlag, schemes, *wcdl, *extend, *archName, *modelFlag,
+			*avfTrials, *avfSharp, *parallel, *seed, *jsonOut)
 	}
 
 	rep := vet.NewReport(cfg)
@@ -158,6 +181,67 @@ func run() int {
 	if max, any := rep.Max(); any && max >= failSev {
 		return 1
 	}
+	return 0
+}
+
+// runAVF runs the AVF cross-validation gate over the benchmark×scheme
+// matrix and returns the process exit status (0 pass, 1 fail, 2 usage).
+func runAVF(benchFlag string, schemes []core.Scheme, wcdl int, extend bool,
+	archName, modelName string, trials int, sharp float64, parallel int,
+	seed uint64, jsonOut string) int {
+	if benchFlag == "" {
+		return usage("-avf needs -bench NAME[,NAME...]|all")
+	}
+	benches, err := parseBenches(benchFlag)
+	if err != nil {
+		return usage("%v", err)
+	}
+	arch, err := gpu.ConfigByName(archName)
+	if err != nil {
+		return usage("%v", err)
+	}
+	model, err := flame.ParseFaultModel(modelName)
+	if err != nil {
+		return usage("%v", err)
+	}
+	acfg := vet.AVFConfig{
+		Arch:          arch,
+		Model:         model,
+		Trials:        trials,
+		Parallel:      parallel,
+		Seed:          seed,
+		SharpResidual: sharp,
+	}
+	for _, b := range benches {
+		acfg.Specs = append(acfg.Specs, b.Spec())
+	}
+	for _, s := range schemes {
+		acfg.Schemes = append(acfg.Schemes, core.Options{Scheme: s, WCDL: wcdl, ExtendRegions: extend})
+	}
+	rep, err := vet.AVFCrossValidate(acfg)
+	if err != nil {
+		return usage("%v", err)
+	}
+	fmt.Print(rep)
+	if jsonOut != "" {
+		w := os.Stdout
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return usage("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			return usage("%v", err)
+		}
+	}
+	if !rep.Pass {
+		fmt.Println("flamevet: AVF cross-validation FAILED")
+		return 1
+	}
+	fmt.Printf("flamevet: AVF cross-validation passed (%d pairs)\n", len(rep.Pairs))
 	return 0
 }
 

@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"flame/internal/analysis"
+	"flame/internal/bench"
+	"flame/internal/isa"
+	"flame/internal/kernel"
+)
+
+// FuzzIntervals throws mutated kernel sources at the interval solver.
+// Whatever parses must analyze without panicking, and the single-scan
+// solver must agree site-for-site with the O(n·block) reference walk
+// (Liveness.LiveAfter) plus the structural interval invariants. The
+// corpus is seeded with every shipped benchmark kernel, mirroring
+// isa.FuzzParse.
+func FuzzIntervals(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.Src)
+	}
+	f.Add("    mov r0, 5\n@p0 mov r0, 1\n    add r3, r0, 1\n    exit\n")
+	f.Add("L:\n    add r0, r0, 1\n    setp.lt p0, r0, r1\n@p0 bra L\n    exit\n")
+	f.Add("    setp.lt p0, r0, r1\n@!p0 bra E\n    mov r2, 1\nE:\n    st.global [r3], r2\n    exit\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := isa.Parse("fuzz", src)
+		if err != nil || len(p.Insts) == 0 {
+			return
+		}
+		g := kernel.Build(p)
+		iv := analysis.ComputeIntervals(g)
+		lv := iv.Liveness()
+		for i := range p.Insts {
+			d := p.Insts[i].Defs()
+			if d == isa.NoReg {
+				if _, ok := iv.ClassOf(i, nil); ok {
+					t.Fatalf("inst %d defines nothing but ClassOf reports a site", i)
+				}
+				continue
+			}
+			if want := lv.LiveAfter(i).Has(int(d)); iv.LiveAfterDef[i] != want {
+				t.Fatalf("inst %d: LiveAfterDef=%v disagrees with reference %v\nsource:\n%s",
+					i, iv.LiveAfterDef[i], want, src)
+			}
+			b := g.Blocks[g.BlockOf[i]]
+			if lu := iv.LastUse[i]; lu != -1 && (lu <= i || lu >= b.End) {
+				t.Fatalf("inst %d: last use %d outside (%d, %d)", i, lu, i, b.End)
+			}
+			if !iv.LiveAfterDef[i] && (iv.LastUse[i] != -1 || iv.EscapesBlock[i]) {
+				t.Fatalf("inst %d: dead site with last use %d escape %v",
+					i, iv.LastUse[i], iv.EscapesBlock[i])
+			}
+			if iv.LiveAfterDef[i] && iv.LastUse[i] == -1 && !iv.EscapesBlock[i] {
+				t.Fatalf("inst %d: live site with neither an in-block use nor an escape", i)
+			}
+			if c, ok := iv.ClassOf(i, nil); !ok || c >= analysis.NumSiteClasses {
+				t.Fatalf("inst %d: bad class %v ok=%v", i, c, ok)
+			}
+		}
+	})
+}

@@ -125,6 +125,12 @@ type Config struct {
 	// Pilot is the per-stratum trial count of the stratified sampler's
 	// uniform pilot round (default 8, minimum 2).
 	Pilot int
+	// StrataKey selects the stratified sampler's stratification key
+	// (core.ParseStrataKey spellings; "" is the default section-class
+	// key, "liveness" adds the static liveness-class dimension). The
+	// key string feeds every stratum's seed stream, so different keys
+	// draw different — equally deterministic — trial grids.
+	StrataKey string
 }
 
 type job struct{ b, t int }
@@ -190,9 +196,16 @@ func Run(cfg Config) (*Report, error) {
 	// each records the golden schedule once). A benchmark that fails a
 	// soundness gate gets a disabled index and falls back to simulation.
 	pruneIdx := make([]*core.PruneIndex, len(cfg.Specs))
+	pruneOff := make([]string, len(cfg.Specs))
 	if cfg.Prune {
 		for i, spec := range cfg.Specs {
 			pruneIdx[i] = core.BuildPruneIndex(cfg.Arch, spec, goldens[i], 0)
+			if reason := pruneIdx[i].Disabled(); reason != "" {
+				pruneOff[i] = reason
+				if str != nil {
+					str.pruneDisabled(spec.Name, reason)
+				}
+			}
 		}
 	}
 
@@ -257,7 +270,7 @@ dispatch:
 		cfg.RestoreStats.Add(rs)
 	}
 
-	rep := aggregate(&cfg, goldens, results, ran)
+	rep := aggregate(&cfg, goldens, results, ran, pruneOff)
 	if str != nil {
 		str.campaignDone(rep, rs)
 		if err := str.err(); err != nil {
@@ -300,7 +313,7 @@ func (cfg *Config) TrialSpec(g *core.Golden, bench string, t int) core.TrialSpec
 
 // aggregate folds the ran subset of the trial grid into the report, in
 // index order.
-func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult, ran [][]bool) *Report {
+func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult, ran [][]bool, pruneOff []string) *Report {
 	rep := &Report{
 		Arch:            cfg.Arch.Name,
 		Scheme:          cfg.Opt.Scheme.String(),
@@ -312,8 +325,9 @@ func aggregate(cfg *Config, goldens []*core.Golden, results [][]core.TrialResult
 	}
 	for b := range results {
 		br := BenchReport{
-			Benchmark:    cfg.Specs[b].Name,
-			WindowCycles: goldens[b].Window,
+			Benchmark:     cfg.Specs[b].Name,
+			WindowCycles:  goldens[b].Window,
+			PruneDisabled: pruneOff[b],
 		}
 		for t := range results[b] {
 			if ran[b][t] {

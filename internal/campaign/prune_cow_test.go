@@ -2,9 +2,12 @@ package campaign
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"flame/internal/core"
+	"flame/internal/isa"
 )
 
 // TestReportIdenticalCOWvsNoCOW is the dirty-page restore contract at
@@ -64,47 +67,160 @@ func TestReportIdenticalCOWvsNoCOW(t *testing.T) {
 // campaign level: with Prune on, the report must be byte-identical to
 // the fully-simulated report except for the pruned_* counters — same
 // outcomes, same coverage, same exemplar strings — at any worker count.
+// It runs both a controller-less scheme (Baseline, where dead-register
+// strikes prune as Masked outright) and a detecting scheme (flame,
+// where the static detection-outcome model keeps the pruner live:
+// SRAD's multi-launch window arms trials past the main kernel, and
+// those prune to NoInjection without consulting the controller).
 func TestPruneReportMatchesFullSimulation(t *testing.T) {
 	names := []string{"Triad", "Histogram", "SRAD"}
-	do := func(parallel int, prune bool) *Report {
-		cfg := testConfig(t, names, 25, parallel)
-		// Baseline has no runtime controller, so the pruner is live;
-		// detecting schemes disable it per benchmark (covered in core).
-		cfg.Opt = core.Options{Scheme: core.Baseline}
-		cfg.Prune = prune
-		rep, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rep
+	schemes := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"baseline", core.Options{Scheme: core.Baseline}},
+		{"flame", core.FlameOptions()},
 	}
-	full, err := do(4, false).JSON()
+	for _, sc := range schemes {
+		t.Run(sc.name, func(t *testing.T) {
+			do := func(parallel int, prune bool) *Report {
+				cfg := testConfig(t, names, 25, parallel)
+				cfg.Opt = sc.opt
+				cfg.Prune = prune
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			full, err := do(4, false).JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parallel := range []int{1, 8} {
+				pruned := do(parallel, true)
+				got := pruned.Fleet.PrunedMasked + pruned.Fleet.PrunedNoInjection
+				if got == 0 {
+					t.Fatalf("parallel=%d: pruner classified no trials; the equivalence check is vacuous", parallel)
+				}
+				// Erase the only fields allowed to differ, then demand byte
+				// equality with the fully-simulated report.
+				for i := range pruned.Benchmarks {
+					pruned.Benchmarks[i].PrunedMasked = 0
+					pruned.Benchmarks[i].PrunedNoInjection = 0
+				}
+				pruned.Fleet.PrunedMasked = 0
+				pruned.Fleet.PrunedNoInjection = 0
+				data, err := pruned.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(full, data) {
+					t.Fatalf("parallel=%d: pruned report differs beyond pruned_* counters:\nfull:\n%s\npruned:\n%s",
+						parallel, full, data)
+				}
+				t.Logf("parallel=%d: %d trials pruned, report otherwise byte-identical", parallel, got)
+			}
+		})
+	}
+}
+
+// entryLivenessSpec is a valid kernel (r5 reads the architectural zero
+// of an unwritten register) that nonetheless trips the prune index's
+// entry-liveness soundness gate, forcing the silent-fallback path.
+func entryLivenessSpec() *core.KernelSpec {
+	const src = `
+	    mov r0, %tid.x
+	    shl r1, r0, 2
+	    ld.param r2, [0]
+	    add r3, r2, r1
+	    add r4, r5, 1
+	    st.global [r3], r4
+	    exit
+	`
+	return &core.KernelSpec{
+		Name:     "entrylive",
+		Prog:     isa.MustParse("entrylive", src),
+		Grid:     isa.Dim3{X: 1},
+		Block:    isa.Dim3{X: 32},
+		Params:   []uint32{0},
+		MemBytes: 1 << 12,
+		Validate: func(mem []uint32) error {
+			for i := 0; i < 32; i++ {
+				if mem[i] != 1 {
+					return fmt.Errorf("word %d = %d, want 1", i, mem[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestPruneDisabledSurfaced: a workload whose index fails a soundness
+// gate must say so — in its BenchReport, in the JSONL stream (and so in
+// the replayed report, byte-identically), while live workloads stay
+// unmarked and prune-off reports keep their existing bytes.
+func TestPruneDisabledSurfaced(t *testing.T) {
+	mkcfg := func() Config {
+		cfg := testConfig(t, []string{"Histogram"}, 12, 4)
+		cfg.Opt = core.Options{Scheme: core.Baseline}
+		cfg.Specs = append(cfg.Specs, entryLivenessSpec())
+		return cfg
+	}
+	cfg := mkcfg()
+	cfg.Prune = true
+	var buf bytes.Buffer
+	cfg.Events = &buf
+	rep, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, parallel := range []int{1, 8} {
-		pruned := do(parallel, true)
-		got := pruned.Fleet.PrunedMasked + pruned.Fleet.PrunedNoInjection
-		if got == 0 {
-			t.Fatalf("parallel=%d: pruner classified no trials; the equivalence check is vacuous", parallel)
-		}
-		// Erase the only fields allowed to differ, then demand byte
-		// equality with the fully-simulated report.
-		for i := range pruned.Benchmarks {
-			pruned.Benchmarks[i].PrunedMasked = 0
-			pruned.Benchmarks[i].PrunedNoInjection = 0
-		}
-		pruned.Fleet.PrunedMasked = 0
-		pruned.Fleet.PrunedNoInjection = 0
-		data, err := pruned.JSON()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(full, data) {
-			t.Fatalf("parallel=%d: pruned report differs beyond pruned_* counters:\nfull:\n%s\npruned:\n%s",
-				parallel, full, data)
-		}
-		t.Logf("parallel=%d: %d trials pruned, report otherwise byte-identical", parallel, got)
+	if got := rep.Benchmarks[0].PruneDisabled; got != "" {
+		t.Errorf("live index marked disabled: %q", got)
+	}
+	reason := rep.Benchmarks[1].PruneDisabled
+	if !strings.Contains(reason, "entry liveness") {
+		t.Fatalf("entrylive PruneDisabled = %q, want an entry-liveness reason", reason)
+	}
+	if rep.Fleet.PruneDisabled != "" {
+		t.Errorf("fleet aggregate carries a per-workload fallback: %q", rep.Fleet.PruneDisabled)
+	}
+	if rep.Benchmarks[0].PrunedMasked+rep.Benchmarks[0].PrunedNoInjection == 0 {
+		t.Error("live workload pruned nothing; the mixed-campaign check is vacuous")
+	}
+	if !strings.Contains(buf.String(), `"event":"prune_disabled"`) {
+		t.Fatalf("stream carries no prune_disabled event:\n%s", buf.String())
+	}
+	replayed, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.JSON()
+	got, _ := replayed.JSON()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("replayed report differs:\nrun:\n%s\nreplay:\n%s", want, got)
+	}
+
+	// Prune off: the key must not appear at all (omitempty contract).
+	off, err := Run(mkcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := off.JSON(); bytes.Contains(data, []byte("prune_disabled")) {
+		t.Fatalf("prune-off report grew a prune_disabled field:\n%s", data)
+	}
+
+	// The stratified path surfaces the same fallback.
+	scfg := mkcfg()
+	scfg.Stratify = true
+	scfg.Pilot = 4
+	scfg.Prune = true
+	srep, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srep.Benchmarks[1].PruneDisabled; got != reason {
+		t.Fatalf("stratified PruneDisabled = %q, want %q", got, reason)
 	}
 }
 

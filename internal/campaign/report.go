@@ -45,6 +45,15 @@ type BenchReport struct {
 	PrunedMasked      int `json:"pruned_masked,omitempty"`
 	PrunedNoInjection int `json:"pruned_no_injection,omitempty"`
 
+	// PruneDisabled records why pruning fell back to full simulation
+	// for this workload when Config.Prune requested it — the
+	// PruneIndex.Disabled soundness-gate reason (schedule overflow,
+	// entry-liveness violation, ...). Empty (and omitted from JSON)
+	// when pruning is off or the index is live, so those reports keep
+	// their existing bytes. Never set on the fleet aggregate: the
+	// fallback is a per-workload fact.
+	PruneDisabled string `json:"prune_disabled,omitempty"`
+
 	// Coverage is the fraction of injected trials ending benignly
 	// (Masked or Recovered), with a Wilson 95% confidence interval.
 	Coverage   float64 `json:"coverage"`

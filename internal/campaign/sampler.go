@@ -15,8 +15,10 @@ import (
 
 // Stratified sampler: instead of drawing every trial's arm cycle
 // uniformly from the whole window, the site space is enumerated once
-// per benchmark into (kernel, section, opcode-class) strata with exact
-// site counts (core.BuildStrata), and trials are drawn uniformly WITHIN
+// per benchmark into (kernel, section, opcode-class) strata — split
+// further by static liveness class under Config.StrataKey "liveness" —
+// with exact site counts (core.BuildStrataKeyed), and trials are drawn
+// uniformly WITHIN
 // strata in rounds — a uniform pilot round first, then Neyman
 // (variance-proportional) reallocation by the per-stratum outcome
 // variance observed so far. Between rounds the post-stratified SDC and
@@ -107,6 +109,11 @@ func RunStratified(cfg Config) (*Report, error) {
 		str = newStreamer(cfg.Events, len(cfg.Specs)*cfg.Trials)
 	}
 
+	strataKey, err := core.ParseStrataKey(cfg.StrataKey)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
 	goldens := make([]*core.Golden, len(cfg.Specs))
 	strata := make([]*flame.StrataMap, len(cfg.Specs))
 	for i, spec := range cfg.Specs {
@@ -115,7 +122,7 @@ func RunStratified(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("campaign: %s: %w", spec.Name, err)
 		}
 		goldens[i] = g
-		if strata[i], err = core.BuildStrata(cfg.Arch, spec, g, cfg.Model); err != nil {
+		if strata[i], err = core.BuildStrataKeyed(cfg.Arch, spec, g, cfg.Model, strataKey); err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", spec.Name, err)
 		}
 	}
@@ -135,9 +142,16 @@ func RunStratified(cfg Config) (*Report, error) {
 	}
 
 	pruneIdx := make([]*core.PruneIndex, len(cfg.Specs))
+	pruneOff := make([]string, len(cfg.Specs))
 	if cfg.Prune {
 		for i, spec := range cfg.Specs {
 			pruneIdx[i] = core.BuildPruneIndex(cfg.Arch, spec, goldens[i], 0)
+			if reason := pruneIdx[i].Disabled(); reason != "" {
+				pruneOff[i] = reason
+				if str != nil {
+					str.pruneDisabled(spec.Name, reason)
+				}
+			}
 		}
 	}
 
@@ -205,7 +219,7 @@ func RunStratified(cfg Config) (*Report, error) {
 			break
 		}
 		g, m := goldens[b], strata[b]
-		br := BenchReport{Benchmark: spec.Name, WindowCycles: g.Window}
+		br := BenchReport{Benchmark: spec.Name, WindowCycles: g.Window, PruneDisabled: pruneOff[b]}
 		states := make([]*stratumState, len(m.Strata))
 		for h := range m.Strata {
 			st := &m.Strata[h]

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -153,6 +154,48 @@ func TestStratifiedConfigValidation(t *testing.T) {
 	cfg.Skip = func(string, int) bool { return false }
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("stratified config with Skip accepted")
+	}
+	cfg = stratConfig(t, []string{"Triad"}, 10, 1)
+	cfg.StrataKey = "opcode"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("stratified config with unknown strata key accepted")
+	}
+}
+
+// The liveness stratification key must stay byte-identical across
+// worker counts, carry the four-segment keys in the sampling breakdown,
+// and draw a different — not a reshuffled — trial grid than the default
+// key (key strings feed the stratum seed streams).
+func TestStratifiedLivenessKeyDeterministic(t *testing.T) {
+	run := func(parallel int, key string) []byte {
+		cfg := stratConfig(t, []string{"Triad", "Histogram"}, 48, parallel)
+		cfg.StrataKey = key
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key == "liveness" {
+			for _, br := range rep.Benchmarks {
+				for _, st := range br.Sampling.Strata {
+					if n := len(strings.Split(st.Key, "/")); n != 4 {
+						t.Fatalf("%s: stratum key %q has %d segments, want 4", br.Benchmark, st.Key, n)
+					}
+				}
+			}
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq := run(1, "liveness")
+	par := run(8, "liveness")
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("liveness-keyed reports differ across worker counts:\n-parallel 1:\n%s\n-parallel 8:\n%s", seq, par)
+	}
+	if def := run(1, ""); bytes.Equal(seq, def) {
+		t.Fatal("liveness key produced the default key's report; the key is not reaching the seed tree")
 	}
 }
 

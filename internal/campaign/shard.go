@@ -79,6 +79,15 @@ func MarshalGoldenEvent(bench string, window int64) ([]byte, error) {
 	return marshalLine(goldenEvent{Event: "golden", Benchmark: bench, WindowCycles: window})
 }
 
+// MarshalPruneDisabledEvent renders a prune_disabled JSONL line
+// (newline included) exactly as Run's streamer writes it. The
+// distributed coordinator emits one per affected workload after the
+// goldens, so a merged stream replays with the same per-workload
+// fallback accounting a single-process report carries.
+func MarshalPruneDisabledEvent(bench, reason string) ([]byte, error) {
+	return marshalLine(pruneDisabledEvent{Event: "prune_disabled", Benchmark: bench, Reason: reason})
+}
+
 // MarshalTrialEvent renders a trial JSONL line (newline included)
 // exactly as Run's streamer writes it — every field the report
 // aggregation consumes, so shard streams replay byte-identically.

@@ -53,6 +53,16 @@ type goldenEvent struct {
 	WindowCycles int64  `json:"window_cycles"`
 }
 
+// pruneDisabledEvent records a per-workload prune fallback: pruning
+// was requested (Config.Prune) but one of the index's soundness gates
+// disabled it, so the workload's trials run under full simulation.
+// Emitted once per affected workload, right after the goldens.
+type pruneDisabledEvent struct {
+	Event     string `json:"event"` // "prune_disabled"
+	Benchmark string `json:"benchmark"`
+	Reason    string `json:"reason"`
+}
+
 // trialStartEvent marks a trial handed to a worker.
 type trialStartEvent struct {
 	Event     string `json:"event"` // "trial_start"
@@ -197,6 +207,10 @@ func (s *streamer) campaignStart(cfg *Config, parallel, wcdl int) {
 
 func (s *streamer) golden(bench string, window int64) {
 	s.emitLocked(goldenEvent{Event: "golden", Benchmark: bench, WindowCycles: window})
+}
+
+func (s *streamer) pruneDisabled(bench, reason string) {
+	s.emitLocked(pruneDisabledEvent{Event: "prune_disabled", Benchmark: bench, Reason: reason})
 }
 
 func (s *streamer) strata(bench string, span, noInj int64, strata []stratumInfo) {
@@ -360,6 +374,7 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	var start *startEvent
 	windows := map[string]int64{}
+	pruneOff := map[string]string{}
 	strataBy := map[string]*strataEvent{}
 	doneBy := map[string]*benchDoneEvent{}
 	var trials []trialEvent
@@ -399,6 +414,13 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 				continue
 			}
 			windows[e.Benchmark] = e.WindowCycles
+		case "prune_disabled":
+			var e pruneDisabledEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				malformed(ig.Lines, raw, err)
+				continue
+			}
+			pruneOff[e.Benchmark] = e.Reason
 		case "strata":
 			var e strataEvent
 			if err := json.Unmarshal(raw, &e); err != nil {
@@ -466,7 +488,7 @@ func ReplayIntegrity(r io.Reader) (*Report, *Integrity, error) {
 	}
 	k := 0
 	for _, bench := range start.Benchmarks {
-		br := BenchReport{Benchmark: bench, WindowCycles: windows[bench]}
+		br := BenchReport{Benchmark: bench, WindowCycles: windows[bench], PruneDisabled: pruneOff[bench]}
 		// Stratified streams rebuild the per-stratum breakdown from the
 		// bench's strata event plus each trial's stratum key.
 		var counts []StratumReport

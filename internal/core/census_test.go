@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flame/internal/flame"
+	"flame/internal/gpu"
+	"flame/internal/isa"
+)
+
+func censusArch() gpu.Config {
+	cfg := gpu.GTX480()
+	cfg.NumSMs = 2
+	return cfg
+}
+
+func buildCensus(t *testing.T, spec *KernelSpec, opt Options) (*SiteCensus, *Golden) {
+	t.Helper()
+	g, err := GoldenRun(censusArch(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := BuildPruneIndex(censusArch(), spec, g, 0)
+	if px.Disabled() != "" {
+		t.Fatalf("prune index disabled: %s", px.Disabled())
+	}
+	c, err := px.Census(g, flame.DataSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+// The census is an exact partition: every arm cycle of [0, ArmSpan)
+// lands in exactly one bucket, so the buckets sum back to the span.
+func TestCensusPartitionsArmSpan(t *testing.T) {
+	for _, spec := range []*KernelSpec{saxpySpec(), deadTailSpec()} {
+		c, g := buildCensus(t, spec, Options{Scheme: Baseline})
+		if c.Span != g.ArmSpan() {
+			t.Fatalf("%s: span %d vs %d", spec.Name, c.Span, g.ArmSpan())
+		}
+		sum := float64(c.DeadStatic) + c.DeadDynamic + c.LiveRegister +
+			float64(c.StoreData) + float64(c.NoInjection)
+		if math.Abs(sum-float64(c.Span)) > 1e-6 {
+			t.Fatalf("%s: buckets sum to %.6f, span %d: %+v", spec.Name, sum, c.Span, c)
+		}
+		if c.StoreData == 0 {
+			t.Errorf("%s: no store-data arms despite st.global", spec.Name)
+		}
+	}
+	// deadTailSpec's r20..r23 chain feeds no store: static dead mass.
+	c, _ := buildCensus(t, deadTailSpec(), Options{Scheme: Baseline})
+	if c.DeadStatic == 0 {
+		t.Errorf("deadtail: no static-dead arms: %+v", c)
+	}
+}
+
+// divergentReadSpec defines a store-reach register read back by only
+// half the warp: the lane-aware census must split that event's arms
+// fractionally between DeadDynamic and LiveRegister.
+func divergentReadSpec() *KernelSpec {
+	const src = `
+	    mov r0, %tid.x
+	    mov r1, %ctaid.x
+	    mov r2, %ntid.x
+	    mad r3, r1, r2, r0
+	    setp.lt p0, r0, 16
+	    ld.param r5, [0]
+	    shl r4, r3, 2
+	    add r6, r5, r4
+	    ld.global r7, [r6]
+	    mov r8, 0
+	@p0 add r8, r7, 1
+	@p0 st.global [r6], r8
+	    exit
+	`
+	const n = 2 * 32
+	return &KernelSpec{
+		Name:     "divread",
+		Prog:     isa.MustParse("divread", src),
+		Grid:     isa.Dim3{X: 2},
+		Block:    isa.Dim3{X: 32},
+		Params:   []uint32{0},
+		MemBytes: 1 << 12,
+		Setup: func(mem []uint32) {
+			for i := 0; i < n; i++ {
+				mem[i] = uint32(10 * i)
+			}
+		},
+		Validate: func(mem []uint32) error {
+			for i := 0; i < n; i++ {
+				want := uint32(10 * i)
+				if i%32 < 16 {
+					want++
+				}
+				if mem[i] != want {
+					return errAt(i, mem[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// The ld.global r7 event executes on all 32 lanes but only lanes 0..15
+// read r7 afterwards (the @p0 add): its arms must split half dead,
+// half live — fractional mass the warp-level last-use table cannot
+// produce.
+func TestCensusLaneAwareFractionalSplit(t *testing.T) {
+	c, _ := buildCensus(t, divergentReadSpec(), Options{Scheme: Baseline})
+	if c.DeadDynamic <= 0 || c.LiveRegister <= 0 {
+		t.Fatalf("no fractional split: %+v", c)
+	}
+	if frac := c.DeadDynamic - math.Trunc(c.DeadDynamic); frac == 0 {
+		t.Fatalf("dead-dynamic mass %v is integral; lane split missing: %+v", c.DeadDynamic, c)
+	}
+	sum := float64(c.DeadStatic) + c.DeadDynamic + c.LiveRegister +
+		float64(c.StoreData) + float64(c.NoInjection)
+	if math.Abs(sum-float64(c.Span)) > 1e-6 {
+		t.Fatalf("buckets sum to %.6f, span %d: %+v", sum, c.Span, c)
+	}
+}
+
+// A disabled index (entry-liveness violation or overflow) must refuse
+// the census rather than return a bogus partition.
+func TestCensusRefusesDisabledIndex(t *testing.T) {
+	spec := deadTailSpec()
+	g, err := GoldenRun(censusArch(), spec, Options{Scheme: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := BuildPruneIndex(censusArch(), spec, g, 8) // absurd event cap: overflow
+	if px.Disabled() == "" {
+		t.Fatal("tiny event cap did not disable the index")
+	}
+	if _, err := px.Census(g, flame.DataSlice); err == nil {
+		t.Fatal("census on a disabled index succeeded")
+	}
+}

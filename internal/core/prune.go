@@ -1,24 +1,35 @@
 // Trial pruning: pre-classify injection trials whose armed strike
-// provably cannot change final memory, control flow, or timing, without
-// running the simulator. The simulator is deterministic, so a trial's
-// pre-injection execution IS the golden schedule: recording the golden
-// run's per-instruction event stream once lets a cheap walker replay the
-// injector's strike-placement logic (including its RNG) against that
-// schedule and decide, for each would-be strike, whether the corrupted
-// register is dead — statically (outside flame.StoreReachSlice) or
-// dynamically (never read again by its warp). Trials where every fired
-// strike is dead are Masked with golden-identical results; trials whose
-// strikes never fire are NoInjection. Everything else is simulated.
+// provably cannot change final memory, control flow, timing, or the
+// detection outcome, without running the simulator. The simulator is
+// deterministic, so a trial's pre-injection execution IS the golden
+// schedule: recording the golden run's per-instruction event stream once
+// (under the scheme's own controller hooks, so RBQ stalls and boundary
+// verification shape it exactly as a trial would see it) lets a cheap
+// walker replay the injector's strike-placement logic — including its
+// lane, bit, and sensor-delay RNG draws — against that schedule and
+// decide, for each would-be strike, whether the corrupted register is
+// dead (statically outside flame.StoreReachSlice, or dynamically never
+// read again by the struck lane) AND whether its sensor report escapes the main
+// launch. Trials where every fired strike is dead and undetected are
+// Masked with golden-identical results; trials whose strikes never fire
+// are NoInjection. Everything else is simulated.
 //
-// Soundness gates (any failure disables pruning for the benchmark, and
-// the campaign falls back to full simulation):
+// Detecting (runtime-controller) schemes are handled by a static
+// detection-outcome model rather than a gate. Detection is
+// value-independent: Controller.onCycle calls Injector.DetectionDue at
+// the end of every processed cycle of the main launch (and OnAdvance
+// bounds cycle skips to NextDetection, so a due detection is never
+// jumped over), while Steps never see the injector (the engine attaches
+// it to the main launch only). A strike fired at cycle c with sensor
+// delay delta therefore recovers iff c+delta <= the main launch's last
+// processed cycle — equivalently c+delta < mainCycles, the launch's
+// cycle count — and a dead strike whose report comes due after the main
+// launch retired is Masked with the golden's timing, bit for bit.
+// Anything detected in-window re-executes, so those trials simulate.
 //
-//   - The compiled scheme must have no runtime controller (Baseline and
-//     the recovery-only schemes). Detecting schemes report every strike
-//     regardless of value-deadness, turning would-be Masked trials into
-//     Recovered — value-deadness says nothing about sensor outcomes.
-//   - The golden sensor delay must be zero, so the injector consumes no
-//     detection-delay randomness the walker would have to replay.
+// Remaining soundness gates (any failure disables pruning for the
+// benchmark, and the campaign falls back to full simulation):
+//
 //   - Every program in the workload (main kernel and Steps) must be
 //     definitely-assigned: liveness at the entry block is empty, so no
 //     block or later launch reads a register it did not first write.
@@ -62,13 +73,27 @@ const DefaultPruneEventCap = 4 << 20
 // PruneIndex is the per-benchmark pruning oracle: the golden schedule,
 // the last-use table, and the dataflow slices.
 type PruneIndex struct {
-	events     []pruneEvent
-	lastUse    map[uint64][]int32 // warpKey -> reg -> last reading event seq+1
+	events  []pruneEvent
+	lastUse map[uint64][]int32 // warpKey -> reg -> last reading event seq+1
+	// vuln[i] is the lane mask of event i's destination-register copies
+	// that some later instruction of the same warp slot reads before an
+	// overwriting def: the per-lane refinement of the last-use table.
+	// Registers are lane-private (the ISA has no cross-lane reads), so a
+	// strike on a lane outside vuln[i] corrupts a value that lane never
+	// observes again. Zero when event i defines nothing.
+	vuln       []uint32
 	storeReach map[isa.Reg]bool
 	acl        map[isa.Reg]bool
 	window     int64
 	maxDelay   int
-	disabled   string // non-empty: why pruning is off for this benchmark
+	// mainCycles is the golden main launch's cycle count; its last
+	// processed cycle is mainCycles-1, the final DetectionDue probe.
+	mainCycles int64
+	// detecting marks schemes whose controller turns an in-window
+	// sensor report into a recovery (strikes must escape the main
+	// launch to stay prunable).
+	detecting bool
+	disabled  string // non-empty: why pruning is off for this benchmark
 }
 
 // Disabled returns the reason pruning is unavailable for this
@@ -91,20 +116,6 @@ func BuildPruneIndex(cfg gpu.Config, spec *KernelSpec, g *Golden, eventCap int) 
 		eventCap = DefaultPruneEventCap
 	}
 	px := &PruneIndex{window: g.Window, maxDelay: g.MaxDelay}
-	if g.Comp.Controller() != nil {
-		px.disabled = fmt.Sprintf("scheme %s has a runtime controller (detections are value-independent)", g.Comp.Opt.Scheme)
-		return px
-	}
-	for i, sc := range g.StepComps {
-		if sc.Controller() != nil {
-			px.disabled = fmt.Sprintf("step %d has a runtime controller", i+1)
-			return px
-		}
-	}
-	if g.MaxDelay != 0 {
-		px.disabled = "nonzero sensor delay (detection randomness not replayable)"
-		return px
-	}
 	progs := []*isa.Program{g.Comp.Prog}
 	for _, sc := range g.StepComps {
 		progs = append(progs, sc.Prog)
@@ -119,7 +130,10 @@ func BuildPruneIndex(cfg gpu.Config, spec *KernelSpec, g *Golden, eventCap int) 
 
 	// Record the golden main launch on a throwaway device. The injector
 	// only observes the main kernel (launchOne attaches it nowhere
-	// else), so Steps need no recording.
+	// else), so Steps need no recording. Detecting schemes run under
+	// their own (injector-less) controller so RBQ descheduling and
+	// boundary verification shape the recorded schedule exactly as a
+	// trial's controller would.
 	dev, err := gpu.NewDevice(cfg, spec.MemBytes)
 	if err != nil {
 		px.disabled = err.Error()
@@ -160,12 +174,18 @@ func BuildPruneIndex(cfg gpu.Config, spec *KernelSpec, g *Golden, eventCap int) 
 			lu[r] = seq
 		}
 	}}
+	if ctl := g.Comp.Controller(); ctl != nil {
+		px.detecting = true
+		hooks = gpu.CombineHooks(ctl.Hooks(), hooks)
+	}
 	launch := &gpu.Launch{Prog: prog, Grid: spec.Grid, Block: spec.Block, Params: spec.Params}
-	if _, err := dev.Run(launch, hooks); err != nil {
+	st, err := dev.Run(launch, hooks)
+	if err != nil {
 		px.events, px.lastUse = nil, nil
 		px.disabled = fmt.Sprintf("golden recording failed: %v", err)
 		return px
 	}
+	px.mainCycles = st.Cycles
 	if overflow {
 		px.events, px.lastUse = nil, nil
 		px.disabled = fmt.Sprintf("golden schedule exceeds %d events", eventCap)
@@ -173,11 +193,48 @@ func BuildPruneIndex(cfg gpu.Config, spec *KernelSpec, g *Golden, eventCap int) 
 	}
 	px.storeReach = flame.StoreReachSlice(prog)
 	px.acl = flame.AddressControlSlice(prog)
+	px.buildVuln(prog)
 	return px
 }
 
+// buildVuln computes the per-event vulnerable-lane masks with one
+// backward walk over the recorded schedule, maintaining per warp slot a
+// future-read lane mask per register (which lanes will read the
+// register before an overwriting def). Within one instruction reads
+// precede the write, so walking backward the def is killed first and
+// the uses are added after — a def that reads itself (add r0, r0, 1)
+// still counts as a future read of the previous value. Later launches
+// need no terms: the definite-assignment gate already proved no Step
+// reads a register it did not first write.
+func (px *PruneIndex) buildVuln(prog *isa.Program) {
+	px.vuln = make([]uint32, len(px.events))
+	future := map[uint64][]uint32{}
+	var uses [4]isa.Reg
+	for evi := len(px.events) - 1; evi >= 0; evi-- {
+		ev := &px.events[evi]
+		in := &prog.Insts[ev.pc]
+		key := warpKey(ev.sm, ev.warp)
+		fr := future[key]
+		if fr == nil {
+			fr = make([]uint32, prog.NumRegs)
+			future[key] = fr
+		}
+		if d := in.Defs(); d != isa.NoReg {
+			px.vuln[evi] = ev.mask & fr[d]
+			// Unlike the static solver, a predicated def kills here:
+			// ev.mask is lastExec (active ∧ guard), so every lane in it
+			// really executed the write.
+			fr[d] &^= ev.mask
+		}
+		for _, r := range in.Uses(uses[:0]) {
+			fr[r] |= ev.mask
+		}
+	}
+}
+
 // PruneTrial decides a trial without simulation when every armed strike
-// either never fires or fires into a provably dead register. It mirrors
+// either never fires or fires into a provably dead register with a
+// sensor report that provably escapes the main launch. It mirrors
 // flame.Injector.Observe event-for-event — including its RNG draws — so
 // a pruned TrialResult is bit-identical (every field, including the
 // Description) to what Engine.RunTrial would have produced. The second
@@ -210,10 +267,27 @@ func (px *PruneIndex) PruneTrial(g *Golden, ts TrialSpec) (*TrialResult, bool) {
 				(ts.Model == flame.FullSite || !px.acl[d]):
 				// Register-destination strike: prunable iff the corrupted
 				// value is dead — statically outside the store-reach
-				// slice, or dynamically never read again by this warp
-				// slot (uses at the firing event itself read the
-				// pre-corruption value: Observe runs post-execute).
-				if px.storeReach[d] && lastUseOf(px.lastUse[warpKey(ev.sm, ev.warp)], d) > int32(evi+1) {
+				// slice, or never read again by the struck lane (uses at
+				// the firing event itself read the pre-corruption value:
+				// Observe runs post-execute). Registers are lane-private,
+				// so only the struck lane's future reads matter; the
+				// warp-level last-use table is the coarser bound vuln
+				// refines.
+				lane := nthSetBit(ev.mask, laneIdx)
+				if px.storeReach[d] && px.vuln[evi]&(1<<uint(lane)) != 0 {
+					return nil, false
+				}
+				// Mirror Observe's sensor-delay draw, then apply the
+				// static detection-outcome model: the controller probes
+				// DetectionDue on every processed cycle of the main
+				// launch (last is mainCycles-1) and nowhere afterwards,
+				// so a report due before that recovers (simulate) and a
+				// later one provably escapes (the strike stays Masked).
+				detectAt := ev.cyc
+				if px.maxDelay > 0 {
+					detectAt += 1 + int64(rng.Intn(px.maxDelay))
+				}
+				if px.detecting && detectAt < px.mainCycles {
 					return nil, false
 				}
 				tr.Strikes++
@@ -221,7 +295,6 @@ func (px *PruneIndex) PruneTrial(g *Golden, ts TrialSpec) (*TrialResult, bool) {
 					tr.ExcludedStrikes++
 				}
 				if tr.Strikes == 1 {
-					lane := nthSetBit(ev.mask, laneIdx)
 					tr.Description = fmt.Sprintf("cycle %d: flipped bit %#x of %s (lane %d, warp %d, SM %d, inst %d: %s)",
 						ev.cyc, bit, d, lane, ev.warp, ev.sm, ev.pc, in.String())
 				}

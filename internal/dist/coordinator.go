@@ -83,6 +83,13 @@ type Coordinator struct {
 	cfg     campaign.Config
 	goldens []*core.Golden
 	sigs    map[string]GoldenSig
+	// pruneOff maps benchmark -> PruneIndex.Disabled reason when
+	// cfg.Prune requested pruning but a soundness gate disabled it.
+	// The reasons are deterministic in (arch, spec, golden), so the
+	// coordinator's own indexes agree with every worker's; they feed
+	// the /metrics gauge and the synthesized prune_disabled lines of
+	// the merged stream.
+	pruneOff map[string]string
 
 	mu       sync.Mutex
 	epoch    int // bumped every coordinator start; part of lease IDs
@@ -167,6 +174,7 @@ func NewCoordinator(cc CoordConfig) (*Coordinator, error) {
 		doneSeen: map[string]bool{},
 		tally:    map[string]int{},
 		bstats:   map[string]*benchTally{},
+		pruneOff: map[string]string{},
 		stopped:  map[string]bool{},
 		done:     make(chan struct{}),
 		started:  time.Now(),
@@ -178,6 +186,12 @@ func NewCoordinator(cc CoordConfig) (*Coordinator, error) {
 		}
 		c.goldens = append(c.goldens, g)
 		c.sigs[spec.Name] = Signature(g)
+		if cfg.Prune {
+			if reason := core.BuildPruneIndex(cfg.Arch, spec, g, 0).Disabled(); reason != "" {
+				c.pruneOff[spec.Name] = reason
+				cc.Logf("prune disabled for %s: %s", spec.Name, reason)
+			}
+		}
 	}
 	benches := make([]string, len(cfg.Specs))
 	for i, sp := range cfg.Specs {
@@ -426,6 +440,19 @@ func (c *Coordinator) mergeLocked() (*FinalReport, error) {
 	buf = append(buf, hdr...)
 	for i, spec := range c.cfg.Specs {
 		line, err := campaign.MarshalGoldenEvent(spec.Name, c.goldens[i].Window)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, line...)
+	}
+	// Prune fallbacks ride the merged stream like in-process streams, so
+	// the replayed report carries the same per-workload accounting.
+	for _, spec := range c.cfg.Specs {
+		reason, ok := c.pruneOff[spec.Name]
+		if !ok {
+			continue
+		}
+		line, err := campaign.MarshalPruneDisabledEvent(spec.Name, reason)
 		if err != nil {
 			return nil, err
 		}

@@ -132,6 +132,36 @@ func TestDistByteIdentical(t *testing.T) {
 	}
 }
 
+// TestDistPruneByteIdentical: a prune-enabled distributed campaign
+// (workers classify dead-register strikes without simulating) merges
+// byte-identical to the prune-enabled single-process run, pruned_*
+// counters included — and with healthy indexes the merged stream
+// carries no prune_disabled accounting.
+func TestDistPruneByteIdentical(t *testing.T) {
+	info := testInfo(7)
+	info.Scheme = "baseline"
+	info.Prune = true
+	want := singleReport(t, info)
+	c, srv, _ := testCoord(t, info, t.TempDir())
+
+	if err := RunWorker(context.Background(), WorkerConfig{
+		URL: srv.URL, Name: "pruner", FlushEvery: 2, Logf: t.Logf,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	fr := waitDone(t, c, 60*time.Second)
+	checkByteIdentical(t, fr, want)
+	f := fr.Report.Fleet
+	if f.PrunedMasked+f.PrunedNoInjection == 0 {
+		t.Fatal("distributed campaign pruned nothing; the equivalence check is vacuous")
+	}
+	for _, br := range fr.Report.Benchmarks {
+		if br.PruneDisabled != "" {
+			t.Errorf("%s: healthy index reported disabled: %q", br.Benchmark, br.PruneDisabled)
+		}
+	}
+}
+
 // TestDistWorkerDeathReLease: a worker that dies abruptly on its first
 // trial (no flush, no release — in-process kill -9) leaves its lease to
 // expire; the healthy worker re-leases the shard and the final report

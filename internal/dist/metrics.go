@@ -155,6 +155,15 @@ func (c *Coordinator) renderMetricsLocked(elapsed float64) []byte {
 		}
 		p.Gauge("flame_bench_early_stopped", "1 once the benchmark's CIs converged under ci_target.", v, "bench", sp.Name)
 	}
+	for _, sp := range c.cfg.Specs {
+		reason, ok := c.pruneOff[sp.Name]
+		if !ok {
+			continue
+		}
+		p.Gauge("flame_prune_disabled",
+			"1 when pruning was requested but the benchmark's index failed a soundness gate and fell back to full simulation.",
+			1, "bench", sp.Name, "reason", reason)
+	}
 
 	for _, st := range []struct {
 		name string

@@ -73,7 +73,8 @@ func metricsTestCoordinator(t *testing.T) *Coordinator {
 			"Triad":     {injected: 5, sdc: 2, due: 1},
 			"Histogram": {injected: 3, sdc: 0, due: 0},
 		},
-		stopped: map[string]bool{"Histogram": true},
+		stopped:  map[string]bool{"Histogram": true},
+		pruneOff: map[string]string{"Triad": "schedule overflow"},
 	}
 	mkShard := func(id, lo, hi int, bench, state string, fails, seen int) *shardCtl {
 		sc := &shardCtl{state: state, fails: fails, seen: map[int]bool{}}

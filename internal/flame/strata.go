@@ -28,7 +28,8 @@ import (
 
 // SiteStratum is one stratum of the arm-cycle space: all arm cycles
 // whose strike fires on an instruction of one (section, opcode class)
-// group of one kernel.
+// group of one kernel — further split by a static site label when the
+// builder was given one (the liveness-class key).
 type SiteStratum struct {
 	// Kernel is the main kernel's program name.
 	Kernel string
@@ -37,6 +38,12 @@ type SiteStratum struct {
 	Section int
 	// Class is the firing instruction's opcode class.
 	Class isa.OpClass
+	// Live is the firing instruction's static liveness-class label
+	// (dead/short/long/store), or "" when the enumeration did not key
+	// on liveness. It is part of Key(), so turning the dimension on
+	// changes stratum seeds — by design: a different key is a
+	// different (still fully deterministic) trial grid.
+	Live string
 	// Sites is the exact number of arm cycles in the stratum.
 	Sites int64
 
@@ -51,8 +58,12 @@ type SiteStratum struct {
 type armInterval struct{ lo, hi int64 }
 
 // Key returns the stratum's canonical report/seed key, e.g.
-// "triad/s0/alu" ("s-1" for instructions outside every section).
+// "triad/s0/alu" ("s-1" for instructions outside every section), with
+// the liveness label appended ("triad/s0/alu/dead") when present.
 func (s *SiteStratum) Key() string {
+	if s.Live != "" {
+		return fmt.Sprintf("%s/s%d/%s/%s", s.Kernel, s.Section, s.Class, s.Live)
+	}
 	return fmt.Sprintf("%s/s%d/%s", s.Kernel, s.Section, s.Class)
 }
 
@@ -98,10 +109,18 @@ type StrataBuilder struct {
 	model    FaultModel
 	span     int64
 	excluded map[isa.Reg]bool
+	labels   []string // optional per-pc site labels (liveness key)
 
 	prev  int64 // highest arm cycle already owned by some event
-	index map[[2]int]int
+	index map[strataGroup]int
 	strat []SiteStratum
+}
+
+// strataGroup is the builder's grouping key for one stratum.
+type strataGroup struct {
+	section int
+	class   isa.OpClass
+	live    string
 }
 
 // NewStrataBuilder prepares an enumeration of prog's site space.
@@ -112,8 +131,21 @@ func NewStrataBuilder(prog *isa.Program, kernel string, sections [][2]int, model
 		prog: prog, kernel: kernel, sections: sections, model: model, span: span,
 		excluded: addressControlSlice(prog),
 		prev:     -1,
-		index:    map[[2]int]int{},
+		index:    map[strataGroup]int{},
 	}
+}
+
+// SetSiteLabels adds a per-instruction site-label dimension to the
+// enumeration (labels[pc] for instruction pc; the slice must cover the
+// program). Events whose label differs land in distinct strata and the
+// label becomes part of every Key(). The caller derives labels from
+// static analysis — the liveness-class key passes
+// analysis.SiteClass.String() spellings.
+func (b *StrataBuilder) SetSiteLabels(labels []string) {
+	if len(labels) != len(b.prog.Insts) {
+		panic(fmt.Sprintf("strata: %d labels for %d instructions", len(labels), len(b.prog.Insts)))
+	}
+	b.labels = labels
 }
 
 // corruptibleSite mirrors Injector.Observe's eligibility exactly: a
@@ -160,13 +192,16 @@ func (b *StrataBuilder) Observe(cyc int64, pc int) {
 	lo := b.prev + 1
 	b.prev = hi
 
-	key := [2]int{b.sectionOf(pc), int(in.Op.Class())}
+	key := strataGroup{section: b.sectionOf(pc), class: in.Op.Class()}
+	if b.labels != nil {
+		key.live = b.labels[pc]
+	}
 	h, ok := b.index[key]
 	if !ok {
 		h = len(b.strat)
 		b.index[key] = h
 		b.strat = append(b.strat, SiteStratum{
-			Kernel: b.kernel, Section: key[0], Class: isa.OpClass(key[1]),
+			Kernel: b.kernel, Section: key.section, Class: key.class, Live: key.live,
 		})
 	}
 	s := &b.strat[h]
@@ -178,15 +213,18 @@ func (b *StrataBuilder) Observe(cyc int64, pc int) {
 	s.Sites += hi - lo + 1
 }
 
-// Finish seals the enumeration: strata are sorted by (Section, Class),
-// cumulative interval counts are built for ArmAt, and the no-injection
-// tail is computed.
+// Finish seals the enumeration: strata are sorted by (Section, Class,
+// Live), cumulative interval counts are built for ArmAt, and the
+// no-injection tail is computed.
 func (b *StrataBuilder) Finish() *StrataMap {
 	sort.Slice(b.strat, func(i, j int) bool {
 		if b.strat[i].Section != b.strat[j].Section {
 			return b.strat[i].Section < b.strat[j].Section
 		}
-		return b.strat[i].Class < b.strat[j].Class
+		if b.strat[i].Class != b.strat[j].Class {
+			return b.strat[i].Class < b.strat[j].Class
+		}
+		return b.strat[i].Live < b.strat[j].Live
 	})
 	for i := range b.strat {
 		s := &b.strat[i]

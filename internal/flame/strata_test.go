@@ -124,6 +124,64 @@ func TestStrataExactCover(t *testing.T) {
 	}
 }
 
+// SetSiteLabels splits a (section, class) group by label, appends the
+// label to every key, and keeps the partition exact: label-split strata
+// cover the same arm cycles the unlabeled enumeration owned.
+func TestStrataBuilderSiteLabels(t *testing.T) {
+	p := isa.MustParse("k", strataSrc)
+	events := []struct {
+		cyc int64
+		pc  int
+	}{
+		{2, 4},  // ld.global r4 → mem
+		{5, 5},  // fmul r5 → fp
+		{7, 7},  // st.global → store
+		{11, 4}, // ld.global again → mem, different label below
+	}
+	labels := make([]string, len(p.Insts))
+	labels[4] = "store" // the load feeds the store chain
+	labels[5] = "short"
+	labels[7] = "store"
+	build := func(labeled bool) *StrataMap {
+		b := NewStrataBuilder(p, "k", [][2]int{{0, 5}, {5, 8}}, DataSlice, 20)
+		if labeled {
+			b.SetSiteLabels(labels)
+		}
+		for _, e := range events {
+			b.Observe(e.cyc, e.pc)
+		}
+		return b.Finish()
+	}
+	plain := build(false)
+	m := build(true)
+	if m.Span != plain.Span || m.NoInjectionSites != plain.NoInjectionSites {
+		t.Fatalf("labels changed the covered space: %+v vs %+v", m, plain)
+	}
+	wants := map[string]int64{
+		"k/s0/mem/store":   7, // arms 0..2 and 8..11
+		"k/s1/fp/short":    3, // arms 3..5
+		"k/s1/store/store": 2, // arms 6..7
+	}
+	total := int64(0)
+	for i := range m.Strata {
+		s := &m.Strata[i]
+		if w, ok := wants[s.Key()]; !ok || s.Sites != w {
+			t.Fatalf("stratum %s sites=%d, want %v", s.Key(), s.Sites, wants)
+		}
+		total += s.Sites
+	}
+	if len(m.Strata) != len(wants) || total != m.InjectableSites() {
+		t.Fatalf("labeled strata don't cover the injectable space: %+v", m.Strata)
+	}
+	// A label length mismatch is a caller bug and must panic loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short label slice accepted")
+		}
+	}()
+	NewStrataBuilder(p, "k", nil, DataSlice, 20).SetSiteLabels([]string{"x"})
+}
+
 // corruptibleSite must match Injector.Observe's eligibility: register
 // defs outside the address/control slice (or any def under FullSite),
 // plus global-store data.

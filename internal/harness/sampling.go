@@ -21,7 +21,11 @@ import (
 // squared uniform half-width over stratified trials times squared
 // stratified half-width — trials-to-equal-precision, not wall clock.
 type SamplingBenchPerf struct {
-	Benchmark           string  `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	// StrataKey is the stratification key the stratified run used.
+	// Empty means the default (section-class) key, so history entries
+	// written before the key existed keep their meaning.
+	StrataKey           string  `json:"strata_key,omitempty"`
 	Budget              int     `json:"budget"`
 	UniformHalfWidth    float64 `json:"uniform_half_width"`
 	StratifiedTrials    int     `json:"stratified_trials"`
@@ -113,8 +117,13 @@ func SamplingStudy(cfg Config, outPath string, trials int) ([]SamplingBenchPerf,
 		return nil, err
 	}
 	t := &stats.Table{Header: []string{
-		"benchmark", "budget", "uniform ±", "strat trials", "strat ±", "rounds", "stop", "eff speedup",
+		"benchmark", "key", "budget", "uniform ±", "strat trials", "strat ±", "rounds", "stop", "eff speedup",
 	}}
+	// Both stratification keys run against the same uniform-grid target:
+	// the liveness key splits every (section, class) group by the static
+	// interval class of the firing site, so the comparison is the key's
+	// marginal variance reduction, benchmark by benchmark.
+	keys := []core.StrataKey{core.StrataKeySectionClass, core.StrataKeyLiveness}
 	var out []SamplingBenchPerf
 	for _, spec := range specs {
 		base := campaign.Config{
@@ -132,37 +141,45 @@ func SamplingStudy(cfg Config, outPath string, trials int) ([]SamplingBenchPerf,
 		ub := &urep.Benchmarks[0]
 		wu := maxHalfWidth(ub.SDC, ub.DUE, ub.Injected)
 
-		scfg := base
-		scfg.Stratify = true
-		scfg.CITarget = wu
-		srep, err := campaign.Run(scfg)
-		if err != nil {
-			return nil, err
+		for _, key := range keys {
+			scfg := base
+			scfg.Stratify = true
+			scfg.CITarget = wu
+			keyName := ""
+			if key != core.StrataKeySectionClass {
+				keyName = string(key)
+				scfg.StrataKey = string(key)
+			}
+			srep, err := campaign.Run(scfg)
+			if err != nil {
+				return nil, err
+			}
+			s := srep.Benchmarks[0].Sampling
+			ws := s.SDCRate.HalfWidth()
+			if d := s.DUERate.HalfWidth(); d > ws {
+				ws = d
+			}
+			r := SamplingBenchPerf{
+				Benchmark:           spec.Name,
+				StrataKey:           keyName,
+				Budget:              trials,
+				UniformHalfWidth:    wu,
+				StratifiedTrials:    s.TrialsUsed,
+				StratifiedHalfWidth: ws,
+				Rounds:              s.Rounds,
+				StopReason:          s.StopReason,
+			}
+			if s.TrialsUsed > 0 && ws > 0 {
+				r.EffectiveSpeedup = (float64(trials) * wu * wu) / (float64(s.TrialsUsed) * ws * ws)
+			}
+			out = append(out, r)
+			t.Add(r.Benchmark, string(key), fmt.Sprintf("%d", r.Budget),
+				fmt.Sprintf("%.4f", r.UniformHalfWidth),
+				fmt.Sprintf("%d", r.StratifiedTrials),
+				fmt.Sprintf("%.4f", r.StratifiedHalfWidth),
+				fmt.Sprintf("%d", r.Rounds), r.StopReason,
+				fmt.Sprintf("%.2fx", r.EffectiveSpeedup))
 		}
-		s := srep.Benchmarks[0].Sampling
-		ws := s.SDCRate.HalfWidth()
-		if d := s.DUERate.HalfWidth(); d > ws {
-			ws = d
-		}
-		r := SamplingBenchPerf{
-			Benchmark:           spec.Name,
-			Budget:              trials,
-			UniformHalfWidth:    wu,
-			StratifiedTrials:    s.TrialsUsed,
-			StratifiedHalfWidth: ws,
-			Rounds:              s.Rounds,
-			StopReason:          s.StopReason,
-		}
-		if s.TrialsUsed > 0 && ws > 0 {
-			r.EffectiveSpeedup = (float64(trials) * wu * wu) / (float64(s.TrialsUsed) * ws * ws)
-		}
-		out = append(out, r)
-		t.Add(r.Benchmark, fmt.Sprintf("%d", r.Budget),
-			fmt.Sprintf("%.4f", r.UniformHalfWidth),
-			fmt.Sprintf("%d", r.StratifiedTrials),
-			fmt.Sprintf("%.4f", r.StratifiedHalfWidth),
-			fmt.Sprintf("%d", r.Rounds), r.StopReason,
-			fmt.Sprintf("%.2fx", r.EffectiveSpeedup))
 	}
 	cfg.printf("stratified sampling efficiency (scheme=Baseline model=data, target = uniform grid's half-width)\n%s", t.String())
 

@@ -1,0 +1,200 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"flame/internal/avf"
+	"flame/internal/campaign"
+	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+	"flame/internal/stats"
+)
+
+// AVF cross-validation: the static vulnerability engine (internal/avf)
+// predicts per-benchmark×scheme masked and recovered fractions; this
+// gate runs a real injection campaign on the same pairs and checks
+// prediction against the measured Wilson 95% CI. It is the
+// model-vs-measurement loop of the AVF literature as a CI gate: a
+// regression in the interval analysis, the store-reach slice, the
+// detection-outcome model, or the injector itself moves measurement
+// away from prediction and trips the gate.
+//
+// The check is two-tier, matching what the static model actually
+// claims. PredMasked is a certain-masked LOWER bound and Residual is
+// the value-dependent mass the model cannot classify, so every pair
+// must satisfy the ACE soundness band — the measured CI must overlap
+// [PredMasked, PredMasked+Residual] — and the recovered point
+// prediction (exact for both scheme kinds) must fall inside its CI.
+// Pairs where the model claims sharpness (detecting schemes, whose
+// outcome model is exact, and pairs with Residual ≤ SharpResidual)
+// must additionally land the masked point prediction inside the
+// measured CI.
+
+// AVFPair is one benchmark × scheme verdict.
+type AVFPair struct {
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
+	Detecting bool   `json:"detecting"`
+	// Sharp marks pairs where the model claims a point masked
+	// prediction (detecting, or residual at most the sharp threshold);
+	// these get the strict in-CI check on top of the soundness band.
+	Sharp bool `json:"sharp"`
+
+	PredMasked    float64 `json:"pred_masked"`
+	PredRecovered float64 `json:"pred_recovered"`
+	Residual      float64 `json:"residual"`
+
+	// Measured campaign counts over injected trials, with Wilson 95%
+	// bounds for the gated fractions.
+	Injected    int     `json:"injected"`
+	Masked      int     `json:"masked"`
+	Recovered   int     `json:"recovered"`
+	MaskedLo    float64 `json:"masked_lo"`
+	MaskedHi    float64 `json:"masked_hi"`
+	RecoveredLo float64 `json:"recovered_lo"`
+	RecoveredHi float64 `json:"recovered_hi"`
+
+	Pass bool `json:"pass"`
+}
+
+// AVFReport is the full cross-validation result.
+type AVFReport struct {
+	Trials int       `json:"trials"`
+	Model  string    `json:"model"`
+	Pairs  []AVFPair `json:"pairs"`
+	Pass   bool      `json:"pass"`
+
+	// Predictions carries the underlying static reports (the artifact
+	// uploaded by CI).
+	Predictions []*avf.Prediction `json:"predictions"`
+}
+
+// AVFConfig parameterizes the gate.
+type AVFConfig struct {
+	Arch     gpu.Config
+	Specs    []*core.KernelSpec
+	Schemes  []core.Options
+	Model    flame.FaultModel
+	Trials   int
+	Parallel int
+	Seed     uint64
+	// SharpResidual is the residual mass below which a non-detecting
+	// pair's masked prediction is held to the strict in-CI check
+	// (default 0.02). Detecting pairs are always sharp.
+	SharpResidual float64
+}
+
+// AVFCrossValidate runs the gate: one static prediction and one
+// injection campaign per scheme over the benchmark set, then the
+// CI-containment check per pair.
+func AVFCrossValidate(cfg AVFConfig) (*AVFReport, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 200
+	}
+	if cfg.SharpResidual <= 0 {
+		cfg.SharpResidual = 0.02
+	}
+	out := &AVFReport{Trials: cfg.Trials, Model: cfg.Model.String(), Pass: true}
+	for _, opt := range cfg.Schemes {
+		preds := map[string]*avf.Prediction{}
+		for _, spec := range cfg.Specs {
+			p, err := avf.Predict(cfg.Arch, spec, opt, cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			preds[spec.Name] = p
+			out.Predictions = append(out.Predictions, p)
+		}
+		rep, err := campaign.Run(campaign.Config{
+			Arch:     cfg.Arch,
+			Opt:      opt,
+			Specs:    cfg.Specs,
+			Trials:   cfg.Trials,
+			Parallel: cfg.Parallel,
+			Seed:     cfg.Seed,
+			Model:    cfg.Model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("avf gate: campaign %s: %w", opt.Scheme, err)
+		}
+		for i := range rep.Benchmarks {
+			br := &rep.Benchmarks[i]
+			p, ok := preds[br.Benchmark]
+			if !ok {
+				continue
+			}
+			pair := AVFPair{
+				Benchmark:     br.Benchmark,
+				Scheme:        p.Scheme,
+				Detecting:     p.Detecting,
+				PredMasked:    p.PredMasked,
+				PredRecovered: p.PredRecovered,
+				Residual:      p.Residual,
+				Injected:      br.Injected,
+				Masked:        br.Masked,
+				Recovered:     br.Recovered,
+			}
+			pair.MaskedLo, pair.MaskedHi = wilsonPinned(br.Masked, br.Injected)
+			pair.RecoveredLo, pair.RecoveredHi = wilsonPinned(br.Recovered, br.Injected)
+			pair.Sharp = p.Detecting || p.Residual <= cfg.SharpResidual
+			// Soundness band: the measured CI must overlap the model's
+			// [certain-masked, certain-masked+residual] band, and the
+			// recovered point prediction is exact for every scheme kind.
+			band := pair.PredMasked <= pair.MaskedHi &&
+				pair.PredMasked+pair.Residual >= pair.MaskedLo
+			recovered := pair.PredRecovered >= pair.RecoveredLo &&
+				pair.PredRecovered <= pair.RecoveredHi
+			point := pair.PredMasked >= pair.MaskedLo && pair.PredMasked <= pair.MaskedHi
+			pair.Pass = band && recovered && (!pair.Sharp || point)
+			out.Pass = out.Pass && pair.Pass
+			out.Pairs = append(out.Pairs, pair)
+		}
+	}
+	return out, nil
+}
+
+// wilsonPinned is stats.Wilson95 with the k=0 lower bound and k=n upper
+// bound pinned to their exact algebraic values, so a prediction of
+// exactly 0 or 1 is inside the interval it mathematically belongs to.
+func wilsonPinned(k, n int) (float64, float64) {
+	lo, hi := stats.Wilson95(k, n)
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders one verdict line per pair.
+func (r *AVFReport) String() string {
+	var b strings.Builder
+	for _, p := range r.Pairs {
+		verdict := "ok"
+		if !p.Pass {
+			verdict = "FAIL"
+		}
+		kind := "band"
+		if p.Sharp {
+			kind = "sharp"
+		}
+		fmt.Fprintf(&b, "avf %s/%s: %s (%s)  masked %.4f in [%.4f, %.4f]  recovered %.4f in [%.4f, %.4f]  (%d injected, residual %.4f)\n",
+			p.Benchmark, p.Scheme, verdict, kind,
+			p.PredMasked, p.MaskedLo, p.MaskedHi,
+			p.PredRecovered, p.RecoveredLo, p.RecoveredHi,
+			p.Injected, p.Residual)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report (predictions included) as indented JSON.
+func (r *AVFReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

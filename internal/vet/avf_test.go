@@ -1,0 +1,90 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flame/internal/bench"
+	"flame/internal/core"
+	"flame/internal/flame"
+	"flame/internal/gpu"
+)
+
+func avfConfig(t *testing.T, trials int) AVFConfig {
+	t.Helper()
+	arch := gpu.GTX480()
+	arch.NumSMs = 2
+	names := []string{"Triad", "Histogram", "SRAD", "GUPS"}
+	specs := make([]*core.KernelSpec, len(names))
+	for i, n := range names {
+		b, err := bench.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = b.Spec()
+	}
+	return AVFConfig{
+		Arch:  arch,
+		Specs: specs,
+		Schemes: []core.Options{
+			{Scheme: core.Renaming, WCDL: 20, ExtendRegions: true},
+			core.FlameOptions(),
+		},
+		Model:    flame.DataSlice,
+		Trials:   trials,
+		Parallel: 4,
+		Seed:     7,
+	}
+}
+
+// The AVF gate itself: on the quick suite, under both a recovery-only
+// scheme (Renaming: regions compiled, no runtime controller) and the
+// detecting flame scheme, every sharp prediction must fall inside the
+// campaign's measured Wilson 95% CI and every pair must satisfy the
+// ACE soundness band. The suite is chosen to exercise all model
+// regimes: GUPS (recovery-only but fully dead — a sharp non-detecting
+// pair), Histogram (half certain-masked), Triad and SRAD (residual
+// value-dependent mass), and all four under the detecting flame scheme
+// (exact detection-outcome model).
+func TestAVFCrossValidateQuickSuite(t *testing.T) {
+	rep, err := AVFCrossValidate(avfConfig(t, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if len(rep.Pairs) != 8 {
+		t.Fatalf("gated %d pairs, want 8", len(rep.Pairs))
+	}
+	sharpRecoveryOnly := 0
+	for _, p := range rep.Pairs {
+		if p.Detecting != (p.Scheme == core.SensorRenaming.String()) {
+			t.Errorf("%s/%s: detecting=%v", p.Benchmark, p.Scheme, p.Detecting)
+		}
+		if p.Detecting && (p.PredRecovered != 1 || p.PredMasked != 0 || !p.Sharp) {
+			t.Errorf("%s/%s: detecting prediction %+v", p.Benchmark, p.Scheme, p)
+		}
+		if !p.Detecting && p.Sharp {
+			sharpRecoveryOnly++
+		}
+	}
+	// The gate must hold a strict point check on at least one
+	// recovery-only pair too (GUPS: every corruptible site is dead).
+	if sharpRecoveryOnly == 0 {
+		t.Errorf("no sharp recovery-only pair in the gate:\n%s", rep)
+	}
+	if !rep.Pass {
+		t.Fatalf("AVF cross-validation failed:\n%s", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round AVFReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(round.Predictions) != len(rep.Predictions) {
+		t.Fatalf("round-trip lost predictions: %d vs %d", len(round.Predictions), len(rep.Predictions))
+	}
+}
